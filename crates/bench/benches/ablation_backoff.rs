@@ -1,0 +1,14 @@
+//! Ablation: RTS queue-deadline slack and the TFA+Backoff base backoff
+//! (design choices the paper leaves implicit; see DESIGN.md AB2).
+
+use dstm_bench::{emit, workers};
+use dstm_harness::experiments::{backoff, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let t0 = std::time::Instant::now();
+    let a = backoff::run(&scale, workers());
+    let mut out = backoff::render(&a);
+    out.push_str(&format!("\n[{} s]\n", t0.elapsed().as_secs()));
+    emit("ablation_backoff", &out);
+}

@@ -1,0 +1,22 @@
+//! Ablation: sweep the CL threshold and locate the throughput peak — the
+//! paper's §IV-A procedure ("at a certain point of the CL's threshold, we
+//! observe a peak point of transactional throughput"). Also compares the
+//! adaptive hill-climbing controller.
+
+use dstm_bench::{emit, workers};
+use dstm_harness::experiments::{threshold, Scale};
+use dstm_benchmarks::Benchmark;
+
+fn main() {
+    let scale = Scale::from_env();
+    let t0 = std::time::Instant::now();
+    let sweeps = threshold::run(
+        &scale,
+        &[Benchmark::Bank, Benchmark::Dht, Benchmark::Vacation],
+        &[2, 4, 8, 16, 32, 64, 128],
+        workers(),
+    );
+    let mut out = threshold::render(&sweeps);
+    out.push_str(&format!("\n[{} s]\n", t0.elapsed().as_secs()));
+    emit("ablation_cl_threshold", &out);
+}

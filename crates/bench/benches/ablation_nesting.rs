@@ -1,0 +1,19 @@
+//! Ablation: closed vs flat nesting — §I's motivating claim that flat
+//! nesting's monolithic rollbacks hurt, quantified on this substrate.
+
+use dstm_bench::{emit, workers};
+use dstm_benchmarks::Benchmark;
+use dstm_harness::experiments::{nesting, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let t0 = std::time::Instant::now();
+    let rows = nesting::run(
+        &scale,
+        &[Benchmark::Bank, Benchmark::Vacation, Benchmark::Dht],
+        workers(),
+    );
+    let mut out = nesting::render(&rows);
+    out.push_str(&format!("\n[{} s]\n", t0.elapsed().as_secs()));
+    emit("ablation_nesting", &out);
+}

@@ -1,0 +1,23 @@
+//! Regenerates **Figure 5** — transactional throughput vs node count at
+//! high contention (10% read transactions).
+
+use dstm_bench::{emit, workers};
+use dstm_harness::experiments::{throughput, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let t0 = std::time::Instant::now();
+    let fig = throughput::run(&scale, 0.1, workers());
+    let mut out = String::from(
+        "Figure 5 — Transactional throughput on HIGH contention (10% reads)\n\n",
+    );
+    out.push_str(&fig.render());
+    let incomplete = fig.raw.iter().filter(|r| !r.completed).count();
+    out.push_str(&format!(
+        "cells: {} ({} incomplete)\n[{} s]\n",
+        fig.raw.len(),
+        incomplete,
+        t0.elapsed().as_secs()
+    ));
+    emit("fig5_throughput_high", &out);
+}

@@ -1,0 +1,160 @@
+//! Criterion micro-benchmarks of the engine's hot paths: the pending-event
+//! set (binary heap vs calendar queue), the RNG, the Bloom filter, the CL
+//! window, scheduling-table operations, policy decisions, and a complete
+//! small simulation cell.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dstm_benchmarks::Benchmark;
+use dstm_harness::runner::{run_cell, Cell};
+use dstm_sim::{
+    BinaryHeapQueue, CalendarQueue, EventQueue, Sequenced, SimDuration, SimRng, SimTime,
+};
+use rts_core::{
+    BloomFilter, ConflictCtx, ConflictPolicy, Ets, ObjectClWindow, ObjectId, Requester,
+    RtsPolicy, SchedulingTable, TxId,
+};
+use std::hint::black_box;
+
+fn bench_event_queues(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event-queue");
+    for &n in &[1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("binary-heap", n), &n, |b, &n| {
+            let mut rng = SimRng::new(1);
+            let times: Vec<u64> = (0..n).map(|_| rng.below(10_000_000)).collect();
+            b.iter(|| {
+                let mut q = BinaryHeapQueue::new();
+                for (i, &t) in times.iter().enumerate() {
+                    q.push(Sequenced::new(SimTime(t), i as u64, i));
+                }
+                let mut sum = 0usize;
+                while let Some(ev) = q.pop() {
+                    sum += ev.payload;
+                }
+                black_box(sum)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("calendar", n), &n, |b, &n| {
+            let mut rng = SimRng::new(1);
+            let times: Vec<u64> = (0..n).map(|_| rng.below(10_000_000)).collect();
+            b.iter(|| {
+                let mut q = CalendarQueue::with_params(64, 100_000);
+                for (i, &t) in times.iter().enumerate() {
+                    q.push(Sequenced::new(SimTime(t), i as u64, i));
+                }
+                let mut sum = 0usize;
+                while let Some(ev) = q.pop() {
+                    sum += ev.payload;
+                }
+                black_box(sum)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng/next", |b| {
+        let mut rng = SimRng::new(7);
+        b.iter(|| black_box(rng.next()));
+    });
+    c.bench_function("rng/below", |b| {
+        let mut rng = SimRng::new(7);
+        b.iter(|| black_box(rng.below(1_000_003)));
+    });
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    c.bench_function("bloom/insert", |b| {
+        let mut f = BloomFilter::with_capacity(10_000, 0.01);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            f.insert(black_box(i));
+        });
+    });
+    c.bench_function("bloom/contains", |b| {
+        let mut f = BloomFilter::with_capacity(10_000, 0.01);
+        for i in 0..10_000u64 {
+            f.insert(i);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(f.contains(i))
+        });
+    });
+}
+
+fn bench_cl_window(c: &mut Criterion) {
+    c.bench_function("cl-window/record+query", |b| {
+        let mut w = ObjectClWindow::new(SimDuration::from_millis(500));
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1_000_000;
+            w.record(SimTime(t), TxId::new((t % 7) as u32, t));
+            black_box(w.local_cl(SimTime(t)))
+        });
+    });
+}
+
+fn bench_policy(c: &mut Criterion) {
+    c.bench_function("rts-policy/on_conflict", |b| {
+        let mut policy = RtsPolicy::with_fixed_threshold(8);
+        let mut table = SchedulingTable::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let start = SimTime(i * 1_000_000);
+            let request = start + SimDuration::from_millis(40);
+            let ctx = ConflictCtx {
+                now: request,
+                oid: ObjectId(i % 16),
+                requester: Requester {
+                    node: (i % 8) as u32,
+                    tx: TxId::new((i % 8) as u32, i),
+                    read_only: i % 4 == 0,
+                    attempt: 0,
+                    enqueued_at: request,
+                },
+                ets: Ets::new(start, request, request + SimDuration::from_millis(30)),
+                requester_cl: (i % 5) as u32,
+                local_cl: (i % 7) as u32,
+                attempt: 0,
+            };
+            black_box(policy.on_conflict(&ctx, &mut table));
+            if i % 64 == 0 {
+                table = SchedulingTable::new(); // keep queues bounded
+            }
+        });
+    });
+}
+
+fn bench_full_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation-cell");
+    group.sample_size(10);
+    group.bench_function("bank-4nodes-rts", |b| {
+        b.iter(|| {
+            let mut cell = Cell::new(
+                Benchmark::Bank,
+                rts_core::SchedulerKind::Rts,
+                4,
+                0.5,
+            )
+            .with_txns(5);
+            cell.params.objects_per_node = 4;
+            black_box(run_cell(cell).metrics.merged.commits)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queues,
+    bench_rng,
+    bench_bloom,
+    bench_cl_window,
+    bench_policy,
+    bench_full_cell
+);
+criterion_main!(benches);

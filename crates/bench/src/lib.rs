@@ -1,0 +1,43 @@
+//! # dstm-bench — regeneration targets for every table and figure
+//!
+//! Each `cargo bench -p dstm-bench --bench <target>` either runs Criterion
+//! micro-benchmarks (`micro`) or regenerates one artifact of the paper's
+//! evaluation (printing the table/series and writing it under
+//! `paper_results/`). Set `DSTM_SCALE=quick` or `DSTM_SCALE=smoke` to run
+//! reduced sweeps.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Where regenerated artifacts are written: `paper_results/` at the
+/// workspace root (override with `DSTM_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    let path = match std::env::var("DSTM_RESULTS_DIR") {
+        Ok(dir) => PathBuf::from(dir),
+        Err(_) => PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("paper_results"),
+    };
+    let _ = std::fs::create_dir_all(&path);
+    path
+}
+
+/// Print a regenerated artifact and persist it for EXPERIMENTS.md.
+pub fn emit(name: &str, contents: &str) {
+    println!("{contents}");
+    let path = results_dir().join(format!("{name}.txt"));
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            let _ = f.write_all(contents.as_bytes());
+            println!("[written to {}]", path.display());
+        }
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+/// Worker-thread budget for the sweeps (`DSTM_WORKERS` override).
+pub fn workers() -> Option<usize> {
+    std::env::var("DSTM_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+}

@@ -1,0 +1,171 @@
+//! A classic Bloom filter (Bloom 1970, the paper's reference [5]).
+//!
+//! The stats table stores *"a bloom filter representation of the most
+//! current successful commit times of write transactions"* per entry. The
+//! filter here is a straightforward `m`-bit, `k`-hash structure using the
+//! Kirsch–Mitzenmacher double-hashing scheme (`h_i = h1 + i·h2`), which
+//! preserves the standard false-positive bound with only two base hashes.
+
+/// A fixed-size Bloom filter over `u64` items.
+#[derive(Clone, Debug)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    m: usize,
+    k: u32,
+    inserted: u64,
+}
+
+#[inline]
+fn mix1(x: u64) -> u64 {
+    // splitmix64 finalizer
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[inline]
+fn mix2(x: u64) -> u64 {
+    // murmur3 finalizer with different constants
+    let mut z = x ^ 0xFF51_AFD7_ED55_8CCD;
+    z = z.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    z ^= z >> 33;
+    z = z.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    z ^ (z >> 33)
+}
+
+impl BloomFilter {
+    /// A filter with `m` bits (rounded up to a multiple of 64) and `k` hash
+    /// functions.
+    pub fn new(m: usize, k: u32) -> Self {
+        assert!(m > 0 && k > 0);
+        let words = m.div_ceil(64);
+        BloomFilter {
+            bits: vec![0; words],
+            m: words * 64,
+            k,
+            inserted: 0,
+        }
+    }
+
+    /// A filter sized for `n` expected items at false-positive rate `p`,
+    /// using the standard optima `m = -n ln p / (ln 2)^2`, `k = (m/n) ln 2`.
+    pub fn with_capacity(n: usize, p: f64) -> Self {
+        assert!(n > 0 && p > 0.0 && p < 1.0);
+        let ln2 = std::f64::consts::LN_2;
+        let m = (-(n as f64) * p.ln() / (ln2 * ln2)).ceil() as usize;
+        let k = ((m as f64 / n as f64) * ln2).round().max(1.0) as u32;
+        BloomFilter::new(m.max(64), k)
+    }
+
+    #[inline]
+    fn bit_positions(&self, item: u64) -> impl Iterator<Item = usize> + '_ {
+        let h1 = mix1(item);
+        let h2 = mix2(item) | 1; // odd stride
+        let m = self.m as u64;
+        (0..self.k).map(move |i| (h1.wrapping_add(h2.wrapping_mul(i as u64)) % m) as usize)
+    }
+
+    pub fn insert(&mut self, item: u64) {
+        let positions: Vec<usize> = self.bit_positions(item).collect();
+        for pos in positions {
+            self.bits[pos / 64] |= 1u64 << (pos % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// `true` means "possibly present"; `false` means "definitely absent".
+    pub fn contains(&self, item: u64) -> bool {
+        self.bit_positions(item)
+            .all(|pos| self.bits[pos / 64] & (1u64 << (pos % 64)) != 0)
+    }
+
+    /// Number of `insert` calls since construction/clear.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Bits in the filter.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Expected false-positive probability at the current fill, using the
+    /// standard `(1 − e^{−kn/m})^k` estimate.
+    pub fn estimated_fp_rate(&self) -> f64 {
+        let kn = self.k as f64 * self.inserted as f64;
+        let frac = 1.0 - (-kn / self.m as f64).exp();
+        frac.powi(self.k as i32)
+    }
+
+    /// Fraction of set bits (diagnostic).
+    pub fn fill_ratio(&self) -> f64 {
+        let set: u32 = self.bits.iter().map(|w| w.count_ones()).sum();
+        set as f64 / self.m as f64
+    }
+
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+        self.inserted = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::with_capacity(1000, 0.01);
+        for i in 0..1000u64 {
+            f.insert(i * 7919);
+        }
+        for i in 0..1000u64 {
+            assert!(f.contains(i * 7919), "inserted item missing");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_near_target() {
+        let mut f = BloomFilter::with_capacity(1000, 0.01);
+        for i in 0..1000u64 {
+            f.insert(i);
+        }
+        let fps = (1_000_000u64..1_100_000)
+            .filter(|&x| f.contains(x))
+            .count();
+        let rate = fps as f64 / 100_000.0;
+        assert!(rate < 0.03, "fp rate {rate} too high for 1% target");
+        assert!(f.estimated_fp_rate() < 0.02);
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let f = BloomFilter::new(1024, 4);
+        assert!(!f.contains(42));
+        assert_eq!(f.inserted(), 0);
+        assert_eq!(f.fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut f = BloomFilter::new(1024, 4);
+        f.insert(42);
+        assert!(f.contains(42));
+        f.clear();
+        assert!(!f.contains(42));
+        assert_eq!(f.inserted(), 0);
+    }
+
+    #[test]
+    fn sizing_formula_sane() {
+        let f = BloomFilter::with_capacity(1000, 0.01);
+        // Standard result: ~9.6 bits/item, k ~ 7 for p = 1%.
+        assert!((9_000..11_000).contains(&f.m()), "m = {}", f.m());
+        assert_eq!(f.k(), 7);
+    }
+}

@@ -1,0 +1,173 @@
+//! Contention-level (CL) accounting (§III-A).
+//!
+//! *"A simple local detection scheme determines the local CL of `oj` by how
+//! many transactions have requested `oj` during a given time period. A
+//! distributed detection scheme determines the remote CL of `oj` by how many
+//! transactions have requested other objects before `oj` is requested. ...
+//! We define the CL of an object as the sum of its local and remote CLs."*
+//!
+//! Two pieces implement this:
+//!
+//! * [`ObjectClWindow`] — owner-side sliding-window count of *distinct*
+//!   transactions that requested an object recently (the **local CL**);
+//! * [`ClAccounting`] — requester-side sum of the local CLs of the objects a
+//!   transaction currently holds (the **remote CL**, carried as `myCL` in
+//!   every request: *"myCL indicates the number of transactions needing the
+//!   objects that the requester is using"*).
+
+use crate::ids::{ObjectId, TxId};
+use dstm_sim::{SimDuration, SimTime};
+use std::collections::{HashMap, VecDeque};
+
+/// Owner-side sliding window of requests for one object.
+#[derive(Clone, Debug)]
+pub struct ObjectClWindow {
+    window: SimDuration,
+    /// (request time, requester) pairs, oldest first.
+    requests: VecDeque<(SimTime, TxId)>,
+}
+
+impl ObjectClWindow {
+    pub fn new(window: SimDuration) -> Self {
+        ObjectClWindow {
+            window,
+            requests: VecDeque::new(),
+        }
+    }
+
+    fn prune(&mut self, now: SimTime) {
+        let cutoff = SimTime(now.0.saturating_sub(self.window.0));
+        while let Some(&(t, _)) = self.requests.front() {
+            if t < cutoff {
+                self.requests.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Record that `tx` requested the object at `now`.
+    pub fn record(&mut self, now: SimTime, tx: TxId) {
+        self.prune(now);
+        self.requests.push_back((now, tx));
+    }
+
+    /// Local CL: distinct transactions that requested the object within the
+    /// window ending at `now`. Retries of the same transaction count once.
+    pub fn local_cl(&mut self, now: SimTime) -> u32 {
+        self.prune(now);
+        // Windows are small (tens of entries); an O(n²) distinct count keeps
+        // the structure allocation-free.
+        let mut distinct = 0u32;
+        for (i, &(_, tx)) in self.requests.iter().enumerate() {
+            if !self.requests.iter().take(i).any(|&(_, t)| t == tx) {
+                distinct += 1;
+            }
+        }
+        distinct
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+}
+
+/// Requester-side accounting of the CLs of currently held objects.
+#[derive(Clone, Debug, Default)]
+pub struct ClAccounting {
+    held: HashMap<ObjectId, u32>,
+}
+
+impl ClAccounting {
+    pub fn new() -> Self {
+        ClAccounting::default()
+    }
+
+    /// An object was received, with its local CL as reported by the owner.
+    pub fn object_received(&mut self, oid: ObjectId, reported_cl: u32) {
+        self.held.insert(oid, reported_cl);
+    }
+
+    /// The object was released (commit or abort).
+    pub fn object_released(&mut self, oid: ObjectId) {
+        self.held.remove(&oid);
+    }
+
+    /// `myCL`: total demand for what this transaction is holding.
+    pub fn my_cl(&self) -> u32 {
+        self.held.values().sum()
+    }
+
+    pub fn clear(&mut self) {
+        self.held.clear();
+    }
+
+    pub fn held_objects(&self) -> usize {
+        self.held.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime(ms * 1_000_000)
+    }
+
+    fn tx(n: u64) -> TxId {
+        TxId::new(0, n)
+    }
+
+    #[test]
+    fn window_counts_distinct_transactions() {
+        let mut w = ObjectClWindow::new(SimDuration::from_millis(100));
+        w.record(t(10), tx(1));
+        w.record(t(20), tx(2));
+        w.record(t(30), tx(1)); // retry of tx 1 counts once
+        assert_eq!(w.local_cl(t(40)), 2);
+    }
+
+    #[test]
+    fn window_expires_old_requests() {
+        let mut w = ObjectClWindow::new(SimDuration::from_millis(50));
+        w.record(t(0), tx(1));
+        w.record(t(10), tx(2));
+        assert_eq!(w.local_cl(t(40)), 2);
+        assert_eq!(w.local_cl(t(55)), 1); // tx1's request (t=0) fell out
+        assert_eq!(w.local_cl(t(200)), 0);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn empty_window_is_zero() {
+        let mut w = ObjectClWindow::new(SimDuration::from_millis(50));
+        assert_eq!(w.local_cl(t(5)), 0);
+    }
+
+    #[test]
+    fn accounting_sums_held_objects() {
+        let mut acc = ClAccounting::new();
+        // Fig. 3 object-based scenario: T4 holds o3 and o2 whose CLs are 1
+        // and 0, requests o1 with local CL 1 -> total CL = 2.
+        acc.object_received(ObjectId(3), 1);
+        acc.object_received(ObjectId(2), 0);
+        assert_eq!(acc.my_cl(), 1);
+        acc.object_received(ObjectId(4), 2);
+        assert_eq!(acc.my_cl(), 3);
+        acc.object_released(ObjectId(4));
+        assert_eq!(acc.my_cl(), 1);
+        acc.clear();
+        assert_eq!(acc.my_cl(), 0);
+        assert_eq!(acc.held_objects(), 0);
+    }
+
+    #[test]
+    fn rereceiving_updates_not_duplicates() {
+        let mut acc = ClAccounting::new();
+        acc.object_received(ObjectId(1), 3);
+        acc.object_received(ObjectId(1), 5);
+        assert_eq!(acc.my_cl(), 5);
+        assert_eq!(acc.held_objects(), 1);
+    }
+}

@@ -1,0 +1,272 @@
+//! The scheduling table of Algorithm 1.
+//!
+//! Each object owner keeps, per object, a linked list of enqueued requesters
+//! plus a contention level and an accumulated backoff `bk` (*"static
+//! variables bks represent backoff times for each object. An object owner
+//! holds as many bks as holding objects and updates corresponding bks
+//! whenever a transaction is enqueued"*). `scheduling_List` maps object ids
+//! to those lists.
+
+use crate::ids::{ObjectId, TxId};
+use dstm_sim::{SimDuration, SimTime};
+use std::collections::{HashMap, VecDeque};
+
+/// One enqueued requester (Algorithm 1's `Requester`: address + txid; we
+/// also keep the access mode for the read fan-out of §III-B and the enqueue
+/// time for diagnostics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Requester {
+    /// The requesting node ("Address" in the paper).
+    pub node: u32,
+    pub tx: TxId,
+    /// Read requests at the queue head are all served simultaneously.
+    pub read_only: bool,
+    /// The requester's attempt number at enqueue time; grants carrying a
+    /// stale attempt are declined by the requester.
+    pub attempt: u32,
+    pub enqueued_at: SimTime,
+}
+
+/// Per-object requester queue (`Requester_List`).
+#[derive(Clone, Debug, Default)]
+pub struct RequesterList {
+    requesters: VecDeque<Requester>,
+    contention_level: u32,
+    /// Accumulated backoff for this object: each enqueue adds the enqueued
+    /// transaction's expected remaining execution, so later requesters see
+    /// the whole backlog.
+    bk: SimDuration,
+}
+
+impl RequesterList {
+    pub fn new() -> Self {
+        RequesterList::default()
+    }
+
+    /// `addRequester(Contention_Level, Requester)`: append and record the
+    /// contention level observed at enqueue time.
+    pub fn add_requester(&mut self, contention: u32, req: Requester) {
+        self.contention_level = contention;
+        self.requesters.push_back(req);
+    }
+
+    /// `removeDuplicate(Address)`: drop any stale entry of the same
+    /// transaction (a requester whose backoff expired re-requests as new;
+    /// *"the duplicated transaction will be removed from a queue"*).
+    /// Returns `true` if a duplicate was removed.
+    pub fn remove_duplicate(&mut self, tx: TxId) -> bool {
+        let before = self.requesters.len();
+        self.requesters.retain(|r| r.tx != tx);
+        before != self.requesters.len()
+    }
+
+    /// `getContention()`: the contention level recorded for this queue.
+    pub fn get_contention(&self) -> u32 {
+        self.contention_level
+    }
+
+    /// Current accumulated backlog `bk`.
+    pub fn bk(&self) -> SimDuration {
+        self.bk
+    }
+
+    /// Extend the backlog by an enqueued transaction's expected remaining
+    /// execution time; returns the new total (the backoff assigned to it).
+    pub fn extend_bk(&mut self, d: SimDuration) -> SimDuration {
+        self.bk += d;
+        self.bk
+    }
+
+    pub fn len(&self) -> usize {
+        self.requesters.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.requesters.is_empty()
+    }
+
+    pub fn front(&self) -> Option<&Requester> {
+        self.requesters.front()
+    }
+
+    pub fn pop_front(&mut self) -> Option<Requester> {
+        let r = self.requesters.pop_front();
+        if self.requesters.is_empty() {
+            // Queue drained: the backlog is gone.
+            self.bk = SimDuration::ZERO;
+            self.contention_level = 0;
+        }
+        r
+    }
+
+    /// Pop the maximal prefix of requesters to serve next: either one writer,
+    /// or *all* consecutive readers at the head (*"o1 updated by T2 will
+    /// simultaneously be sent to T4, T5 and T6, increasing the concurrency of
+    /// the read transactions"*).
+    pub fn pop_servable(&mut self) -> Vec<Requester> {
+        let mut out = Vec::new();
+        match self.front() {
+            None => {}
+            Some(r) if !r.read_only => {
+                out.push(self.pop_front().expect("front checked"));
+            }
+            Some(_) => {
+                while matches!(self.front(), Some(r) if r.read_only) {
+                    out.push(self.pop_front().expect("front checked"));
+                }
+            }
+        }
+        out
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Requester> {
+        self.requesters.iter()
+    }
+
+    /// Remove and return every queued requester (ownership transfer: *"the
+    /// node invoking the transaction receives Requester_Lists of each
+    /// committed object"*). Resets the backlog.
+    pub fn drain_all(&mut self) -> Vec<Requester> {
+        let out: Vec<Requester> = self.requesters.drain(..).collect();
+        self.bk = SimDuration::ZERO;
+        self.contention_level = 0;
+        out
+    }
+}
+
+/// `scheduling_List`: object id → requester list.
+#[derive(Clone, Debug, Default)]
+pub struct SchedulingTable {
+    map: HashMap<ObjectId, RequesterList>,
+}
+
+impl SchedulingTable {
+    pub fn new() -> Self {
+        SchedulingTable::default()
+    }
+
+    /// Get-or-create the list for `oid` (Algorithm 3 lines 6–8).
+    pub fn list_mut(&mut self, oid: ObjectId) -> &mut RequesterList {
+        self.map.entry(oid).or_default()
+    }
+
+    pub fn list(&self, oid: ObjectId) -> Option<&RequesterList> {
+        self.map.get(&oid)
+    }
+
+    /// Remove an emptied list to keep the table small.
+    pub fn gc(&mut self, oid: ObjectId) {
+        if self.map.get(&oid).is_some_and(|l| l.is_empty()) {
+            self.map.remove(&oid);
+        }
+    }
+
+    /// Total queued requesters across all objects (diagnostics).
+    pub fn total_queued(&self) -> usize {
+        self.map.values().map(|l| l.len()).sum()
+    }
+
+    /// Drop a transaction from every queue (it aborted or committed
+    /// elsewhere). Returns how many entries were removed.
+    pub fn purge_tx(&mut self, tx: TxId) -> usize {
+        let mut removed = 0;
+        for l in self.map.values_mut() {
+            if l.remove_duplicate(tx) {
+                removed += 1;
+            }
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(n: u64, read: bool) -> Requester {
+        Requester {
+            node: n as u32,
+            tx: TxId::new(n as u32, n),
+            read_only: read,
+            attempt: 0,
+            enqueued_at: SimTime(n),
+        }
+    }
+
+    #[test]
+    fn add_and_contention() {
+        let mut l = RequesterList::new();
+        l.add_requester(2, req(1, false));
+        l.add_requester(4, req(2, false));
+        assert_eq!(l.get_contention(), 4);
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_removal() {
+        let mut l = RequesterList::new();
+        l.add_requester(1, req(1, false));
+        l.add_requester(2, req(2, false));
+        assert!(l.remove_duplicate(TxId::new(1, 1)));
+        assert!(!l.remove_duplicate(TxId::new(1, 1)));
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.front().unwrap().tx, TxId::new(2, 2));
+    }
+
+    #[test]
+    fn bk_accumulates_and_resets_on_drain() {
+        let mut l = RequesterList::new();
+        assert_eq!(l.bk(), SimDuration::ZERO);
+        let b1 = l.extend_bk(SimDuration::from_millis(10));
+        assert_eq!(b1.as_millis(), 10);
+        l.add_requester(1, req(1, false));
+        let b2 = l.extend_bk(SimDuration::from_millis(5));
+        assert_eq!(b2.as_millis(), 15);
+        l.pop_front();
+        assert_eq!(l.bk(), SimDuration::ZERO, "bk resets when queue drains");
+    }
+
+    #[test]
+    fn pop_servable_single_writer() {
+        let mut l = RequesterList::new();
+        l.add_requester(1, req(1, false));
+        l.add_requester(2, req(2, false));
+        let served = l.pop_servable();
+        assert_eq!(served.len(), 1);
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn pop_servable_read_fanout() {
+        let mut l = RequesterList::new();
+        l.add_requester(1, req(1, true));
+        l.add_requester(2, req(2, true));
+        l.add_requester(3, req(3, true));
+        l.add_requester(4, req(4, false));
+        let served = l.pop_servable();
+        assert_eq!(served.len(), 3, "all consecutive readers served together");
+        assert!(served.iter().all(|r| r.read_only));
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn pop_servable_empty() {
+        let mut l = RequesterList::new();
+        assert!(l.pop_servable().is_empty());
+    }
+
+    #[test]
+    fn table_gc_and_purge() {
+        let mut t = SchedulingTable::new();
+        t.list_mut(ObjectId(1)).add_requester(1, req(1, false));
+        t.list_mut(ObjectId(2)).add_requester(1, req(1, false));
+        t.list_mut(ObjectId(2)).add_requester(2, req(2, false));
+        assert_eq!(t.total_queued(), 3);
+        assert_eq!(t.purge_tx(TxId::new(1, 1)), 2);
+        assert_eq!(t.total_queued(), 1);
+        t.list_mut(ObjectId(1));
+        t.gc(ObjectId(1));
+        assert!(t.list(ObjectId(1)).is_none());
+        assert!(t.list(ObjectId(2)).is_some());
+    }
+}

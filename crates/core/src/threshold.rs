@@ -1,0 +1,162 @@
+//! CL-threshold control (§III-B).
+//!
+//! *"The threshold of a low or high CL relies on the number of nodes,
+//! transactions, and shared objects. Thus, the CL's threshold is adaptively
+//! determined."* The paper's experiments fix the threshold at the value
+//! giving peak throughput (§IV-A); our harness reproduces that with the
+//! [`ThresholdController::fixed`] mode plus an ablation sweep, and the
+//! [`ThresholdController::adaptive`] mode implements the adaptive
+//! determination as a hill-climbing controller on commit rate.
+
+use dstm_sim::{SimDuration, SimTime};
+
+#[derive(Clone, Debug)]
+enum Mode {
+    Fixed,
+    Adaptive {
+        min: u32,
+        max: u32,
+        epoch: SimDuration,
+        epoch_start: SimTime,
+        commits_this_epoch: u64,
+        last_rate: f64,
+        /// +1 = raising threshold, −1 = lowering.
+        direction: i32,
+    },
+}
+
+/// Supplies the CL threshold to [`crate::policy::RtsPolicy`].
+#[derive(Clone, Debug)]
+pub struct ThresholdController {
+    current: u32,
+    mode: Mode,
+}
+
+impl ThresholdController {
+    /// Constant threshold (the paper's per-experiment peak value).
+    pub fn fixed(t: u32) -> Self {
+        ThresholdController {
+            current: t,
+            mode: Mode::Fixed,
+        }
+    }
+
+    /// Hill-climbing controller: every `epoch` of virtual time, compare the
+    /// commit rate against the previous epoch; keep moving the threshold in
+    /// the same direction while the rate improves, reverse otherwise.
+    pub fn adaptive(initial: u32, min: u32, max: u32, epoch: SimDuration) -> Self {
+        assert!(min >= 1 && min <= initial && initial <= max);
+        assert!(!epoch.is_zero());
+        ThresholdController {
+            current: initial,
+            mode: Mode::Adaptive {
+                min,
+                max,
+                epoch,
+                epoch_start: SimTime::ZERO,
+                commits_this_epoch: 0,
+                last_rate: -1.0,
+                direction: 1,
+            },
+        }
+    }
+
+    /// The threshold currently in force.
+    #[inline]
+    pub fn threshold(&self) -> u32 {
+        self.current
+    }
+
+    /// Notify a local commit at `now`; may adapt at epoch boundaries.
+    pub fn on_commit(&mut self, now: SimTime) {
+        let current = &mut self.current;
+        if let Mode::Adaptive {
+            min,
+            max,
+            epoch,
+            epoch_start,
+            commits_this_epoch,
+            last_rate,
+            direction,
+        } = &mut self.mode
+        {
+            *commits_this_epoch += 1;
+            let elapsed = now.saturating_since(*epoch_start);
+            if elapsed >= *epoch {
+                let rate = *commits_this_epoch as f64 / elapsed.as_secs_f64().max(1e-12);
+                if *last_rate >= 0.0 && rate < *last_rate {
+                    *direction = -*direction;
+                }
+                let next = (*current as i64 + *direction as i64).clamp(*min as i64, *max as i64);
+                *current = next as u32;
+                *last_rate = rate;
+                *commits_this_epoch = 0;
+                *epoch_start = now;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime(ms * 1_000_000)
+    }
+
+    #[test]
+    fn fixed_never_moves() {
+        let mut c = ThresholdController::fixed(3);
+        for i in 0..1000 {
+            c.on_commit(t(i * 10));
+        }
+        assert_eq!(c.threshold(), 3);
+    }
+
+    #[test]
+    fn adaptive_moves_within_bounds() {
+        let mut c = ThresholdController::adaptive(4, 1, 8, SimDuration::from_millis(100));
+        for i in 1..10_000u64 {
+            c.on_commit(t(i));
+        }
+        let th = c.threshold();
+        assert!((1..=8).contains(&th));
+    }
+
+    #[test]
+    fn adaptive_climbs_when_rate_improves() {
+        let mut c = ThresholdController::adaptive(4, 1, 8, SimDuration::from_millis(10));
+        // Epoch 1: 5 commits in 10 ms.
+        for i in 1..=5u64 {
+            c.on_commit(t(2 * i));
+        }
+        assert_eq!(c.threshold(), 5, "first boundary steps in the initial direction");
+        // Epoch 2 (from t=10): denser commits -> higher rate -> keep climbing.
+        for i in 1..=20u64 {
+            c.on_commit(t(10 + i));
+        }
+        assert!(c.threshold() >= 5);
+    }
+
+    #[test]
+    fn adaptive_reverses_on_decline() {
+        let mut c = ThresholdController::adaptive(4, 1, 8, SimDuration::from_millis(10));
+        // Epoch 1: high rate (10 commits / 10 ms).
+        for i in 1..=10u64 {
+            c.on_commit(t(i));
+        }
+        let after_first = c.threshold();
+        assert_eq!(after_first, 5);
+        // Epoch 2: collapse to 2 commits / 10 ms -> direction must flip.
+        c.on_commit(t(15));
+        c.on_commit(t(21));
+        assert_eq!(c.threshold(), 4, "declining rate reverses the climb");
+    }
+
+    #[test]
+    #[should_panic]
+    fn adaptive_rejects_bad_bounds() {
+        let _ = ThresholdController::adaptive(9, 1, 8, SimDuration::from_millis(10));
+    }
+}

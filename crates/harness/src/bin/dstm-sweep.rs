@@ -1,0 +1,53 @@
+//! `dstm-sweep` — run one benchmark × scheduler grid from the command line.
+//!
+//! ```text
+//! dstm-sweep [nodes] [txns_per_node] [benchmark]
+//! ```
+//!
+//! Prints throughput, nested-abort rate, and speedups for every
+//! (benchmark, contention, scheduler) cell. Useful for quick shape checks
+//! without the full figure benches.
+
+use dstm_benchmarks::Benchmark;
+use dstm_harness::runner::{run_cell, Cell};
+use rts_core::SchedulerKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let nodes: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let txns: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let only: Option<Benchmark> = args.get(3).and_then(|s| Benchmark::from_name(s));
+
+    println!("dstm-sweep: {nodes} nodes, {txns} txns/node, delays 1-50 ms\n");
+    for b in Benchmark::ALL {
+        if only.is_some_and(|o| o != b) {
+            continue;
+        }
+        for read_ratio in [0.9, 0.1] {
+            let contention = if read_ratio > 0.5 { "low " } else { "high" };
+            let mut tputs = Vec::new();
+            let mut line = format!("{:<12} {contention}", b.label());
+            for s in [
+                SchedulerKind::Rts,
+                SchedulerKind::Tfa,
+                SchedulerKind::TfaBackoff,
+            ] {
+                let r = run_cell(Cell::new(b, s, nodes, read_ratio).with_txns(txns));
+                assert!(r.completed, "{} under {s:?} stalled", b.label());
+                tputs.push(r.throughput());
+                line += &format!(
+                    "  {}={:8.2} tx/s (nested {:.2})",
+                    s.label(),
+                    r.throughput(),
+                    r.nested_abort_rate()
+                );
+            }
+            line += &format!(
+                "  | RTS speedup: {:.2}x vs TFA, {:.2}x vs TFA+Backoff",
+                tputs[0] / tputs[1],
+                tputs[0] / tputs[2]
+            );
+            println!("{line}");
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # dstm-harness — experiment sweeps for the paper reproduction
+//!
+//! Maps every table and figure of the paper's evaluation (§IV) to a
+//! regenerable experiment:
+//!
+//! | Paper artifact | Module | Bench target (`cargo bench -p dstm-bench`) |
+//! |---|---|---|
+//! | Table I (nested abort rate) | [`experiments::table1`] | `table1_abort_rate` |
+//! | Fig. 4 (throughput, low contention) | [`experiments::throughput`] | `fig4_throughput_low` |
+//! | Fig. 5 (throughput, high contention) | [`experiments::throughput`] | `fig5_throughput_high` |
+//! | Fig. 6 (speedup summary) | [`experiments::speedup`] | `fig6_speedup` |
+//! | Fig. 2 (TFA scenario) | [`experiments::scenarios`] | `fig2_tfa_scenario` |
+//! | Fig. 3 (RTS scenario) | [`experiments::scenarios`] | `fig3_rts_scenario` |
+//! | §III-D analysis | [`experiments::analysis`] | `analysis_makespan` |
+//! | CL-threshold ablation | [`experiments::threshold`] | `ablation_cl_threshold` |
+//! | Backoff/deadline ablation | [`experiments::backoff`] | `ablation_backoff` |
+//!
+//! The [`runner`] executes independent simulation cells on a small
+//! crossbeam worker pool (cells are single-threaded and deterministic, so
+//! the sweep is embarrassingly parallel), and [`table`] renders aligned
+//! text tables the way the paper prints them.
+
+pub mod experiments;
+pub mod runner;
+pub mod table;
+
+pub use runner::{run_cell, run_cells, Cell, CellResult};
+pub use table::{SeriesTable, TextTable};

@@ -1,0 +1,216 @@
+//! Simulation-cell runner.
+//!
+//! One **cell** = one complete deterministic simulation (benchmark ×
+//! scheduler × node count × contention level × seed). Cells are independent,
+//! so a sweep fans out over a crossbeam worker pool and merges results in
+//! input order.
+
+use crossbeam::channel;
+use dstm_benchmarks::{Benchmark, WorkloadParams};
+use dstm_net::Topology;
+use dstm_sim::SimRng;
+use hyflow_dstm::{DstmConfig, RunMetrics, System, SystemBuilder};
+use rts_core::SchedulerKind;
+
+/// One point of an experiment sweep.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    pub benchmark: Benchmark,
+    pub scheduler: SchedulerKind,
+    pub params: WorkloadParams,
+    pub dstm: DstmConfig,
+    /// Simulation seed (topology + event jitter); the workload seed lives in
+    /// `params.seed`.
+    pub sim_seed: u64,
+}
+
+impl Cell {
+    /// A cell with harness defaults for the given axes. RTS cells use the
+    /// benchmark's peak tuning (§IV-A: threshold at the throughput peak).
+    pub fn new(benchmark: Benchmark, scheduler: SchedulerKind, nodes: usize, read_ratio: f64) -> Self {
+        let params = WorkloadParams {
+            nodes,
+            read_ratio,
+            ..WorkloadParams::default()
+        };
+        let mut dstm = DstmConfig::default().with_scheduler(scheduler);
+        let (threshold, slack) = benchmark.rts_tuning();
+        dstm.cl_threshold = threshold;
+        dstm.queue_deadline_percent = slack;
+        Cell {
+            benchmark,
+            scheduler,
+            params,
+            dstm,
+            sim_seed: 0xD57A,
+        }
+    }
+
+    pub fn with_txns(mut self, txns: usize) -> Self {
+        self.params.txns_per_node = txns;
+        self
+    }
+
+    pub fn with_threshold(mut self, t: u32) -> Self {
+        self.dstm.cl_threshold = t;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.sim_seed = seed;
+        self.params.seed = seed.wrapping_mul(0x9E37_79B9);
+        self
+    }
+}
+
+/// Aggregate outcome of one cell.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    pub cell: Cell,
+    pub metrics: RunMetrics,
+    pub completed: bool,
+}
+
+impl CellResult {
+    pub fn throughput(&self) -> f64 {
+        self.metrics.throughput()
+    }
+
+    pub fn nested_abort_rate(&self) -> f64 {
+        self.metrics.nested_abort_rate()
+    }
+}
+
+/// Build the system for a cell (shared by experiments and tests).
+pub fn build_system(cell: &Cell) -> System {
+    // The paper's static network: 1–50 ms uniform delays (§IV-A).
+    let mut rng = SimRng::new(cell.sim_seed);
+    let topo = Topology::uniform_random(cell.params.nodes, 1, 50, &mut rng);
+    let mut dstm = cell.dstm.clone();
+    dstm.scheduler = cell.scheduler;
+    dstm.txns_per_node = cell.params.txns_per_node;
+    let workload = cell.benchmark.generate(&cell.params);
+    SystemBuilder::new(topo, dstm)
+        .seed(cell.sim_seed ^ 0xA5A5_5A5A)
+        .build(workload)
+}
+
+/// Run a single cell to completion.
+pub fn run_cell(cell: Cell) -> CellResult {
+    let mut system = build_system(&cell);
+    let metrics = system.run_default();
+    CellResult {
+        completed: system.all_done(),
+        cell,
+        metrics,
+    }
+}
+
+/// Run many cells on `workers` threads (defaults to the parallelism the OS
+/// reports). Results come back in input order.
+pub fn run_cells(cells: Vec<Cell>, workers: Option<usize>) -> Vec<CellResult> {
+    let n = cells.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+        .clamp(1, n);
+    if workers == 1 {
+        return cells.into_iter().map(run_cell).collect();
+    }
+
+    let (task_tx, task_rx) = channel::unbounded::<(usize, Cell)>();
+    let (res_tx, res_rx) = channel::unbounded::<(usize, CellResult)>();
+    for item in cells.into_iter().enumerate() {
+        task_tx.send(item).expect("queue open");
+    }
+    drop(task_tx);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            let task_rx = task_rx.clone();
+            let res_tx = res_tx.clone();
+            scope.spawn(move |_| {
+                while let Ok((idx, cell)) = task_rx.recv() {
+                    let result = run_cell(cell);
+                    if res_tx.send((idx, result)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+        let mut out: Vec<Option<CellResult>> = (0..n).map(|_| None).collect();
+        while let Ok((idx, result)) = res_rx.recv() {
+            out[idx] = Some(result);
+        }
+        out.into_iter()
+            .map(|r| r.expect("every cell produced a result"))
+            .collect()
+    })
+    .expect("worker pool panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(benchmark: Benchmark, scheduler: SchedulerKind) -> Cell {
+        let mut c = Cell::new(benchmark, scheduler, 4, 0.5).with_txns(4);
+        c.params.objects_per_node = 4;
+        c
+    }
+
+    #[test]
+    fn single_cell_completes() {
+        let r = run_cell(tiny(Benchmark::Bank, SchedulerKind::Rts));
+        assert!(r.completed, "bank cell stalled");
+        assert_eq!(r.metrics.merged.commits, 16);
+        assert!(r.throughput() > 0.0);
+    }
+
+    #[test]
+    fn all_benchmarks_complete_under_all_schedulers() {
+        for b in Benchmark::ALL {
+            for s in [
+                SchedulerKind::Tfa,
+                SchedulerKind::TfaBackoff,
+                SchedulerKind::Rts,
+            ] {
+                let r = run_cell(tiny(b, s));
+                assert!(r.completed, "{} under {s:?} stalled", b.label());
+                assert_eq!(
+                    r.metrics.merged.commits, 16,
+                    "{} under {s:?} lost transactions",
+                    b.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cells_are_deterministic() {
+        let a = run_cell(tiny(Benchmark::LinkedList, SchedulerKind::Rts));
+        let b = run_cell(tiny(Benchmark::LinkedList, SchedulerKind::Rts));
+        assert_eq!(a.metrics.merged.commits, b.metrics.merged.commits);
+        assert_eq!(a.metrics.messages, b.metrics.messages);
+        assert_eq!(a.metrics.elapsed, b.metrics.elapsed);
+    }
+
+    #[test]
+    fn pool_preserves_order() {
+        let cells: Vec<Cell> = (0..6)
+            .map(|i| tiny(Benchmark::Dht, SchedulerKind::Tfa).with_seed(i as u64 + 1))
+            .collect();
+        let seq: Vec<u64> = cells.iter().map(|c| c.sim_seed).collect();
+        let results = run_cells(cells, Some(3));
+        let got: Vec<u64> = results.iter().map(|r| r.cell.sim_seed).collect();
+        assert_eq!(seq, got);
+        assert!(results.iter().all(|r| r.completed));
+    }
+}

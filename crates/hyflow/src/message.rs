@@ -1,0 +1,180 @@
+//! The D-STM wire protocol.
+//!
+//! Five conversations:
+//!
+//! 1. **Fetch** (`ObjReq` → `ObjResp`, possibly forwarded along the
+//!    ownership chain): Algorithm 2's `Open_Object` / Algorithm 3's
+//!    `Retrieve_Request`. Requests carry the ETS timestamps and `myCL`;
+//!    responses carry the object or a scheduler verdict.
+//! 2. **Commit** (`LockReq`/`LockResp`, then `Publish`/`PublishAck` or
+//!    `Unlock`): TFA's validation — lock every written object at its owner,
+//!    check versions, then publish new versions (moving ownership to the
+//!    committer) or roll back.
+//! 3. **Version checks** (`VersionCheck` → `VersionResp`): TFA's early
+//!    validation during transactional forwarding and read-set validation at
+//!    commit.
+//! 4. **Queue service** (`ObjResp` pushed to enqueued requesters on
+//!    release; `ObjectDecline` when the requester has moved on) —
+//!    Algorithm 4's `Retrieve_Response`.
+//! 5. **Workload** (`StartWorkload`) — kicks off each node's transaction
+//!    supply at time zero.
+
+use crate::object::Payload;
+use dstm_sim::SimDuration;
+use rts_core::{Ets, ObjectId, TxId};
+
+use crate::program::AccessMode;
+
+/// Outcome of a fetch, carried in [`Msg::ObjResp`].
+#[derive(Clone, Debug)]
+pub enum FetchResult {
+    /// The object copy, its version, the owner-side local CL of the object
+    /// (folded into the requester's `myCL`), and the current owner (to heal
+    /// the requester's owner cache).
+    Granted {
+        payload: Payload,
+        version: u64,
+        local_cl: u32,
+        owner: u32,
+    },
+    /// The object is being validated and the scheduler decided against this
+    /// requester. `enqueued == true` is the RTS path: stay live and wait up
+    /// to `backoff` for the object; `enqueued == false` aborts now and
+    /// retries after `backoff` (zero for plain TFA).
+    Conflict {
+        backoff: SimDuration,
+        enqueued: bool,
+        owner: u32,
+    },
+}
+
+/// Protocol messages between TM proxies.
+#[derive(Clone, Debug)]
+pub enum Msg {
+    /// Request `oid` (Algorithm 2 sends "oid, txid, myCL, and ETS").
+    ObjReq {
+        oid: ObjectId,
+        tx: TxId,
+        attempt: u32,
+        mode: AccessMode,
+        ets: Ets,
+        my_cl: u32,
+        /// Whether the request was issued inside a closed-nested child. The
+        /// scheduler only adjudicates parent-level requests (§III-A: RTS
+        /// acts on "a losing parent transaction"); child-level conflicts
+        /// are ordinary closed-nesting retries.
+        nested: bool,
+        /// The node the response must go to (stable under forwarding).
+        reply_to: u32,
+    },
+    /// Response to a fetch, or a queue-service push on release.
+    ObjResp {
+        oid: ObjectId,
+        tx: TxId,
+        attempt: u32,
+        result: FetchResult,
+    },
+    /// The requester no longer wants a pushed object (it aborted/retried in
+    /// the meantime); the owner should serve the next queued requester.
+    ObjectDecline { oid: ObjectId, tx: TxId },
+
+    /// Commit step 1: lock `oid` at its owner if `expect_version` is still
+    /// current.
+    LockReq {
+        oid: ObjectId,
+        tx: TxId,
+        attempt: u32,
+        expect_version: u64,
+        reply_to: u32,
+    },
+    LockResp {
+        oid: ObjectId,
+        tx: TxId,
+        attempt: u32,
+        granted: bool,
+    },
+    /// Commit abandoned: release a previously granted lock.
+    Unlock { oid: ObjectId, tx: TxId },
+    /// Commit step 2: install the new version; ownership moves to
+    /// `new_owner` (the committer). The old owner replies with the object's
+    /// queued requesters so the queue follows the object.
+    Publish {
+        oid: ObjectId,
+        tx: TxId,
+        payload: Payload,
+        new_version: u64,
+        new_owner: u32,
+    },
+    /// Ack of `Publish`, carrying the handed-off requester queue.
+    PublishAck {
+        oid: ObjectId,
+        tx: TxId,
+        queue: Vec<rts_core::Requester>,
+    },
+
+    /// Early/commit validation: is `expect_version` still the current
+    /// version of `oid`? (A moved object means an intervening write commit,
+    /// hence stale.)
+    VersionCheck {
+        oid: ObjectId,
+        tx: TxId,
+        attempt: u32,
+        expect_version: u64,
+        reply_to: u32,
+    },
+    VersionResp {
+        oid: ObjectId,
+        tx: TxId,
+        attempt: u32,
+        ok: bool,
+    },
+
+    /// Bootstrap: start issuing this node's transactions.
+    StartWorkload,
+}
+
+/// Node-local timers.
+#[derive(Clone, Debug)]
+pub enum Timer {
+    /// A `Compute(d)` step finished for this transaction.
+    ComputeDone { tx: TxId, attempt: u32 },
+    /// An RTS queue-wait deadline expired before the object arrived:
+    /// abort and re-request (Algorithm 2 lines 9–15).
+    QueueDeadline { tx: TxId, attempt: u32, oid: ObjectId },
+    /// A TFA+Backoff retry delay elapsed: restart the transaction.
+    RetryBackoff { tx: TxId, attempt: u32 },
+}
+
+impl Msg {
+    /// Short tag for traces.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Msg::ObjReq { .. } => "ObjReq",
+            Msg::ObjResp { .. } => "ObjResp",
+            Msg::ObjectDecline { .. } => "ObjectDecline",
+            Msg::LockReq { .. } => "LockReq",
+            Msg::LockResp { .. } => "LockResp",
+            Msg::Unlock { .. } => "Unlock",
+            Msg::Publish { .. } => "Publish",
+            Msg::PublishAck { .. } => "PublishAck",
+            Msg::VersionCheck { .. } => "VersionCheck",
+            Msg::VersionResp { .. } => "VersionResp",
+            Msg::StartWorkload => "StartWorkload",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_cover_all_variants() {
+        let m = Msg::ObjectDecline {
+            oid: ObjectId(1),
+            tx: TxId::new(0, 1),
+        };
+        assert_eq!(m.tag(), "ObjectDecline");
+        assert_eq!(Msg::StartWorkload.tag(), "StartWorkload");
+    }
+}

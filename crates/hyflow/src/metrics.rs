@@ -1,0 +1,257 @@
+//! Commit/abort accounting.
+//!
+//! Everything the paper's evaluation reports is derived from these
+//! counters: throughput (commits over virtual time, Figs. 4–6) and the
+//! nested-abort cause split (Table I: *"nested transaction aborts due to
+//! parent transaction's abort / total nested transaction aborts"*).
+
+use dstm_sim::{OnlineStats, SimDuration, SimTime};
+
+/// Why a whole (parent) transaction attempt aborted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AbortCause {
+    /// Early validation during transactional forwarding found a stale read
+    /// (TFA's first abort case, at parent level).
+    ForwardValidation,
+    /// Commit-time validation failed: a lock was refused or a version was
+    /// stale.
+    CommitValidation,
+    /// The scheduler refused a fetch on a locked object (TFA's second abort
+    /// case): plain abort or abort-with-backoff.
+    SchedulerAbort,
+    /// An RTS queue-wait deadline expired before the object arrived.
+    QueueTimeout,
+}
+
+impl AbortCause {
+    pub const ALL: [AbortCause; 4] = [
+        AbortCause::ForwardValidation,
+        AbortCause::CommitValidation,
+        AbortCause::SchedulerAbort,
+        AbortCause::QueueTimeout,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            AbortCause::ForwardValidation => "forward-validation",
+            AbortCause::CommitValidation => "commit-validation",
+            AbortCause::SchedulerAbort => "scheduler-abort",
+            AbortCause::QueueTimeout => "queue-timeout",
+        }
+    }
+}
+
+/// Why a *nested* (inner) transaction was rolled back — Table I's split.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NestedAbortCause {
+    /// Its own conflict: early validation / object inconsistency inside the
+    /// child's execution.
+    Own,
+    /// Its parent aborted, destroying the child's (possibly committed)
+    /// work.
+    ParentAbort,
+}
+
+/// Per-node counters, merged across nodes at the end of a run.
+#[derive(Clone, Debug, Default)]
+pub struct NodeMetrics {
+    /// Top-level commits.
+    pub commits: u64,
+    /// Top-level aborts by cause.
+    pub aborts_forward_validation: u64,
+    pub aborts_commit_validation: u64,
+    pub aborts_scheduler: u64,
+    pub aborts_queue_timeout: u64,
+    /// Nested-transaction aborts by cause (Table I).
+    pub nested_aborts_own: u64,
+    pub nested_aborts_parent: u64,
+    /// Nested (child) commits (merged into a parent).
+    pub nested_commits: u64,
+    /// Closed-nesting child retries caused by lock-busy conflicts (the
+    /// child aborts alone and re-requests; the parent survives).
+    pub child_conflict_retries: u64,
+    /// RTS bookkeeping.
+    pub enqueued: u64,
+    pub queue_served: u64,
+    pub queue_declined: u64,
+    /// Fetches served / conflicted at this node as owner.
+    pub fetches_served: u64,
+    pub fetch_conflicts: u64,
+    /// Ownership transfers into this node.
+    pub objects_received: u64,
+    /// Commit latency of successful attempts (start of attempt → commit).
+    pub commit_latency: OnlineStats,
+    /// Full transaction latency (first start → commit, across retries).
+    pub total_latency: OnlineStats,
+}
+
+impl NodeMetrics {
+    pub fn record_abort(&mut self, cause: AbortCause) {
+        match cause {
+            AbortCause::ForwardValidation => self.aborts_forward_validation += 1,
+            AbortCause::CommitValidation => self.aborts_commit_validation += 1,
+            AbortCause::SchedulerAbort => self.aborts_scheduler += 1,
+            AbortCause::QueueTimeout => self.aborts_queue_timeout += 1,
+        }
+    }
+
+    pub fn record_nested_aborts(&mut self, cause: NestedAbortCause, count: u64) {
+        match cause {
+            NestedAbortCause::Own => self.nested_aborts_own += count,
+            NestedAbortCause::ParentAbort => self.nested_aborts_parent += count,
+        }
+    }
+
+    pub fn total_aborts(&self) -> u64 {
+        self.aborts_forward_validation
+            + self.aborts_commit_validation
+            + self.aborts_scheduler
+            + self.aborts_queue_timeout
+    }
+
+    pub fn total_nested_aborts(&self) -> u64 {
+        self.nested_aborts_own + self.nested_aborts_parent
+    }
+
+    pub fn merge(&mut self, other: &NodeMetrics) {
+        self.commits += other.commits;
+        self.aborts_forward_validation += other.aborts_forward_validation;
+        self.aborts_commit_validation += other.aborts_commit_validation;
+        self.aborts_scheduler += other.aborts_scheduler;
+        self.aborts_queue_timeout += other.aborts_queue_timeout;
+        self.nested_aborts_own += other.nested_aborts_own;
+        self.nested_aborts_parent += other.nested_aborts_parent;
+        self.nested_commits += other.nested_commits;
+        self.child_conflict_retries += other.child_conflict_retries;
+        self.enqueued += other.enqueued;
+        self.queue_served += other.queue_served;
+        self.queue_declined += other.queue_declined;
+        self.fetches_served += other.fetches_served;
+        self.fetch_conflicts += other.fetch_conflicts;
+        self.objects_received += other.objects_received;
+        self.commit_latency.merge(&other.commit_latency);
+        self.total_latency.merge(&other.total_latency);
+    }
+}
+
+/// Whole-run results: merged node metrics plus run-level context.
+#[derive(Clone, Debug)]
+pub struct RunMetrics {
+    pub nodes: usize,
+    pub merged: NodeMetrics,
+    /// Virtual time consumed by the run.
+    pub elapsed: SimDuration,
+    /// Kernel-level message count.
+    pub messages: u64,
+    /// Virtual start/end (diagnostics).
+    pub started_at: SimTime,
+    pub ended_at: SimTime,
+}
+
+impl RunMetrics {
+    /// Committed transactions per second of virtual time — the paper's
+    /// throughput metric.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.merged.commits as f64 / secs
+        }
+    }
+
+    /// Table I's statistic: nested aborts caused by parent aborts over all
+    /// nested aborts.
+    pub fn nested_abort_rate(&self) -> f64 {
+        let total = self.merged.total_nested_aborts();
+        if total == 0 {
+            0.0
+        } else {
+            self.merged.nested_aborts_parent as f64 / total as f64
+        }
+    }
+
+    /// Aborts per commit (contention indicator).
+    pub fn abort_ratio(&self) -> f64 {
+        if self.merged.commits == 0 {
+            0.0
+        } else {
+            self.merged.total_aborts() as f64 / self.merged.commits as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_cause_accounting() {
+        let mut m = NodeMetrics::default();
+        for cause in AbortCause::ALL {
+            m.record_abort(cause);
+        }
+        m.record_abort(AbortCause::SchedulerAbort);
+        assert_eq!(m.total_aborts(), 5);
+        assert_eq!(m.aborts_scheduler, 2);
+    }
+
+    #[test]
+    fn nested_cause_split() {
+        let mut m = NodeMetrics::default();
+        m.record_nested_aborts(NestedAbortCause::Own, 3);
+        m.record_nested_aborts(NestedAbortCause::ParentAbort, 7);
+        assert_eq!(m.total_nested_aborts(), 10);
+        let run = RunMetrics {
+            nodes: 1,
+            merged: m,
+            elapsed: SimDuration::from_secs(2),
+            messages: 0,
+            started_at: SimTime::ZERO,
+            ended_at: SimTime::ZERO,
+        };
+        assert!((run.nested_abort_rate() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_over_virtual_time() {
+        let mut m = NodeMetrics::default();
+        m.commits = 500;
+        let run = RunMetrics {
+            nodes: 4,
+            merged: m,
+            elapsed: SimDuration::from_secs(5),
+            messages: 0,
+            started_at: SimTime::ZERO,
+            ended_at: SimTime::ZERO,
+        };
+        assert!((run.throughput() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = NodeMetrics::default();
+        let mut b = NodeMetrics::default();
+        a.commits = 2;
+        b.commits = 3;
+        b.enqueued = 1;
+        a.merge(&b);
+        assert_eq!(a.commits, 5);
+        assert_eq!(a.enqueued, 1);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let run = RunMetrics {
+            nodes: 0,
+            merged: NodeMetrics::default(),
+            elapsed: SimDuration::ZERO,
+            messages: 0,
+            started_at: SimTime::ZERO,
+            ended_at: SimTime::ZERO,
+        };
+        assert_eq!(run.throughput(), 0.0);
+        assert_eq!(run.nested_abort_rate(), 0.0);
+        assert_eq!(run.abort_ratio(), 0.0);
+    }
+}

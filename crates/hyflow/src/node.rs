@@ -1,0 +1,1267 @@
+//! The per-node TM proxy: object owner, directory participant, transaction
+//! executor, and scheduler host.
+//!
+//! Each [`Node`] is a [`dstm_sim::Actor`]. It plays two roles at once:
+//!
+//! * **Owner side** — serves `ObjReq` fetches (Algorithm 3,
+//!   `Retrieve_Request`), forwarding along tombstone chains when ownership
+//!   has moved; resolves conflicts on locked objects through its
+//!   [`ConflictPolicy`]; hands queued requesters the object on release
+//!   (Algorithm 4, `Retrieve_Response`); participates in TFA commits
+//!   (lock → validate → publish).
+//! * **Requester side** — drives its transactions' [`TxProgram`]s
+//!   (Algorithm 2, `Open_Object`), performs TFA transactional forwarding
+//!   with early validation, runs the commit protocol, and retries aborted
+//!   transactions (immediately, after a backoff, or from an RTS queue
+//!   deadline).
+
+use crate::config::DstmConfig;
+use crate::message::{FetchResult, Msg, Timer};
+use crate::metrics::{AbortCause, NestedAbortCause, NodeMetrics};
+use crate::object::{OwnedObject, Payload};
+use crate::program::{AccessMode, BoxedProgram, StepInput, StepOutput};
+use crate::tx::{TxPhase, TxRuntime, ValidationResume};
+use dstm_net::Topology;
+use dstm_sim::{Actor, ActorId, Ctx, SimDuration, SimTime};
+use rts_core::{
+    ConflictCtx, ConflictPolicy, Decision, ObjectClWindow, ObjectId, Requester, SchedulingTable,
+    StatsTable, TxId,
+};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// Minimum local hop latency, so that node-local protocol messages always
+/// advance virtual time (models intra-node IPC; also guarantees the event
+/// loop cannot spin at one instant on local retries).
+const LOCAL_HOP: SimDuration = SimDuration::from_micros(30);
+
+type NodeCtx<'a> = Ctx<'a, Msg, Timer>;
+
+/// Input fed to the executor when (re)entering a program.
+enum DriveInput {
+    Begin,
+    Ack,
+    Value(Payload),
+}
+
+/// One simulated node.
+pub struct Node {
+    me: u32,
+    topo: Arc<Topology>,
+    cfg: Arc<DstmConfig>,
+    /// TFA node-local clock.
+    clock: u64,
+    /// Objects owned here.
+    store: HashMap<ObjectId, OwnedObject>,
+    /// Where objects we used to own went (ownership chain).
+    tombstones: HashMap<ObjectId, u32>,
+    /// Last known owner of remote objects (healed by responses).
+    owner_cache: HashMap<ObjectId, u32>,
+    /// Owner-side conflict policy (the scheduler under evaluation).
+    policy: Box<dyn ConflictPolicy>,
+    /// Owner-side requester queues (Algorithm 1).
+    sched: SchedulingTable,
+    /// Owner-side local-CL windows per object.
+    cl_windows: HashMap<ObjectId, ObjectClWindow>,
+    /// Requester-side commit-time statistics (backoff estimation).
+    stats: StatsTable,
+    /// Live transactions invoked at this node.
+    txs: HashMap<TxId, TxRuntime>,
+    /// Workload not yet started.
+    pending: VecDeque<BoxedProgram>,
+    next_seq: u64,
+    active: usize,
+    pub completed: usize,
+    pub metrics: NodeMetrics,
+}
+
+impl Node {
+    pub fn new(
+        me: u32,
+        topo: Arc<Topology>,
+        cfg: Arc<DstmConfig>,
+        policy: Box<dyn ConflictPolicy>,
+        initial_objects: Vec<(ObjectId, Payload)>,
+        workload: Vec<BoxedProgram>,
+    ) -> Self {
+        let stats = StatsTable::new(cfg.default_exec_estimate);
+        let store = initial_objects
+            .into_iter()
+            .map(|(oid, p)| (oid, OwnedObject::new(p)))
+            .collect();
+        Node {
+            me,
+            topo,
+            cfg,
+            clock: 0,
+            store,
+            tombstones: HashMap::new(),
+            owner_cache: HashMap::new(),
+            policy,
+            sched: SchedulingTable::new(),
+            cl_windows: HashMap::new(),
+            stats,
+            txs: HashMap::new(),
+            pending: workload.into(),
+            next_seq: 0,
+            active: 0,
+            completed: 0,
+            metrics: NodeMetrics::default(),
+        }
+    }
+
+    pub fn id(&self) -> u32 {
+        self.me
+    }
+
+    /// Whether all of this node's workload has committed.
+    pub fn done(&self) -> bool {
+        self.pending.is_empty() && self.active == 0
+    }
+
+    /// Live + pending transaction count (diagnostics).
+    pub fn backlog(&self) -> usize {
+        self.pending.len() + self.active
+    }
+
+    /// A read-only peek at an owned object (for test assertions and
+    /// end-of-run invariant checks).
+    pub fn owned_object(&self, oid: ObjectId) -> Option<&OwnedObject> {
+        self.store.get(&oid)
+    }
+
+    pub fn owned_objects(&self) -> impl Iterator<Item = (&ObjectId, &OwnedObject)> {
+        self.store.iter()
+    }
+
+    /// Debug report of live transactions and queue state (stall diagnosis).
+    pub fn stuck_report(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .txs
+            .values()
+            .map(|tx| {
+                format!(
+                    "node {} tx {:?} attempt {} levels {} phase {:?}",
+                    self.me,
+                    tx.id,
+                    tx.attempt,
+                    tx.levels.len(),
+                    tx.phase
+                )
+            })
+            .collect();
+        for (oid, o) in &self.store {
+            if o.is_locked() {
+                out.push(format!("node {} object {oid:?} locked by {:?}", self.me, o.lock));
+            }
+        }
+        if self.sched.total_queued() > 0 {
+            out.push(format!(
+                "node {} has {} queued requesters",
+                self.me,
+                self.sched.total_queued()
+            ));
+        }
+        out
+    }
+
+    // -- plumbing ----------------------------------------------------------
+
+    fn delay_to(&self, to: u32) -> SimDuration {
+        if to == self.me {
+            LOCAL_HOP
+        } else {
+            self.topo.delay(ActorId(self.me), ActorId(to))
+        }
+    }
+
+    fn send(&self, ctx: &mut NodeCtx<'_>, to: u32, msg: Msg) {
+        let d = self.delay_to(to);
+        ctx.send(ActorId(to), msg, d);
+    }
+
+    /// Send with additional processing latency on top of the link delay.
+    fn send_after(&self, ctx: &mut NodeCtx<'_>, to: u32, msg: Msg, extra: SimDuration) {
+        let d = self.delay_to(to) + extra;
+        ctx.send(ActorId(to), msg, d);
+    }
+
+    fn owner_guess(&self, oid: ObjectId) -> u32 {
+        if self.store.contains_key(&oid) {
+            return self.me;
+        }
+        *self
+            .owner_cache
+            .get(&oid)
+            .unwrap_or(&oid.home(self.topo.n()))
+    }
+
+    fn local_cl(&mut self, oid: ObjectId, now: SimTime) -> u32 {
+        match self.cl_windows.get_mut(&oid) {
+            Some(w) => w.local_cl(now),
+            None => 0,
+        }
+    }
+
+    fn record_request(&mut self, oid: ObjectId, now: SimTime, tx: TxId) {
+        let window = self.cfg.cl_window;
+        self.cl_windows
+            .entry(oid)
+            .or_insert_with(|| ObjectClWindow::new(window))
+            .record(now, tx);
+    }
+
+    // -- workload ----------------------------------------------------------
+
+    /// Fill free transaction slots from the pending workload.
+    fn pump(&mut self, ctx: &mut NodeCtx<'_>) {
+        while self.active < self.cfg.concurrency_per_node {
+            let Some(program) = self.pending.pop_front() else {
+                return;
+            };
+            self.next_seq += 1;
+            let id = TxId::new(self.me, self.next_seq);
+            let kind = program.kind();
+            let expected = self.stats.expected_commit_time(kind, ctx.now());
+            let tx = TxRuntime::new(id, program, ctx.now(), expected, self.clock);
+            self.active += 1;
+            let mut tx = tx;
+            let finished = self.drive(ctx, &mut tx, DriveInput::Begin);
+            if !finished {
+                self.txs.insert(id, tx);
+            }
+        }
+    }
+
+    // -- executor ----------------------------------------------------------
+
+    /// Step the program until it blocks on the network/a timer or finishes.
+    /// Returns `true` if the transaction reached a terminal commit (caller
+    /// must not reinsert it).
+    fn drive(&mut self, ctx: &mut NodeCtx<'_>, tx: &mut TxRuntime, first: DriveInput) -> bool {
+        tx.phase = TxPhase::Running;
+        let mut input = first;
+        loop {
+            let out = {
+                let step_in = match &input {
+                    DriveInput::Begin => StepInput::Begin,
+                    DriveInput::Ack => StepInput::Ack,
+                    DriveInput::Value(p) => StepInput::Value(p),
+                };
+                tx.program.step(step_in)
+            };
+            match out {
+                StepOutput::Acquire(oid, mode) => {
+                    if let Some(payload) = tx.access_held(oid, mode) {
+                        input = DriveInput::Value(payload);
+                        continue;
+                    }
+                    let owner = self.owner_guess(oid);
+                    let msg = Msg::ObjReq {
+                        oid,
+                        tx: tx.id,
+                        attempt: tx.attempt,
+                        mode,
+                        ets: tx.ets(ctx.now()),
+                        my_cl: tx.cl.my_cl(),
+                        nested: tx.in_nested(),
+                        reply_to: self.me,
+                    };
+                    self.send(ctx, owner, msg);
+                    tx.phase = TxPhase::AwaitObject { oid, mode };
+                    return false;
+                }
+                StepOutput::WriteLocal(oid, payload) => {
+                    tx.write_local(oid, payload);
+                    input = DriveInput::Ack;
+                }
+                StepOutput::Compute(d) => {
+                    ctx.set_timer(
+                        d,
+                        Timer::ComputeDone {
+                            tx: tx.id,
+                            attempt: tx.attempt,
+                        },
+                    );
+                    tx.phase = TxPhase::Computing;
+                    return false;
+                }
+                StepOutput::OpenNested(kind) => {
+                    if self.cfg.nesting == crate::config::NestingMode::Closed {
+                        let snapshot = tx.program.clone_box();
+                        tx.open_nested(kind, snapshot, ctx.now());
+                    }
+                    // Flat nesting: the delimiter is inlined — no level, no
+                    // independent rollback; the code simply becomes part of
+                    // the parent.
+                    input = DriveInput::Ack;
+                }
+                StepOutput::CloseNested => {
+                    if self.cfg.nesting == crate::config::NestingMode::Closed {
+                        tx.close_nested();
+                        self.metrics.nested_commits += 1;
+                    }
+                    input = DriveInput::Ack;
+                }
+                StepOutput::Finish => {
+                    return self.start_commit(ctx, tx);
+                }
+            }
+        }
+    }
+
+    // -- commit protocol (requester side) -----------------------------------
+
+    /// Begin the commit protocol. Returns `true` on synchronous commit.
+    fn start_commit(&mut self, ctx: &mut NodeCtx<'_>, tx: &mut TxRuntime) -> bool {
+        assert!(!tx.in_nested(), "Finish inside a nested level in {:?}", tx.id);
+        tx.validation_started_at = Some(ctx.now());
+        let write_back = tx.write_back_set();
+        if write_back.is_empty() {
+            // Read-only: validate the read set, then finalize.
+            return self.begin_validation(ctx, tx, ValidationResume::Commit);
+        }
+        let mut pending = HashSet::new();
+        for (oid, _payload, version, owner) in &write_back {
+            pending.insert(*oid);
+            let msg = Msg::LockReq {
+                oid: *oid,
+                tx: tx.id,
+                attempt: tx.attempt,
+                expect_version: *version,
+                reply_to: self.me,
+            };
+            self.send(ctx, *owner, msg);
+        }
+        tx.phase = TxPhase::AwaitLocks {
+            pending,
+            granted: Vec::new(),
+            failed: false,
+        };
+        false
+    }
+
+    /// Launch a version-check round over the held objects. For commit-time
+    /// validation only clean objects are checked (dirty ones were validated
+    /// by their locks). Returns `true` on synchronous completion (commit).
+    fn begin_validation(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        tx: &mut TxRuntime,
+        resume: ValidationResume,
+    ) -> bool {
+        let commit_mode = matches!(resume, ValidationResume::Commit);
+        let mut pending = HashSet::new();
+        for (oid, version, owner, dirty, _mode) in tx.object_summary() {
+            if commit_mode && dirty {
+                continue;
+            }
+            pending.insert(oid);
+            let msg = Msg::VersionCheck {
+                oid,
+                tx: tx.id,
+                attempt: tx.attempt,
+                expect_version: version,
+                reply_to: self.me,
+            };
+            self.send(ctx, owner, msg);
+        }
+        if pending.is_empty() {
+            return self.validation_succeeded(ctx, tx, resume);
+        }
+        tx.phase = TxPhase::AwaitValidation {
+            pending,
+            stale: Vec::new(),
+            resume,
+        };
+        false
+    }
+
+    /// All version checks passed: resume whatever was suspended.
+    fn validation_succeeded(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        tx: &mut TxRuntime,
+        resume: ValidationResume,
+    ) -> bool {
+        match resume {
+            ValidationResume::Deliver {
+                oid,
+                payload,
+                version,
+                local_cl,
+                owner,
+                mode,
+            } => {
+                tx.wv = tx.wv.max(version);
+                tx.install_fetched(oid, payload.clone(), version, local_cl, owner, mode);
+                self.drive(ctx, tx, DriveInput::Value(payload))
+            }
+            ValidationResume::Commit => self.publish_or_finalize(ctx, tx),
+        }
+    }
+
+    /// Locks held (if any were needed) and reads validated: write back new
+    /// versions, transferring ownership to this node. Returns `true` on
+    /// synchronous commit.
+    fn publish_or_finalize(&mut self, ctx: &mut NodeCtx<'_>, tx: &mut TxRuntime) -> bool {
+        let write_back = tx.write_back_set();
+        if write_back.is_empty() {
+            self.finalize_commit(ctx, tx);
+            return true;
+        }
+        let new_version = self.clock.max(tx.wv) + 1;
+        self.clock = new_version;
+        let mut pending = HashSet::new();
+        for (oid, payload, _version, owner) in write_back {
+            if owner == self.me {
+                // Local object: update in place and release.
+                let o = self
+                    .store
+                    .get_mut(&oid)
+                    .expect("locked local object present");
+                debug_assert_eq!(o.lock, Some(tx.id));
+                o.payload = payload;
+                o.version = new_version;
+                o.unlock(tx.id);
+                self.serve_queue(ctx, oid);
+            } else {
+                // Install the new authoritative copy here (the commit point);
+                // the old owner will tombstone-forward future requests.
+                self.store.insert(
+                    oid,
+                    OwnedObject {
+                        payload: payload.clone(),
+                        version: new_version,
+                        lock: None,
+                    },
+                );
+                self.owner_cache.remove(&oid);
+                self.metrics.objects_received += 1;
+                pending.insert(oid);
+                let msg = Msg::Publish {
+                    oid,
+                    tx: tx.id,
+                    payload,
+                    new_version,
+                    new_owner: self.me,
+                };
+                self.send(ctx, owner, msg);
+            }
+        }
+        if pending.is_empty() {
+            self.finalize_commit(ctx, tx);
+            return true;
+        }
+        tx.phase = TxPhase::AwaitPublish { pending };
+        false
+    }
+
+    /// Terminal commit bookkeeping. The caller must drop the transaction.
+    fn finalize_commit(&mut self, ctx: &mut NodeCtx<'_>, tx: &mut TxRuntime) {
+        let now = ctx.now();
+        let exec = now.saturating_since(tx.attempt_started_at);
+        let validation = now.saturating_since(
+            tx.validation_started_at
+                .expect("commit implies validation started"),
+        );
+        self.stats.record_commit(tx.kind, exec, validation);
+        self.metrics.commits += 1;
+        self.metrics.commit_latency.push_duration(exec);
+        self.metrics
+            .total_latency
+            .push_duration(now.saturating_since(tx.first_started_at));
+        self.policy.on_commit(now);
+        tx.phase = TxPhase::Done;
+        self.active -= 1;
+        self.completed += 1;
+    }
+
+    // -- aborts (requester side) --------------------------------------------
+
+    /// Abort the whole transaction and schedule its retry. `backoff` > 0
+    /// delays the restart (TFA+Backoff); zero restarts immediately.
+    /// Never terminal: the transaction always retries.
+    fn abort_parent(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        tx: &mut TxRuntime,
+        cause: AbortCause,
+        backoff: SimDuration,
+    ) {
+        let acc = tx.abort_to_level(0);
+        self.metrics.record_abort(cause);
+        self.metrics
+            .record_nested_aborts(NestedAbortCause::ParentAbort, acc.nested_parent);
+        // Even "immediate" retries carry a randomized delay that escalates
+        // with the transaction's abort count. Two reasons, both rooted in
+        // §II's requirement that the contention manager avoid livelocks:
+        // (1) with exact virtual time, deterministic symmetric transactions
+        // would re-collide in perfect lockstep forever; (2) two committers
+        // whose write locks fail each other's read validation form an
+        // *interactive* livelock that constant jitter cannot break — each
+        // collision resets their relative phase — so the randomization range
+        // must grow until one of them backs off past the other's cycle.
+        let escalation_us = 50_000 * u64::from(tx.attempt.min(8));
+        let jitter = SimDuration::from_micros(ctx.rng().below(2_000 + escalation_us));
+        tx.phase = TxPhase::BackedOff;
+        ctx.set_timer(
+            backoff.max(LOCAL_HOP) + jitter,
+            Timer::RetryBackoff {
+                tx: tx.id,
+                attempt: tx.attempt,
+            },
+        );
+    }
+
+    fn restart_now(&mut self, ctx: &mut NodeCtx<'_>, tx: &mut TxRuntime) {
+        let now = ctx.now();
+        let expected = self.stats.expected_commit_time(tx.kind, now);
+        tx.restart(now, expected, self.clock);
+        // May commit synchronously (degenerate programs); `finalize_commit`
+        // then leaves the phase at `Done` and callers drop the transaction.
+        let _ = self.drive(ctx, tx, DriveInput::Begin);
+    }
+
+    /// Abort at `level` (a failed early validation): whole-transaction abort
+    /// at level 0, child-only replay above.
+    fn abort_at_level(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        tx: &mut TxRuntime,
+        level: usize,
+        cause: AbortCause,
+    ) {
+        if level == 0 {
+            self.abort_parent(ctx, tx, cause, SimDuration::ZERO);
+            return;
+        }
+        let acc = tx.abort_to_level(level);
+        self.metrics
+            .record_nested_aborts(NestedAbortCause::Own, acc.nested_own);
+        self.metrics
+            .record_nested_aborts(NestedAbortCause::ParentAbort, acc.nested_parent);
+        // Replay the child: its snapshot was taken right after `OpenNested`,
+        // so re-feeding the acknowledgement re-enters the child body. The
+        // replay may even run to a synchronous commit if every object it
+        // needs is already held by an ancestor level.
+        let _ = self.drive(ctx, tx, DriveInput::Ack);
+    }
+
+    // -- owner side: fetches --------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_obj_req(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        oid: ObjectId,
+        txid: TxId,
+        attempt: u32,
+        mode: AccessMode,
+        ets: rts_core::Ets,
+        my_cl: u32,
+        nested: bool,
+        reply_to: u32,
+    ) {
+        if !self.store.contains_key(&oid) {
+            // Not (any longer) the owner: forward along the ownership chain.
+            if let Some(&next) = self.tombstones.get(&oid) {
+                let msg = Msg::ObjReq {
+                    oid,
+                    tx: txid,
+                    attempt,
+                    mode,
+                    ets,
+                    my_cl,
+                    nested,
+                    reply_to,
+                };
+                self.send(ctx, next, msg);
+            } else {
+                // Misrouted (should be unreachable: caches start at the home
+                // node, which always leaves tombstones). Recover via home.
+                debug_assert!(
+                    oid.home(self.topo.n()) != self.me,
+                    "home node lost object {oid:?} without a tombstone"
+                );
+                let home = oid.home(self.topo.n());
+                let msg = Msg::ObjReq {
+                    oid,
+                    tx: txid,
+                    attempt,
+                    mode,
+                    ets,
+                    my_cl,
+                    nested,
+                    reply_to,
+                };
+                self.send(ctx, home, msg);
+            }
+            return;
+        }
+
+        self.record_request(oid, ctx.now(), txid);
+        let now = ctx.now();
+        let local_cl = self.local_cl(oid, now);
+        let locked = self.store.get(&oid).expect("checked").is_locked();
+
+        if locked {
+            self.metrics.fetch_conflicts += 1;
+            if nested && self.cfg.conflict_scope == crate::config::ConflictScope::Child {
+                // A child-level conflict is resolved by the closed-nesting
+                // substrate (the child aborts and retries), not by the
+                // transactional scheduler, which adjudicates parents only.
+                let msg = Msg::ObjResp {
+                    oid,
+                    tx: txid,
+                    attempt,
+                    result: FetchResult::Conflict {
+                        backoff: SimDuration::ZERO,
+                        enqueued: false,
+                        owner: self.me,
+                    },
+                };
+                self.send(ctx, reply_to, msg);
+                return;
+            }
+            let requester = Requester {
+                node: reply_to,
+                tx: txid,
+                read_only: mode == AccessMode::Read,
+                attempt,
+                enqueued_at: now,
+            };
+            let cctx = ConflictCtx {
+                now,
+                oid,
+                requester,
+                ets,
+                requester_cl: my_cl,
+                local_cl,
+                attempt,
+            };
+            let decision = self.policy.on_conflict(&cctx, &mut self.sched);
+            let result = match decision {
+                Decision::Abort => FetchResult::Conflict {
+                    backoff: SimDuration::ZERO,
+                    enqueued: false,
+                    owner: self.me,
+                },
+                Decision::AbortBackoff(b) => FetchResult::Conflict {
+                    backoff: b,
+                    enqueued: false,
+                    owner: self.me,
+                },
+                Decision::Enqueue { backoff } => {
+                    self.metrics.enqueued += 1;
+                    FetchResult::Conflict {
+                        backoff,
+                        enqueued: true,
+                        owner: self.me,
+                    }
+                }
+            };
+            let msg = Msg::ObjResp {
+                oid,
+                tx: txid,
+                attempt,
+                result,
+            };
+            self.send(ctx, reply_to, msg);
+            return;
+        }
+
+        // Free object: serve a copy. Drop any stale queue entry of this
+        // transaction (it is getting the object through the normal path).
+        self.sched.list_mut(oid).remove_duplicate(txid);
+        self.sched.gc(oid);
+        self.metrics.fetches_served += 1;
+        let o = self.store.get(&oid).expect("checked");
+        let msg = Msg::ObjResp {
+            oid,
+            tx: txid,
+            attempt,
+            result: FetchResult::Granted {
+                payload: o.payload.clone(),
+                version: o.version,
+                local_cl,
+                owner: self.me,
+            },
+        };
+        self.send(ctx, reply_to, msg);
+    }
+
+    /// Serve queued requesters of a freshly released object: all consecutive
+    /// readers at the head simultaneously, plus the first writer behind them
+    /// (readers take no lock, so a trailing writer would otherwise only be
+    /// woken by its own deadline).
+    fn serve_queue(&mut self, ctx: &mut NodeCtx<'_>, oid: ObjectId) {
+        let Some(o) = self.store.get(&oid) else {
+            return;
+        };
+        if o.is_locked() {
+            return;
+        }
+        let (payload, version) = (o.payload.clone(), o.version);
+        let list = self.sched.list_mut(oid);
+        let mut grants = list.pop_servable();
+        if grants.first().is_some_and(|r| r.read_only) {
+            grants.extend(list.pop_servable());
+        }
+        self.sched.gc(oid);
+        if grants.is_empty() {
+            return;
+        }
+        let now = ctx.now();
+        let local_cl = self.local_cl(oid, now);
+        for r in grants {
+            self.metrics.queue_served += 1;
+            let msg = Msg::ObjResp {
+                oid,
+                tx: r.tx,
+                attempt: r.attempt,
+                result: FetchResult::Granted {
+                    payload: payload.clone(),
+                    version,
+                    local_cl,
+                    owner: self.me,
+                },
+            };
+            self.send(ctx, r.node, msg);
+        }
+    }
+
+    // -- owner side: commit participation -------------------------------------
+
+    fn handle_lock_req(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        oid: ObjectId,
+        txid: TxId,
+        attempt: u32,
+        expect_version: u64,
+        reply_to: u32,
+    ) {
+        let granted = match self.store.get_mut(&oid) {
+            None => false,
+            Some(o) => o.version == expect_version && o.try_lock(txid),
+        };
+        let msg = Msg::LockResp {
+            oid,
+            tx: txid,
+            attempt,
+            granted,
+        };
+        if granted {
+            // Global registration of object ownership is the slow part of a
+            // distributed validation (§II); the object stays locked for it.
+            let overhead = self.cfg.validation_overhead;
+            self.send_after(ctx, reply_to, msg, overhead);
+        } else {
+            self.send(ctx, reply_to, msg);
+        }
+    }
+
+    fn handle_unlock(&mut self, ctx: &mut NodeCtx<'_>, oid: ObjectId, txid: TxId) {
+        if let Some(o) = self.store.get_mut(&oid) {
+            if o.unlock(txid) {
+                self.serve_queue(ctx, oid);
+            }
+        }
+    }
+
+    fn handle_publish(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        from: ActorId,
+        oid: ObjectId,
+        txid: TxId,
+        new_owner: u32,
+    ) {
+        let o = self
+            .store
+            .remove(&oid)
+            .expect("publish must reach the locked owner");
+        debug_assert_eq!(o.lock, Some(txid), "publish from a non-lock-holder");
+        self.tombstones.insert(oid, new_owner);
+        self.owner_cache.insert(oid, new_owner);
+        let queue = self.sched.list_mut(oid).drain_all();
+        self.sched.gc(oid);
+        self.cl_windows.remove(&oid);
+        let msg = Msg::PublishAck {
+            oid,
+            tx: txid,
+            queue,
+        };
+        self.send(ctx, from.0, msg);
+    }
+
+    // -- requester side: responses -------------------------------------------
+
+    fn handle_obj_resp(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        oid: ObjectId,
+        txid: TxId,
+        attempt: u32,
+        result: FetchResult,
+    ) {
+        let Some(mut tx) = self.txs.remove(&txid) else {
+            self.decline_if_granted(ctx, oid, txid, &result);
+            return;
+        };
+        if tx.attempt != attempt {
+            self.decline_if_granted(ctx, oid, txid, &result);
+            self.txs.insert(txid, tx);
+            return;
+        }
+        let wanted = match &tx.phase {
+            TxPhase::AwaitObject { oid: o, mode } if *o == oid => Some((*mode, None)),
+            TxPhase::AwaitQueuedObject { oid: o, mode, timer } if *o == oid => {
+                Some((*mode, Some(*timer)))
+            }
+            _ => None,
+        };
+        let Some((mode, timer)) = wanted else {
+            self.decline_if_granted(ctx, oid, txid, &result);
+            self.txs.insert(txid, tx);
+            return;
+        };
+        if let Some(t) = timer {
+            ctx.cancel_timer(t);
+        }
+
+        let finished = match result {
+            FetchResult::Granted {
+                payload,
+                version,
+                local_cl,
+                owner,
+            } => {
+                self.owner_cache.insert(oid, owner);
+                self.clock = self.clock.max(version);
+                if version > tx.wv && !tx.object_summary().is_empty() {
+                    // Transactional forwarding: early-validate before
+                    // advancing the transaction's clock (TFA §II).
+                    self.begin_validation(
+                        ctx,
+                        &mut tx,
+                        ValidationResume::Deliver {
+                            oid,
+                            payload,
+                            version,
+                            local_cl,
+                            owner,
+                            mode,
+                        },
+                    )
+                } else {
+                    tx.wv = tx.wv.max(version);
+                    tx.install_fetched(oid, payload.clone(), version, local_cl, owner, mode);
+                    self.drive(ctx, &mut tx, DriveInput::Value(payload))
+                }
+            }
+            FetchResult::Conflict {
+                backoff,
+                enqueued: true,
+                owner: _,
+            } => {
+                // RTS parked us in the owner's queue: stay live, bounded by
+                // the (slack-adjusted) backoff deadline.
+                let deadline = self.cfg.queue_deadline(backoff).max(LOCAL_HOP);
+                let timer = ctx.set_timer(
+                    deadline,
+                    Timer::QueueDeadline {
+                        tx: txid,
+                        attempt: tx.attempt,
+                        oid,
+                    },
+                );
+                tx.phase = TxPhase::AwaitQueuedObject { oid, mode, timer };
+                false
+            }
+            FetchResult::Conflict {
+                backoff,
+                enqueued: false,
+                owner: _,
+            } => {
+                if tx.in_nested()
+                    && self.cfg.conflict_scope == crate::config::ConflictScope::Child
+                {
+                    // Child-scoped contention management: the conflict aborts
+                    // the innermost child alone; the parent (and committed
+                    // siblings) survive. The child replays, re-fetching its
+                    // own objects.
+                    let level = tx.top();
+                    let acc = tx.abort_to_level(level);
+                    self.metrics
+                        .record_nested_aborts(NestedAbortCause::Own, acc.nested_own);
+                    self.metrics
+                        .record_nested_aborts(NestedAbortCause::ParentAbort, acc.nested_parent);
+                    self.metrics.child_conflict_retries += 1;
+                    // Same symmetry-breaking jitter as parent retries.
+                    let jitter = SimDuration::from_micros(ctx.rng().below(2_000));
+                    tx.phase = TxPhase::ChildBackedOff;
+                    ctx.set_timer(
+                        backoff.max(LOCAL_HOP) + jitter,
+                        Timer::RetryBackoff {
+                            tx: txid,
+                            attempt: tx.attempt,
+                        },
+                    );
+                } else {
+                    // Parent-level conflict: the whole transaction is the
+                    // loser (TFA's second abort case / RTS's abort verdict).
+                    self.abort_parent(ctx, &mut tx, AbortCause::SchedulerAbort, backoff);
+                }
+                false
+            }
+        };
+        if !finished && !matches!(tx.phase, TxPhase::Done) {
+            self.txs.insert(txid, tx);
+        }
+        self.pump(ctx);
+    }
+
+    fn decline_if_granted(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        oid: ObjectId,
+        txid: TxId,
+        result: &FetchResult,
+    ) {
+        if let FetchResult::Granted { owner, .. } = result {
+            let msg = Msg::ObjectDecline { oid, tx: txid };
+            self.send(ctx, *owner, msg);
+        }
+    }
+
+    fn handle_version_resp(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        oid: ObjectId,
+        txid: TxId,
+        attempt: u32,
+        ok: bool,
+    ) {
+        let Some(mut tx) = self.txs.remove(&txid) else {
+            return;
+        };
+        if tx.attempt != attempt {
+            self.txs.insert(txid, tx);
+            return;
+        }
+        let round_done = match &mut tx.phase {
+            TxPhase::AwaitValidation { pending, stale, .. } => {
+                pending.remove(&oid);
+                if !ok {
+                    stale.push(oid);
+                }
+                pending.is_empty()
+            }
+            _ => {
+                self.txs.insert(txid, tx);
+                return;
+            }
+        };
+        let finished = if round_done {
+            let phase = std::mem::replace(&mut tx.phase, TxPhase::Running);
+            let TxPhase::AwaitValidation { stale, resume, .. } = phase else {
+                unreachable!("matched above");
+            };
+            if stale.is_empty() {
+                self.validation_succeeded(ctx, &mut tx, resume)
+            } else {
+                // Abort at the outermost level holding any stale object.
+                let level = stale
+                    .iter()
+                    .filter_map(|o| tx.outermost_level_holding(*o))
+                    .min()
+                    .unwrap_or(0);
+                let cause = match resume {
+                    ValidationResume::Deliver { .. } => AbortCause::ForwardValidation,
+                    ValidationResume::Commit => {
+                        // Commit-time read validation failed *after* the
+                        // write-set locks were granted: release them or the
+                        // owners stay locked forever.
+                        for (goid, _payload, _version, owner) in tx.write_back_set() {
+                            let msg = Msg::Unlock { oid: goid, tx: txid };
+                            self.send(ctx, owner, msg);
+                        }
+                        AbortCause::CommitValidation
+                    }
+                };
+                self.abort_at_level(ctx, &mut tx, level, cause);
+                false
+            }
+        } else {
+            false
+        };
+        if !finished && !matches!(tx.phase, TxPhase::Done) {
+            self.txs.insert(txid, tx);
+        }
+        self.pump(ctx);
+    }
+
+    fn handle_lock_resp(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        from: ActorId,
+        oid: ObjectId,
+        txid: TxId,
+        attempt: u32,
+        granted: bool,
+    ) {
+        let Some(mut tx) = self.txs.remove(&txid) else {
+            if granted {
+                let msg = Msg::Unlock { oid, tx: txid };
+                self.send(ctx, from.0, msg);
+            }
+            return;
+        };
+        if tx.attempt != attempt || !matches!(tx.phase, TxPhase::AwaitLocks { .. }) {
+            if granted {
+                let msg = Msg::Unlock { oid, tx: txid };
+                self.send(ctx, from.0, msg);
+            }
+            self.txs.insert(txid, tx);
+            return;
+        }
+        let round_done = {
+            let TxPhase::AwaitLocks {
+                pending,
+                granted: acc,
+                failed,
+            } = &mut tx.phase
+            else {
+                unreachable!("checked above");
+            };
+            pending.remove(&oid);
+            if granted {
+                acc.push(oid);
+            } else {
+                *failed = true;
+            }
+            pending.is_empty()
+        };
+        let finished = if round_done {
+            let phase = std::mem::replace(&mut tx.phase, TxPhase::Running);
+            let TxPhase::AwaitLocks {
+                granted: acc,
+                failed,
+                ..
+            } = phase
+            else {
+                unreachable!("matched above");
+            };
+            if failed {
+                // Roll back granted locks, then abort (TFA's first abort
+                // flavour: the write set went stale under us).
+                for goid in acc {
+                    let owner = tx
+                        .lookup(goid)
+                        .map(|c| c.owner)
+                        .unwrap_or_else(|| self.owner_guess(goid));
+                    let msg = Msg::Unlock { oid: goid, tx: txid };
+                    self.send(ctx, owner, msg);
+                }
+                self.abort_parent(ctx, &mut tx, AbortCause::CommitValidation, SimDuration::ZERO);
+                false
+            } else {
+                // Write set locked; validate the clean reads.
+                self.begin_validation(ctx, &mut tx, ValidationResume::Commit)
+            }
+        } else {
+            false
+        };
+        if !finished && !matches!(tx.phase, TxPhase::Done) {
+            self.txs.insert(txid, tx);
+        }
+        self.pump(ctx);
+    }
+
+    fn handle_publish_ack(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        oid: ObjectId,
+        txid: TxId,
+        queue: Vec<Requester>,
+    ) {
+        // Adopt the transferred requester queue, then serve it from the new
+        // authoritative copy (Algorithm 4's hand-off).
+        if !queue.is_empty() {
+            let list = self.sched.list_mut(oid);
+            let contention = list.get_contention();
+            for r in queue {
+                list.add_requester(contention, r);
+            }
+        }
+        self.serve_queue(ctx, oid);
+
+        let Some(mut tx) = self.txs.remove(&txid) else {
+            return;
+        };
+        let round_done = match &mut tx.phase {
+            TxPhase::AwaitPublish { pending } => {
+                pending.remove(&oid);
+                pending.is_empty()
+            }
+            _ => {
+                self.txs.insert(txid, tx);
+                return;
+            }
+        };
+        if round_done {
+            self.finalize_commit(ctx, &mut tx);
+        } else {
+            self.txs.insert(txid, tx);
+        }
+        self.pump(ctx);
+    }
+
+    fn handle_decline(&mut self, ctx: &mut NodeCtx<'_>, oid: ObjectId) {
+        self.metrics.queue_declined += 1;
+        self.serve_queue(ctx, oid);
+    }
+}
+
+impl Actor for Node {
+    type Msg = Msg;
+    type Timer = Timer;
+
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, from: ActorId, msg: Msg) {
+        match msg {
+            Msg::StartWorkload => self.pump(ctx),
+            Msg::ObjReq {
+                oid,
+                tx,
+                attempt,
+                mode,
+                ets,
+                my_cl,
+                nested,
+                reply_to,
+            } => self.handle_obj_req(ctx, oid, tx, attempt, mode, ets, my_cl, nested, reply_to),
+            Msg::ObjResp {
+                oid,
+                tx,
+                attempt,
+                result,
+            } => self.handle_obj_resp(ctx, oid, tx, attempt, result),
+            Msg::ObjectDecline { oid, .. } => self.handle_decline(ctx, oid),
+            Msg::LockReq {
+                oid,
+                tx,
+                attempt,
+                expect_version,
+                reply_to,
+            } => self.handle_lock_req(ctx, oid, tx, attempt, expect_version, reply_to),
+            Msg::LockResp {
+                oid,
+                tx,
+                attempt,
+                granted,
+            } => self.handle_lock_resp(ctx, from, oid, tx, attempt, granted),
+            Msg::Unlock { oid, tx } => self.handle_unlock(ctx, oid, tx),
+            Msg::Publish {
+                oid,
+                tx,
+                new_owner,
+                ..
+            } => self.handle_publish(ctx, from, oid, tx, new_owner),
+            Msg::PublishAck { oid, tx, queue } => self.handle_publish_ack(ctx, oid, tx, queue),
+            Msg::VersionCheck {
+                oid,
+                tx,
+                attempt,
+                expect_version,
+                reply_to,
+            } => {
+                // Stale if the version moved, the object migrated away, or it
+                // is mid-validation by someone else ("transactions that
+                // request an object being validated must abort").
+                let ok = match self.store.get(&oid) {
+                    None => false,
+                    Some(o) => {
+                        o.version == expect_version && (o.lock.is_none() || o.lock == Some(tx))
+                    }
+                };
+                let msg = Msg::VersionResp {
+                    oid,
+                    tx,
+                    attempt,
+                    ok,
+                };
+                self.send(ctx, reply_to, msg);
+            }
+            Msg::VersionResp {
+                oid,
+                tx,
+                attempt,
+                ok,
+            } => self.handle_version_resp(ctx, oid, tx, attempt, ok),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: Timer) {
+        match timer {
+            Timer::ComputeDone { tx: txid, attempt } => {
+                let Some(mut tx) = self.txs.remove(&txid) else {
+                    return;
+                };
+                if tx.attempt != attempt || !matches!(tx.phase, TxPhase::Computing) {
+                    self.txs.insert(txid, tx);
+                    return;
+                }
+                let finished = self.drive(ctx, &mut tx, DriveInput::Ack);
+                if !finished && !matches!(tx.phase, TxPhase::Done) {
+                    self.txs.insert(txid, tx);
+                }
+                self.pump(ctx);
+            }
+            Timer::QueueDeadline {
+                tx: txid,
+                attempt,
+                oid,
+            } => {
+                let Some(mut tx) = self.txs.remove(&txid) else {
+                    return;
+                };
+                let waiting = matches!(
+                    &tx.phase,
+                    TxPhase::AwaitQueuedObject { oid: o, .. } if *o == oid
+                ) && tx.attempt == attempt;
+                if waiting {
+                    // The assigned backoff expired before the object arrived
+                    // (Algorithm 2): abort and re-request as a new attempt.
+                    self.abort_parent(ctx, &mut tx, AbortCause::QueueTimeout, SimDuration::ZERO);
+                }
+                if !matches!(tx.phase, TxPhase::Done) {
+                    self.txs.insert(txid, tx);
+                }
+                self.pump(ctx);
+            }
+            Timer::RetryBackoff { tx: txid, attempt } => {
+                let Some(mut tx) = self.txs.remove(&txid) else {
+                    return;
+                };
+                if tx.attempt != attempt {
+                    self.txs.insert(txid, tx);
+                    return;
+                }
+                match tx.phase {
+                    TxPhase::BackedOff => self.restart_now(ctx, &mut tx),
+                    TxPhase::ChildBackedOff => {
+                        // Replay the backed-off child level.
+                        let _ = self.drive(ctx, &mut tx, DriveInput::Ack);
+                    }
+                    _ => {}
+                }
+                if !matches!(tx.phase, TxPhase::Done) {
+                    self.txs.insert(txid, tx);
+                }
+                self.pump(ctx);
+            }
+        }
+    }
+}

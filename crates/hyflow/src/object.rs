@@ -1,0 +1,152 @@
+//! Versioned shared objects.
+//!
+//! An object's **version** is the TFA clock value of the transaction that
+//! last committed a write to it; versions are strictly increasing per
+//! object, which is what early validation checks. The **owner** of an
+//! object is the single node holding its writable copy (dataflow model);
+//! reads are served as copies, and ownership moves to the committing
+//! writer.
+
+use rts_core::{ObjectId, TxId};
+
+/// The application-visible contents of an object. The benchmarks of §IV
+/// need scalars (Bank accounts, Vacation inventories), pointer-shaped nodes
+/// (Linked-List, BST, RB-Tree), and key–value buckets (DHT).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Payload {
+    /// A plain integer cell.
+    Scalar(i64),
+    /// A mutable reference cell (list head / tree root).
+    Ptr(Option<ObjectId>),
+    /// Singly linked list node.
+    ListNode { value: i64, next: Option<ObjectId> },
+    /// Binary tree node; `red` is used by the RB-Tree benchmark and ignored
+    /// by the plain BST.
+    TreeNode {
+        value: i64,
+        left: Option<ObjectId>,
+        right: Option<ObjectId>,
+        red: bool,
+    },
+    /// DHT bucket of key → value pairs.
+    Bucket(Vec<(u64, i64)>),
+}
+
+impl Payload {
+    /// Convenience accessor for `Scalar`.
+    pub fn as_scalar(&self) -> i64 {
+        match self {
+            Payload::Scalar(v) => *v,
+            other => panic!("expected Scalar payload, found {other:?}"),
+        }
+    }
+
+    /// Convenience accessor for `Ptr`.
+    pub fn as_ptr(&self) -> Option<ObjectId> {
+        match self {
+            Payload::Ptr(p) => *p,
+            other => panic!("expected Ptr payload, found {other:?}"),
+        }
+    }
+
+    /// Rough serialized size in bytes, for network-volume accounting.
+    pub fn approx_size(&self) -> usize {
+        match self {
+            Payload::Scalar(_) => 8,
+            Payload::Ptr(_) => 9,
+            Payload::ListNode { .. } => 17,
+            Payload::TreeNode { .. } => 27,
+            Payload::Bucket(kvs) => 8 + kvs.len() * 16,
+        }
+    }
+}
+
+/// An object as held by its owner node.
+#[derive(Clone, Debug)]
+pub struct OwnedObject {
+    pub payload: Payload,
+    /// TFA commit clock of the last writer.
+    pub version: u64,
+    /// `Some(tx)` while a committing transaction holds the validation lock —
+    /// the paper's "object is being validated" state that triggers the
+    /// scheduler.
+    pub lock: Option<TxId>,
+}
+
+impl OwnedObject {
+    pub fn new(payload: Payload) -> Self {
+        OwnedObject {
+            payload,
+            version: 0,
+            lock: None,
+        }
+    }
+
+    #[inline]
+    pub fn is_locked(&self) -> bool {
+        self.lock.is_some()
+    }
+
+    /// Try to take the validation lock for `tx`. Re-entrant for the same
+    /// transaction (a committer may lock several of its objects at one
+    /// owner).
+    pub fn try_lock(&mut self, tx: TxId) -> bool {
+        match self.lock {
+            None => {
+                self.lock = Some(tx);
+                true
+            }
+            Some(holder) => holder == tx,
+        }
+    }
+
+    /// Release the lock if held by `tx`; returns whether it was released.
+    pub fn unlock(&mut self, tx: TxId) -> bool {
+        if self.lock == Some(tx) {
+            self.lock = None;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_protocol() {
+        let mut o = OwnedObject::new(Payload::Scalar(5));
+        let t1 = TxId::new(0, 1);
+        let t2 = TxId::new(1, 1);
+        assert!(!o.is_locked());
+        assert!(o.try_lock(t1));
+        assert!(o.try_lock(t1), "re-entrant for the same tx");
+        assert!(!o.try_lock(t2), "second tx must not steal the lock");
+        assert!(!o.unlock(t2), "non-holder cannot unlock");
+        assert!(o.unlock(t1));
+        assert!(!o.is_locked());
+        assert!(o.try_lock(t2));
+    }
+
+    #[test]
+    fn payload_accessors() {
+        assert_eq!(Payload::Scalar(7).as_scalar(), 7);
+        assert_eq!(Payload::Ptr(Some(ObjectId(3))).as_ptr(), Some(ObjectId(3)));
+        assert_eq!(Payload::Ptr(None).as_ptr(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Scalar")]
+    fn wrong_accessor_panics() {
+        Payload::Ptr(None).as_scalar();
+    }
+
+    #[test]
+    fn sizes_monotone_in_content() {
+        let small = Payload::Bucket(vec![(1, 1)]);
+        let big = Payload::Bucket(vec![(1, 1); 10]);
+        assert!(big.approx_size() > small.approx_size());
+    }
+}

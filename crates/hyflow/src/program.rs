@@ -1,0 +1,382 @@
+//! Transactions as resumable state machines.
+//!
+//! The benchmarks of §IV perform data-dependent access sequences (list and
+//! tree traversals decide the next object from the last value read), so a
+//! transaction cannot be a static access list; and a deterministic
+//! discrete-event simulator cannot block a thread per transaction. The
+//! compromise is a **resumable program**: the executor calls
+//! [`TxProgram::step`] with the result of the previous operation and the
+//! program replies with its next operation.
+//!
+//! Retry is handled by snapshots: programs are cloneable, the executor
+//! keeps a pristine clone per nesting level, and an abort restores the
+//! clone and replays the level — whole-transaction replay on parent aborts,
+//! inner-level replay only on closed-nested child aborts.
+
+use crate::object::Payload;
+use dstm_sim::SimDuration;
+use rts_core::{ObjectId, TxKind};
+
+/// Read or write intent for an object acquisition. In TFA both return a
+/// copy optimistically; write intent additionally puts the object in the
+/// commit-time lock/publish set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessMode {
+    Read,
+    Write,
+}
+
+/// What the executor feeds the program on each step.
+#[derive(Debug)]
+pub enum StepInput<'a> {
+    /// First step of a (re)started transaction attempt.
+    Begin,
+    /// The payload produced by the previous `Acquire` (a view of the
+    /// transaction's working copy).
+    Value(&'a Payload),
+    /// The previous operation (`WriteLocal`, `Compute`, `OpenNested`,
+    /// `CloseNested`) completed.
+    Ack,
+}
+
+/// What the program asks the executor to do next.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StepOutput {
+    /// Fetch an object into the working set (remote round-trip unless the
+    /// object is already held).
+    Acquire(ObjectId, AccessMode),
+    /// Overwrite the working copy of an object previously acquired with
+    /// write intent. Local, immediate.
+    WriteLocal(ObjectId, Payload),
+    /// Consume local execution time (the γ of the analysis).
+    Compute(SimDuration),
+    /// Begin a closed-nested child transaction of the given kind.
+    OpenNested(TxKind),
+    /// Commit the innermost child into its parent.
+    CloseNested,
+    /// The (top-level) transaction is ready to commit.
+    Finish,
+}
+
+/// A resumable transaction body.
+pub trait TxProgram: Send {
+    /// The transaction's kind, keying the stats table.
+    fn kind(&self) -> TxKind;
+
+    /// Advance the program. `input` carries the result of the previously
+    /// requested operation ([`StepInput::Begin`] on the first call of an
+    /// attempt).
+    fn step(&mut self, input: StepInput<'_>) -> StepOutput;
+
+    /// Clone the program state (for retry snapshots).
+    fn clone_box(&self) -> Box<dyn TxProgram>;
+
+    /// Human-readable label for traces.
+    fn label(&self) -> &'static str {
+        "tx"
+    }
+}
+
+/// Owned, cloneable program handle.
+pub type BoxedProgram = Box<dyn TxProgram>;
+
+impl Clone for BoxedProgram {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Script programs: a straight-line DSL used by unit tests and scenarios
+// ---------------------------------------------------------------------------
+
+/// One scripted operation (see [`ScriptProgram`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScriptOp {
+    Read(ObjectId),
+    Write(ObjectId),
+    /// Add `delta` to a previously acquired `Scalar` object.
+    AddScalar(ObjectId, i64),
+    /// Overwrite a previously write-acquired object.
+    Set(ObjectId, Payload),
+    Compute(SimDuration),
+    OpenNested(TxKind),
+    CloseNested,
+}
+
+/// A transaction that replays a fixed list of operations — data-independent,
+/// which is exactly what the scripted scenario reproductions (Figs. 2–3) and
+/// many unit tests need.
+#[derive(Clone, Debug)]
+pub struct ScriptProgram {
+    kind: TxKind,
+    ops: Vec<ScriptOp>,
+    pc: usize,
+    /// Last value read (used by `AddScalar`).
+    last_scalar: i64,
+}
+
+impl ScriptProgram {
+    pub fn new(kind: TxKind, ops: Vec<ScriptOp>) -> Self {
+        ScriptProgram {
+            kind,
+            ops,
+            pc: 0,
+            last_scalar: 0,
+        }
+    }
+}
+
+impl TxProgram for ScriptProgram {
+    fn kind(&self) -> TxKind {
+        self.kind
+    }
+
+    fn step(&mut self, input: StepInput<'_>) -> StepOutput {
+        if let StepInput::Value(Payload::Scalar(v)) = input {
+            self.last_scalar = *v;
+        }
+        let op = match self.ops.get(self.pc) {
+            None => return StepOutput::Finish,
+            Some(op) => op.clone(),
+        };
+        self.pc += 1;
+        match op {
+            ScriptOp::Read(oid) => StepOutput::Acquire(oid, AccessMode::Read),
+            ScriptOp::Write(oid) => StepOutput::Acquire(oid, AccessMode::Write),
+            ScriptOp::AddScalar(oid, delta) => {
+                StepOutput::WriteLocal(oid, Payload::Scalar(self.last_scalar + delta))
+            }
+            ScriptOp::Set(oid, payload) => StepOutput::WriteLocal(oid, payload),
+            ScriptOp::Compute(d) => StepOutput::Compute(d),
+            ScriptOp::OpenNested(kind) => StepOutput::OpenNested(kind),
+            ScriptOp::CloseNested => StepOutput::CloseNested,
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn TxProgram> {
+        Box::new(self.clone())
+    }
+
+    fn label(&self) -> &'static str {
+        "script"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Program combinators
+// ---------------------------------------------------------------------------
+
+/// Wraps a program with a **parent-level trailing access**: after the inner
+/// program finishes (all its nested children committed), the transaction
+/// touches one more object at top level — a read, or a scalar increment.
+///
+/// This is the shape of the paper's Fig. 1 (`T1` accesses `z` at top level
+/// *after* its nested `T1-1` commits): a conflict on the trailing access
+/// puts the whole parent — and every committed child — at stake, which is
+/// exactly the situation RTS's enqueue-instead-of-abort protects.
+#[derive(Clone)]
+pub struct WithTrailer {
+    inner: BoxedProgram,
+    oid: ObjectId,
+    /// `Some(delta)` increments the scalar (write access); `None` reads.
+    delta: Option<i64>,
+    st: TrailerSt,
+    last_scalar: i64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TrailerSt {
+    Inner,
+    Value,
+    Written,
+    Done,
+}
+
+impl WithTrailer {
+    pub fn new(inner: BoxedProgram, oid: ObjectId, delta: Option<i64>) -> Self {
+        WithTrailer {
+            inner,
+            oid,
+            delta,
+            st: TrailerSt::Inner,
+            last_scalar: 0,
+        }
+    }
+}
+
+impl TxProgram for WithTrailer {
+    fn kind(&self) -> TxKind {
+        self.inner.kind()
+    }
+
+    fn label(&self) -> &'static str {
+        self.inner.label()
+    }
+
+    fn clone_box(&self) -> BoxedProgram {
+        Box::new(self.clone())
+    }
+
+    fn step(&mut self, input: StepInput<'_>) -> StepOutput {
+        match self.st {
+            TrailerSt::Inner => {
+                let out = self.inner.step(input);
+                if out == StepOutput::Finish {
+                    self.st = TrailerSt::Value;
+                    let mode = if self.delta.is_some() {
+                        AccessMode::Write
+                    } else {
+                        AccessMode::Read
+                    };
+                    StepOutput::Acquire(self.oid, mode)
+                } else {
+                    out
+                }
+            }
+            TrailerSt::Value => {
+                if let StepInput::Value(Payload::Scalar(v)) = input {
+                    self.last_scalar = *v;
+                }
+                match self.delta {
+                    Some(d) => {
+                        self.st = TrailerSt::Written;
+                        StepOutput::WriteLocal(self.oid, Payload::Scalar(self.last_scalar + d))
+                    }
+                    None => {
+                        self.st = TrailerSt::Done;
+                        StepOutput::Finish
+                    }
+                }
+            }
+            TrailerSt::Written | TrailerSt::Done => {
+                self.st = TrailerSt::Done;
+                StepOutput::Finish
+            }
+        }
+    }
+}
+
+/// Shorthand builder: a script that increments a set of scalars, each in a
+/// nested child transaction — the canonical closed-nesting workload shape
+/// from the paper's Fig. 1 example.
+pub fn nested_increments(kind: TxKind, child_kind: TxKind, oids: &[ObjectId]) -> ScriptProgram {
+    let mut ops = Vec::new();
+    for &oid in oids {
+        ops.push(ScriptOp::OpenNested(child_kind));
+        ops.push(ScriptOp::Write(oid));
+        ops.push(ScriptOp::AddScalar(oid, 1));
+        ops.push(ScriptOp::CloseNested);
+    }
+    ScriptProgram::new(kind, ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_replays_ops_in_order() {
+        let mut p = ScriptProgram::new(
+            TxKind(1),
+            vec![
+                ScriptOp::Read(ObjectId(1)),
+                ScriptOp::AddScalar(ObjectId(1), 5),
+                ScriptOp::Compute(SimDuration::from_micros(10)),
+            ],
+        );
+        assert_eq!(
+            p.step(StepInput::Begin),
+            StepOutput::Acquire(ObjectId(1), AccessMode::Read)
+        );
+        let v = Payload::Scalar(37);
+        assert_eq!(
+            p.step(StepInput::Value(&v)),
+            StepOutput::WriteLocal(ObjectId(1), Payload::Scalar(42))
+        );
+        assert_eq!(
+            p.step(StepInput::Ack),
+            StepOutput::Compute(SimDuration::from_micros(10))
+        );
+        assert_eq!(p.step(StepInput::Ack), StepOutput::Finish);
+        assert_eq!(p.step(StepInput::Ack), StepOutput::Finish, "idempotent at end");
+    }
+
+    #[test]
+    fn clone_box_snapshots_state() {
+        let mut p = ScriptProgram::new(
+            TxKind(1),
+            vec![ScriptOp::Read(ObjectId(1)), ScriptOp::Read(ObjectId(2))],
+        );
+        let snapshot = p.clone_box();
+        let _ = p.step(StepInput::Begin);
+        let _ = p.step(StepInput::Value(&Payload::Scalar(0)));
+        // The snapshot still starts from the beginning.
+        let mut restored = snapshot.clone_box();
+        assert_eq!(
+            restored.step(StepInput::Begin),
+            StepOutput::Acquire(ObjectId(1), AccessMode::Read)
+        );
+    }
+
+    #[test]
+    fn trailer_appends_parent_level_write() {
+        let inner = ScriptProgram::new(
+            TxKind(1),
+            vec![
+                ScriptOp::OpenNested(TxKind(2)),
+                ScriptOp::Read(ObjectId(1)),
+                ScriptOp::CloseNested,
+            ],
+        );
+        let mut p = WithTrailer::new(Box::new(inner), ObjectId(9), Some(2));
+        assert_eq!(p.step(StepInput::Begin), StepOutput::OpenNested(TxKind(2)));
+        assert_eq!(
+            p.step(StepInput::Ack),
+            StepOutput::Acquire(ObjectId(1), AccessMode::Read)
+        );
+        let v = Payload::Scalar(0);
+        assert_eq!(p.step(StepInput::Value(&v)), StepOutput::CloseNested);
+        // Inner finished -> trailing parent-level acquire.
+        assert_eq!(
+            p.step(StepInput::Ack),
+            StepOutput::Acquire(ObjectId(9), AccessMode::Write)
+        );
+        let s = Payload::Scalar(40);
+        assert_eq!(
+            p.step(StepInput::Value(&s)),
+            StepOutput::WriteLocal(ObjectId(9), Payload::Scalar(42))
+        );
+        assert_eq!(p.step(StepInput::Ack), StepOutput::Finish);
+        assert_eq!(p.kind(), TxKind(1));
+    }
+
+    #[test]
+    fn trailer_read_only() {
+        let inner = ScriptProgram::new(TxKind(1), vec![]);
+        let mut p = WithTrailer::new(Box::new(inner), ObjectId(9), None);
+        assert_eq!(
+            p.step(StepInput::Begin),
+            StepOutput::Acquire(ObjectId(9), AccessMode::Read)
+        );
+        let v = Payload::Scalar(5);
+        assert_eq!(p.step(StepInput::Value(&v)), StepOutput::Finish);
+    }
+
+    #[test]
+    fn nested_increments_shape() {
+        let mut p = nested_increments(TxKind(1), TxKind(2), &[ObjectId(7), ObjectId(8)]);
+        assert_eq!(p.step(StepInput::Begin), StepOutput::OpenNested(TxKind(2)));
+        assert_eq!(
+            p.step(StepInput::Ack),
+            StepOutput::Acquire(ObjectId(7), AccessMode::Write)
+        );
+        let v = Payload::Scalar(10);
+        assert_eq!(
+            p.step(StepInput::Value(&v)),
+            StepOutput::WriteLocal(ObjectId(7), Payload::Scalar(11))
+        );
+        assert_eq!(p.step(StepInput::Ack), StepOutput::CloseNested);
+        assert_eq!(p.step(StepInput::Ack), StepOutput::OpenNested(TxKind(2)));
+    }
+}

@@ -1,0 +1,316 @@
+//! System assembly: topology + configuration + objects + workload → a
+//! runnable [`World`] of [`Node`]s, plus end-of-run aggregation.
+
+use crate::config::DstmConfig;
+use crate::message::Msg;
+use crate::metrics::{NodeMetrics, RunMetrics};
+use crate::node::Node;
+use crate::object::Payload;
+use crate::program::BoxedProgram;
+use dstm_net::Topology;
+use dstm_sim::{ActorId, SimDuration, SimTime, World};
+use rts_core::{build_policy, ObjectId, RtsPolicy, ThresholdController};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Where a system gets its shared objects and transactions.
+///
+/// `objects` are placed at their **home node** (`ObjectId::home`), which is
+/// how every node's owner cache is implicitly seeded. `programs[i]` is the
+/// transaction queue of node `i`.
+pub struct WorkloadSource {
+    pub objects: Vec<(ObjectId, Payload)>,
+    pub programs: Vec<Vec<BoxedProgram>>,
+}
+
+/// Builder for a complete simulated D-STM deployment.
+pub struct SystemBuilder {
+    topo: Arc<Topology>,
+    cfg: DstmConfig,
+    seed: u64,
+}
+
+impl SystemBuilder {
+    pub fn new(topo: Topology, cfg: DstmConfig) -> Self {
+        SystemBuilder {
+            topo: Arc::new(topo),
+            cfg,
+            seed: 0x5EED,
+        }
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Assemble the world. Panics if `programs` does not match the node
+    /// count or if an object is homed outside the node range.
+    pub fn build(self, workload: WorkloadSource) -> System {
+        let n = self.topo.n();
+        assert_eq!(
+            workload.programs.len(),
+            n,
+            "one program queue per node required"
+        );
+        let cfg = Arc::new(self.cfg);
+
+        // Partition objects to their home nodes.
+        let mut per_node: Vec<Vec<(ObjectId, Payload)>> = (0..n).map(|_| Vec::new()).collect();
+        for (oid, payload) in workload.objects {
+            per_node[oid.home(n) as usize].push((oid, payload));
+        }
+
+        let mut programs = workload.programs;
+        let nodes: Vec<Node> = (0..n)
+            .map(|i| {
+                let policy = if cfg.adaptive_threshold
+                    && cfg.scheduler == rts_core::SchedulerKind::Rts
+                {
+                    Box::new(RtsPolicy::new(ThresholdController::adaptive(
+                        cfg.cl_threshold,
+                        1,
+                        cfg.cl_threshold * 4,
+                        SimDuration::from_millis(500),
+                    ))) as Box<dyn rts_core::ConflictPolicy>
+                } else {
+                    build_policy(cfg.scheduler, cfg.backoff_base, cfg.cl_threshold)
+                };
+                Node::new(
+                    i as u32,
+                    Arc::clone(&self.topo),
+                    Arc::clone(&cfg),
+                    policy,
+                    std::mem::take(&mut per_node[i]),
+                    std::mem::take(&mut programs[i]),
+                )
+            })
+            .collect();
+
+        let mut world = World::new(nodes, self.seed);
+        for i in 0..n {
+            world.send_external(ActorId(i as u32), Msg::StartWorkload, SimDuration::ZERO);
+        }
+        System {
+            world,
+            topo: self.topo,
+        }
+    }
+}
+
+/// A runnable deployment.
+pub struct System {
+    world: World<Node>,
+    topo: Arc<Topology>,
+}
+
+impl System {
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    pub fn world(&self) -> &World<Node> {
+        &self.world
+    }
+
+    pub fn world_mut(&mut self) -> &mut World<Node> {
+        &mut self.world
+    }
+
+    /// Drive the system until every node's workload committed, the event
+    /// budget is exhausted, or the queue unexpectedly drains. Returns the
+    /// aggregated run metrics.
+    pub fn run(&mut self, event_budget: u64) -> RunMetrics {
+        let started_at = self.world.now();
+        self.world
+            .run_while(event_budget, |w| !w.actors().iter().all(|n| n.done()));
+        let ended_at = self.world.now();
+
+        let mut merged = NodeMetrics::default();
+        for node in self.world.actors() {
+            merged.merge(&node.metrics);
+        }
+        RunMetrics {
+            nodes: self.topo.n(),
+            merged,
+            elapsed: ended_at.saturating_since(started_at),
+            messages: self.world.messages_delivered(),
+            started_at,
+            ended_at,
+        }
+    }
+
+    /// Run with a default event budget generous enough for the harness
+    /// workloads (≈50k events per transaction).
+    pub fn run_default(&mut self) -> RunMetrics {
+        let total_txns: usize = self.world.actors().iter().map(|n| n.backlog()).sum();
+        self.run((total_txns as u64 + 16) * 50_000)
+    }
+
+    /// Whether every node finished its workload.
+    pub fn all_done(&self) -> bool {
+        self.world.actors().iter().all(|n| n.done())
+    }
+
+    /// Snapshot of the current committed state of every object in the
+    /// system (owner-held authoritative copies), for invariant checks.
+    pub fn object_state(&self) -> HashMap<ObjectId, (Payload, u64)> {
+        let mut out = HashMap::new();
+        for node in self.world.actors() {
+            for (oid, o) in node.owned_objects() {
+                let prev = out.insert(*oid, (o.payload.clone(), o.version));
+                assert!(
+                    prev.is_none(),
+                    "single-writable-copy violated: {oid:?} owned twice"
+                );
+            }
+        }
+        out
+    }
+
+    /// Virtual time now.
+    pub fn now(&self) -> SimTime {
+        self.world.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{nested_increments, ScriptOp, ScriptProgram};
+    use dstm_sim::SimRng;
+    use rts_core::{SchedulerKind, TxKind};
+
+    fn single_node_system(programs: Vec<BoxedProgram>, objects: Vec<(ObjectId, Payload)>) -> System {
+        let topo = Topology::complete(1, 1);
+        let cfg = DstmConfig::default().with_scheduler(SchedulerKind::Tfa);
+        SystemBuilder::new(topo, cfg).build(WorkloadSource {
+            objects,
+            programs: vec![programs],
+        })
+    }
+
+    #[test]
+    fn single_node_single_tx_commits() {
+        let p = ScriptProgram::new(
+            TxKind(1),
+            vec![
+                ScriptOp::Write(ObjectId(1)),
+                ScriptOp::AddScalar(ObjectId(1), 5),
+            ],
+        );
+        let mut sys = single_node_system(
+            vec![Box::new(p)],
+            vec![(ObjectId(1), Payload::Scalar(10))],
+        );
+        let m = sys.run(100_000);
+        assert!(sys.all_done());
+        assert_eq!(m.merged.commits, 1);
+        assert_eq!(m.merged.total_aborts(), 0);
+        let state = sys.object_state();
+        assert_eq!(state[&ObjectId(1)].0, Payload::Scalar(15));
+        assert!(state[&ObjectId(1)].1 > 0, "version bumped by the commit");
+    }
+
+    #[test]
+    fn nested_commit_merges_and_publishes() {
+        let p = nested_increments(TxKind(1), TxKind(2), &[ObjectId(1), ObjectId(2)]);
+        let mut sys = single_node_system(
+            vec![Box::new(p)],
+            vec![
+                (ObjectId(1), Payload::Scalar(0)),
+                (ObjectId(2), Payload::Scalar(7)),
+            ],
+        );
+        let m = sys.run(100_000);
+        assert!(sys.all_done());
+        assert_eq!(m.merged.commits, 1);
+        assert_eq!(m.merged.nested_commits, 2);
+        let state = sys.object_state();
+        assert_eq!(state[&ObjectId(1)].0, Payload::Scalar(1));
+        assert_eq!(state[&ObjectId(2)].0, Payload::Scalar(8));
+    }
+
+    #[test]
+    fn two_node_remote_fetch_moves_ownership() {
+        // One object, homed somewhere; a writer on each node increments it
+        // twice; total must be 4 regardless of schedule.
+        let oid = ObjectId(9);
+        let topo = Topology::complete(2, 5);
+        let cfg = DstmConfig::default()
+            .with_scheduler(SchedulerKind::Tfa)
+            .with_concurrency(1);
+        let mk = || -> BoxedProgram {
+            Box::new(ScriptProgram::new(
+                TxKind(1),
+                vec![ScriptOp::Write(oid), ScriptOp::AddScalar(oid, 1)],
+            ))
+        };
+        let mut sys = SystemBuilder::new(topo, cfg).build(WorkloadSource {
+            objects: vec![(oid, Payload::Scalar(0))],
+            programs: vec![vec![mk(), mk()], vec![mk(), mk()]],
+        });
+        let m = sys.run(1_000_000);
+        assert!(sys.all_done(), "system stalled");
+        assert_eq!(m.merged.commits, 4);
+        let state = sys.object_state();
+        assert_eq!(state[&oid].0, Payload::Scalar(4), "increments must serialize");
+    }
+
+    #[test]
+    fn contended_counter_is_linearizable_under_all_schedulers() {
+        // 4 nodes × 5 increments of one shared counter each, under each
+        // scheduler: the final value must always be exactly 20.
+        for scheduler in [
+            SchedulerKind::Tfa,
+            SchedulerKind::TfaBackoff,
+            SchedulerKind::Rts,
+        ] {
+            let oid = ObjectId(1);
+            let mut rng = SimRng::new(7);
+            let topo = Topology::uniform_random(4, 1, 10, &mut rng);
+            let cfg = DstmConfig::default()
+                .with_scheduler(scheduler)
+                .with_concurrency(2);
+            let mk = || -> BoxedProgram {
+                Box::new(ScriptProgram::new(
+                    TxKind(1),
+                    vec![
+                        ScriptOp::Write(oid),
+                        ScriptOp::AddScalar(oid, 1),
+                        ScriptOp::Compute(SimDuration::from_micros(100)),
+                    ],
+                ))
+            };
+            let programs: Vec<Vec<BoxedProgram>> =
+                (0..4).map(|_| (0..5).map(|_| mk()).collect()).collect();
+            let mut sys = SystemBuilder::new(topo, cfg).seed(99).build(WorkloadSource {
+                objects: vec![(oid, Payload::Scalar(0))],
+                programs,
+            });
+            let m = sys.run(5_000_000);
+            assert!(sys.all_done(), "{scheduler:?} run stalled");
+            assert_eq!(m.merged.commits, 20, "{scheduler:?} lost commits");
+            let state = sys.object_state();
+            assert_eq!(
+                state[&oid].0,
+                Payload::Scalar(20),
+                "{scheduler:?} violated serializability"
+            );
+        }
+    }
+
+    #[test]
+    fn read_only_transactions_commit() {
+        let p = ScriptProgram::new(TxKind(1), vec![ScriptOp::Read(ObjectId(1))]);
+        let mut sys = single_node_system(
+            vec![Box::new(p)],
+            vec![(ObjectId(1), Payload::Scalar(10))],
+        );
+        let m = sys.run(100_000);
+        assert!(sys.all_done());
+        assert_eq!(m.merged.commits, 1);
+        // Read-only commit must not bump the version.
+        assert_eq!(sys.object_state()[&ObjectId(1)].1, 0);
+    }
+}

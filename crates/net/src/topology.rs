@@ -1,0 +1,339 @@
+//! Static delay matrices and their generators.
+
+use dstm_sim::{ActorId, SimDuration, SimRng};
+
+/// How a topology was generated (kept for reporting).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// Symmetric i.i.d. delays in a range — the paper's experimental setup.
+    UniformRandom,
+    /// Points placed uniformly in a square; delay ∝ Euclidean distance.
+    /// A true metric space (triangle inequality holds).
+    MetricPlane,
+    /// Nodes on a ring; delay ∝ hop distance.
+    Ring,
+    /// Dense clusters with cheap intra-cluster and expensive inter-cluster links.
+    Clustered,
+    /// Constant delay between every distinct pair.
+    Complete,
+}
+
+/// A static, symmetric `n × n` delay matrix.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    n: usize,
+    /// Row-major delays; `delays[a * n + b]`, symmetric, zero diagonal.
+    delays: Vec<SimDuration>,
+    kind: TopologyKind,
+}
+
+impl Topology {
+    fn from_matrix(n: usize, delays: Vec<SimDuration>, kind: TopologyKind) -> Self {
+        debug_assert_eq!(delays.len(), n * n);
+        Topology { n, delays, kind }
+    }
+
+    /// The paper's setup: every distinct pair gets an independent uniform
+    /// delay in `[min_ms, max_ms]` milliseconds (defaults 1–50 in the
+    /// harness). Symmetric; the matrix is fixed for the whole run ("static
+    /// network").
+    pub fn uniform_random(n: usize, min_ms: u64, max_ms: u64, rng: &mut SimRng) -> Self {
+        assert!(n > 0 && min_ms <= max_ms);
+        let mut delays = vec![SimDuration::ZERO; n * n];
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let d = SimDuration::from_millis(rng.range_inclusive(min_ms, max_ms));
+                delays[a * n + b] = d;
+                delays[b * n + a] = d;
+            }
+        }
+        Topology::from_matrix(n, delays, TopologyKind::UniformRandom)
+    }
+
+    /// Uniform points in a `side_ms × side_ms` square; delay is the Euclidean
+    /// distance in milliseconds **plus** a `min_ms` per-hop offset. The
+    /// additive offset models fixed link overhead and — unlike clamping —
+    /// preserves the triangle inequality, so this is a true metric space,
+    /// used to validate the §III-D analysis.
+    pub fn metric_plane(n: usize, side_ms: f64, min_ms: u64, rng: &mut SimRng) -> Self {
+        assert!(n > 0 && side_ms > 0.0);
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.unit_f64() * side_ms, rng.unit_f64() * side_ms))
+            .collect();
+        let mut delays = vec![SimDuration::ZERO; n * n];
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let dx = pts[a].0 - pts[b].0;
+                let dy = pts[a].1 - pts[b].1;
+                let ms = (dx * dx + dy * dy).sqrt();
+                let d = SimDuration::from_nanos((ms * 1e6) as u64 + min_ms * 1_000_000);
+                delays[a * n + b] = d;
+                delays[b * n + a] = d;
+            }
+        }
+        Topology::from_matrix(n, delays, TopologyKind::MetricPlane)
+    }
+
+    /// Ring of `n` nodes; delay between `a` and `b` is `hop_ms` times the
+    /// shorter hop count around the ring. Also a metric.
+    pub fn ring(n: usize, hop_ms: u64) -> Self {
+        assert!(n > 0);
+        let mut delays = vec![SimDuration::ZERO; n * n];
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let fwd = b - a;
+                let hops = fwd.min(n - fwd) as u64;
+                let d = SimDuration::from_millis(hops * hop_ms);
+                delays[a * n + b] = d;
+                delays[b * n + a] = d;
+            }
+        }
+        Topology::from_matrix(n, delays, TopologyKind::Ring)
+    }
+
+    /// `clusters` equal groups; `intra_ms` within a group, `inter_ms`
+    /// between groups (inter > intra keeps it metric).
+    pub fn clustered(n: usize, clusters: usize, intra_ms: u64, inter_ms: u64) -> Self {
+        assert!(n > 0 && clusters > 0);
+        assert!(
+            inter_ms >= intra_ms,
+            "inter-cluster delay must dominate for metricity"
+        );
+        let mut delays = vec![SimDuration::ZERO; n * n];
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let same = (a % clusters) == (b % clusters);
+                let ms = if same { intra_ms } else { inter_ms };
+                let d = SimDuration::from_millis(ms);
+                delays[a * n + b] = d;
+                delays[b * n + a] = d;
+            }
+        }
+        Topology::from_matrix(n, delays, TopologyKind::Clustered)
+    }
+
+    /// Constant delay `d_ms` between every distinct pair.
+    pub fn complete(n: usize, d_ms: u64) -> Self {
+        assert!(n > 0);
+        let mut delays = vec![SimDuration::ZERO; n * n];
+        let d = SimDuration::from_millis(d_ms);
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    delays[a * n + b] = d;
+                }
+            }
+        }
+        Topology::from_matrix(n, delays, TopologyKind::Complete)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// One-way message delay between two nodes. Zero for `a == b`.
+    #[inline]
+    pub fn delay(&self, a: ActorId, b: ActorId) -> SimDuration {
+        self.delays[a.index() * self.n + b.index()]
+    }
+
+    /// Round-trip delay `2 × d(a, b)` — the cost of one remote object fetch
+    /// (request + response), the quantity the paper's makespan analysis sums.
+    #[inline]
+    pub fn rtt(&self, a: ActorId, b: ActorId) -> SimDuration {
+        self.delay(a, b) * 2
+    }
+
+    /// Mean one-way delay over distinct pairs.
+    pub fn mean_delay(&self) -> SimDuration {
+        if self.n < 2 {
+            return SimDuration::ZERO;
+        }
+        let mut sum = 0u128;
+        for a in 0..self.n {
+            for b in 0..self.n {
+                if a != b {
+                    sum += self.delays[a * self.n + b].as_nanos() as u128;
+                }
+            }
+        }
+        let pairs = (self.n * (self.n - 1)) as u128;
+        SimDuration::from_nanos((sum / pairs) as u64)
+    }
+
+    /// `Σ_i d(from, i)` — total one-way delay from `from` to every node,
+    /// the term `Σ d(n0, ni)` in Lemmas 3.2/3.3.
+    pub fn sum_delays_from(&self, from: ActorId) -> SimDuration {
+        let mut sum = SimDuration::ZERO;
+        for b in 0..self.n {
+            sum += self.delays[from.index() * self.n + b];
+        }
+        sum
+    }
+
+    /// Length of a tour visiting `order` in sequence — the term
+    /// `Σ d(n(i-1), n(i))` in Lemma 3.3.
+    pub fn tour_length(&self, order: &[ActorId]) -> SimDuration {
+        order
+            .windows(2)
+            .map(|w| self.delay(w[0], w[1]))
+            .fold(SimDuration::ZERO, |acc, d| acc + d)
+    }
+
+    /// Greedy nearest-neighbour tour over all nodes starting at `start`.
+    /// Rosenkrantz et al. (cited by the paper as [21]) bound NN tours within
+    /// `O(log N)` of optimal on metric spaces; the analysis reproduction
+    /// checks the paper's use of that bound.
+    pub fn nearest_neighbour_tour(&self, start: ActorId) -> Vec<ActorId> {
+        let mut visited = vec![false; self.n];
+        let mut tour = Vec::with_capacity(self.n);
+        let mut cur = start;
+        visited[cur.index()] = true;
+        tour.push(cur);
+        for _ in 1..self.n {
+            let mut best: Option<(usize, SimDuration)> = None;
+            for (b, seen) in visited.iter().enumerate() {
+                if !seen {
+                    let d = self.delays[cur.index() * self.n + b];
+                    if best.is_none_or(|(_, bd)| d < bd) {
+                        best = Some((b, d));
+                    }
+                }
+            }
+            let (b, _) = best.expect("unvisited node must exist");
+            visited[b] = true;
+            cur = ActorId(b as u32);
+            tour.push(cur);
+        }
+        tour
+    }
+
+    /// Does the matrix satisfy the triangle inequality (within exact integer
+    /// arithmetic)? `UniformRandom` topologies generally do not; plane/ring/
+    /// clustered/complete ones do.
+    pub fn is_metric(&self) -> bool {
+        for a in 0..self.n {
+            for b in 0..self.n {
+                let dab = self.delays[a * self.n + b].as_nanos();
+                for c in 0..self.n {
+                    let via = self.delays[a * self.n + c].as_nanos() as u128
+                        + self.delays[c * self.n + b].as_nanos() as u128;
+                    if (dab as u128) > via {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Is the matrix symmetric with a zero diagonal? (Invariant check used
+    /// by property tests.)
+    pub fn is_well_formed(&self) -> bool {
+        for a in 0..self.n {
+            if !self.delays[a * self.n + a].is_zero() {
+                return false;
+            }
+            for b in 0..self.n {
+                if self.delays[a * self.n + b] != self.delays[b * self.n + a] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::new(2026)
+    }
+
+    #[test]
+    fn uniform_random_in_range_and_well_formed() {
+        let t = Topology::uniform_random(20, 1, 50, &mut rng());
+        assert!(t.is_well_formed());
+        for a in 0..20 {
+            for b in 0..20 {
+                if a != b {
+                    let ms = t.delay(ActorId(a), ActorId(b)).as_millis();
+                    assert!((1..=50).contains(&ms), "delay {ms}ms out of range");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn metric_plane_is_metric() {
+        let t = Topology::metric_plane(15, 50.0, 1, &mut rng());
+        assert!(t.is_well_formed());
+        assert!(t.is_metric());
+    }
+
+    #[test]
+    fn ring_distances() {
+        let t = Topology::ring(6, 10);
+        assert_eq!(t.delay(ActorId(0), ActorId(1)).as_millis(), 10);
+        assert_eq!(t.delay(ActorId(0), ActorId(3)).as_millis(), 30);
+        assert_eq!(t.delay(ActorId(0), ActorId(5)).as_millis(), 10); // wraps
+        assert!(t.is_metric());
+    }
+
+    #[test]
+    fn clustered_delays() {
+        let t = Topology::clustered(8, 2, 2, 20);
+        // nodes 0 and 2 share cluster (0 % 2 == 2 % 2)
+        assert_eq!(t.delay(ActorId(0), ActorId(2)).as_millis(), 2);
+        assert_eq!(t.delay(ActorId(0), ActorId(1)).as_millis(), 20);
+        assert!(t.is_well_formed());
+    }
+
+    #[test]
+    fn complete_constant() {
+        let t = Topology::complete(5, 7);
+        assert_eq!(t.mean_delay().as_millis(), 7);
+        assert!(t.is_metric());
+        assert_eq!(t.rtt(ActorId(0), ActorId(1)).as_millis(), 14);
+    }
+
+    #[test]
+    fn sums_and_tours() {
+        let t = Topology::ring(4, 10);
+        // from node 0: d=0,10,20,10 -> 40 ms
+        assert_eq!(t.sum_delays_from(ActorId(0)).as_millis(), 40);
+        let tour = t.nearest_neighbour_tour(ActorId(0));
+        assert_eq!(tour.len(), 4);
+        assert_eq!(tour[0], ActorId(0));
+        // NN tour on a ring is 10+10+10 = 30ms
+        assert_eq!(t.tour_length(&tour).as_millis(), 30);
+    }
+
+    #[test]
+    fn nn_tour_visits_each_node_once() {
+        let t = Topology::uniform_random(30, 1, 50, &mut rng());
+        let tour = t.nearest_neighbour_tour(ActorId(7));
+        let mut seen: Vec<u32> = tour.iter().map(|a| a.0).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..30).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = Topology::uniform_random(10, 1, 50, &mut SimRng::new(5));
+        let b = Topology::uniform_random(10, 1, 50, &mut SimRng::new(5));
+        for x in 0..10 {
+            for y in 0..10 {
+                assert_eq!(a.delay(ActorId(x), ActorId(y)), b.delay(ActorId(x), ActorId(y)));
+            }
+        }
+    }
+}

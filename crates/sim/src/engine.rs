@@ -1,0 +1,417 @@
+//! The actor-world simulation engine.
+//!
+//! A [`World`] owns a homogeneous set of actors (simulated nodes), a single
+//! totally-ordered pending-event set, and per-actor deterministic RNG
+//! streams. Actors interact with the world only through [`Ctx`]: sending
+//! messages with a delivery delay, arming/cancelling timers, reading virtual
+//! time, and drawing random numbers. This narrow interface is what makes
+//! whole-protocol runs reproducible: identical seeds yield identical event
+//! sequences.
+
+use crate::event::Sequenced;
+use crate::queue::{BinaryHeapQueue, EventQueue};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceEvent, TraceSink};
+use std::collections::HashSet;
+
+/// Identifies an actor (node) in the world. Dense indices starting at 0.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ActorId(pub u32);
+
+impl ActorId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Handle to a pending timer; pass to [`Ctx::cancel_timer`] to cancel.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TimerToken(u64);
+
+/// A simulated node. `Msg` is the network message type, `Timer` the local
+/// timer payload type.
+pub trait Actor {
+    type Msg;
+    type Timer;
+
+    /// A message from `from` has been delivered to this actor.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, from: ActorId, msg: Self::Msg);
+
+    /// A previously armed (and not cancelled) timer has fired.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, timer: Self::Timer);
+}
+
+enum Payload<M, T> {
+    Msg { from: ActorId, to: ActorId, msg: M },
+    Timer { on: ActorId, token: TimerToken, timer: T },
+}
+
+/// Engine internals shared between the run loop and actor callbacks.
+struct Kernel<M, T> {
+    now: SimTime,
+    seq: u64,
+    next_timer: u64,
+    queue: BinaryHeapQueue<Payload<M, T>>,
+    cancelled: HashSet<u64>,
+    rngs: Vec<SimRng>,
+    trace: TraceSink,
+    /// Delivered message count (protocol messages, not timers).
+    messages_delivered: u64,
+    timers_fired: u64,
+}
+
+impl<M, T> Kernel<M, T> {
+    fn schedule(&mut self, delay: SimDuration, payload: Payload<M, T>) {
+        let at = self.now + delay;
+        self.seq += 1;
+        self.queue.push(Sequenced::new(at, self.seq, payload));
+    }
+}
+
+/// The per-callback view of the engine handed to actor code.
+pub struct Ctx<'a, M, T> {
+    kernel: &'a mut Kernel<M, T>,
+    me: ActorId,
+}
+
+impl<'a, M, T> Ctx<'a, M, T> {
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    /// The actor this callback runs on.
+    #[inline]
+    pub fn me(&self) -> ActorId {
+        self.me
+    }
+
+    /// Send `msg` to `to`, delivered after `delay` of virtual time.
+    /// Delays come from the topology's delay matrix (see `dstm-net`);
+    /// the engine itself is delay-agnostic.
+    pub fn send(&mut self, to: ActorId, msg: M, delay: SimDuration) {
+        let from = self.me;
+        self.kernel.schedule(delay, Payload::Msg { from, to, msg });
+    }
+
+    /// Arm a timer on this actor that fires after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, timer: T) -> TimerToken {
+        self.kernel.next_timer += 1;
+        let token = TimerToken(self.kernel.next_timer);
+        let on = self.me;
+        self.kernel.schedule(delay, Payload::Timer { on, token, timer });
+        token
+    }
+
+    /// Cancel a pending timer. Cancelling an already-fired or already-
+    /// cancelled timer is a no-op.
+    pub fn cancel_timer(&mut self, token: TimerToken) {
+        self.kernel.cancelled.insert(token.0);
+    }
+
+    /// This actor's private deterministic RNG stream.
+    #[inline]
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.kernel.rngs[self.me.index()]
+    }
+
+    /// Emit a free-form trace annotation (no-op when tracing is disabled).
+    pub fn note(&mut self, text: impl FnOnce() -> String) {
+        if self.kernel.trace.enabled() {
+            let at = self.kernel.now;
+            let on = self.me;
+            self.kernel.trace.record(TraceEvent::Note { at, on, text: text() });
+        }
+    }
+}
+
+/// A complete simulation: actors + kernel.
+pub struct World<A: Actor> {
+    actors: Vec<A>,
+    kernel: Kernel<A::Msg, A::Timer>,
+}
+
+impl<A: Actor> World<A> {
+    /// Build a world over `actors`; all randomness derives from `seed`.
+    pub fn new(actors: Vec<A>, seed: u64) -> Self {
+        let root = SimRng::new(seed);
+        let rngs = (0..actors.len()).map(|i| root.split(i as u64)).collect();
+        World {
+            actors,
+            kernel: Kernel {
+                now: SimTime::ZERO,
+                seq: 0,
+                next_timer: 0,
+                queue: BinaryHeapQueue::new(),
+                cancelled: HashSet::new(),
+                rngs,
+                trace: TraceSink::Disabled,
+                messages_delivered: 0,
+                timers_fired: 0,
+            },
+        }
+    }
+
+    /// Enable in-memory tracing (for tests/scenario inspection).
+    pub fn enable_trace(&mut self, cap: usize) {
+        self.kernel.trace = TraceSink::ring(cap);
+    }
+
+    pub fn trace_events(&self) -> &[TraceEvent] {
+        self.kernel.trace.events()
+    }
+
+    pub fn len(&self) -> usize {
+        self.actors.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.actors.is_empty()
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    pub fn actor(&self, id: ActorId) -> &A {
+        &self.actors[id.index()]
+    }
+
+    pub fn actor_mut(&mut self, id: ActorId) -> &mut A {
+        &mut self.actors[id.index()]
+    }
+
+    pub fn actors(&self) -> &[A] {
+        &self.actors
+    }
+
+    /// Total protocol messages delivered so far.
+    pub fn messages_delivered(&self) -> u64 {
+        self.kernel.messages_delivered
+    }
+
+    pub fn timers_fired(&self) -> u64 {
+        self.kernel.timers_fired
+    }
+
+    /// Inject a message from outside the world (workload arrival); `from` is
+    /// recorded as the destination itself.
+    pub fn send_external(&mut self, to: ActorId, msg: A::Msg, delay: SimDuration) {
+        self.kernel.schedule(delay, Payload::Msg { from: to, to, msg });
+    }
+
+    /// Run a callback in `actor`'s context, as if an event had fired there.
+    /// Used to bootstrap protocol state (e.g. starting the first transactions).
+    pub fn with_ctx<R>(
+        &mut self,
+        actor: ActorId,
+        f: impl FnOnce(&mut A, &mut Ctx<'_, A::Msg, A::Timer>) -> R,
+    ) -> R {
+        let mut ctx = Ctx {
+            kernel: &mut self.kernel,
+            me: actor,
+        };
+        f(&mut self.actors[actor.index()], &mut ctx)
+    }
+
+    /// Process one event. Returns `false` when the queue is exhausted.
+    pub fn step(&mut self) -> bool {
+        let ev = match self.kernel.queue.pop() {
+            Some(ev) => ev,
+            None => return false,
+        };
+        debug_assert!(ev.key.time >= self.kernel.now, "time went backwards");
+        self.kernel.now = ev.key.time;
+        match ev.payload {
+            Payload::Msg { from, to, msg } => {
+                self.kernel.messages_delivered += 1;
+                if self.kernel.trace.enabled() {
+                    self.kernel.trace.record(TraceEvent::Deliver {
+                        at: self.kernel.now,
+                        from,
+                        to,
+                        tag: "msg",
+                    });
+                }
+                let mut ctx = Ctx {
+                    kernel: &mut self.kernel,
+                    me: to,
+                };
+                self.actors[to.index()].on_message(&mut ctx, from, msg);
+            }
+            Payload::Timer { on, token, timer } => {
+                if self.kernel.cancelled.remove(&token.0) {
+                    return true; // cancelled; skip
+                }
+                self.kernel.timers_fired += 1;
+                if self.kernel.trace.enabled() {
+                    self.kernel.trace.record(TraceEvent::TimerFired {
+                        at: self.kernel.now,
+                        on,
+                        tag: "timer",
+                    });
+                }
+                let mut ctx = Ctx {
+                    kernel: &mut self.kernel,
+                    me: on,
+                };
+                self.actors[on.index()].on_timer(&mut ctx, timer);
+            }
+        }
+        true
+    }
+
+    /// Run until the event queue drains.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until the queue drains or virtual time would exceed `deadline`.
+    /// Events at exactly `deadline` are processed; later ones remain queued.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(key) = self.kernel.queue.peek_key() {
+            if key.time > deadline {
+                self.kernel.now = deadline;
+                return;
+            }
+            self.step();
+        }
+    }
+
+    /// Run until `pred` over the world returns true, checking after every
+    /// event, with a hard event-count budget to bound runaway protocols.
+    pub fn run_while(&mut self, budget: u64, mut pred: impl FnMut(&World<A>) -> bool) -> u64 {
+        let mut steps = 0;
+        while steps < budget && pred(self) {
+            if !self.step() {
+                break;
+            }
+            steps += 1;
+        }
+        steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An actor that records delivery times and bounces messages.
+    struct Echo {
+        deliveries: Vec<(SimTime, u32)>,
+        fired: Vec<u32>,
+        armed: Option<TimerToken>,
+    }
+
+    impl Echo {
+        fn new() -> Self {
+            Echo {
+                deliveries: Vec::new(),
+                fired: Vec::new(),
+                armed: None,
+            }
+        }
+    }
+
+    impl Actor for Echo {
+        type Msg = u32;
+        type Timer = u32;
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u32, u32>, _from: ActorId, msg: u32) {
+            self.deliveries.push((ctx.now(), msg));
+            match msg {
+                1 => {
+                    // arm a timer and a cancellation race
+                    self.armed = Some(ctx.set_timer(SimDuration::from_millis(5), 77));
+                    ctx.set_timer(SimDuration::from_millis(1), 88);
+                }
+                2 => {
+                    if let Some(tok) = self.armed.take() {
+                        ctx.cancel_timer(tok);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, u32, u32>, timer: u32) {
+            self.fired.push(timer);
+        }
+    }
+
+    #[test]
+    fn delivery_respects_delay_and_order() {
+        let mut w = World::new(vec![Echo::new(), Echo::new()], 1);
+        w.send_external(ActorId(0), 10, SimDuration::from_millis(3));
+        w.send_external(ActorId(0), 20, SimDuration::from_millis(1));
+        w.run();
+        let d = &w.actor(ActorId(0)).deliveries;
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0], (SimTime(1_000_000), 20));
+        assert_eq!(d[1], (SimTime(3_000_000), 10));
+    }
+
+    #[test]
+    fn timer_fires_unless_cancelled() {
+        // msg 1 arms timers (88 @1ms, 77 @5ms); msg 2 at 2ms cancels 77.
+        let mut w = World::new(vec![Echo::new()], 1);
+        w.send_external(ActorId(0), 1, SimDuration::ZERO);
+        w.send_external(ActorId(0), 2, SimDuration::from_millis(2));
+        w.run();
+        assert_eq!(w.actor(ActorId(0)).fired, vec![88]);
+        assert_eq!(w.timers_fired(), 1);
+    }
+
+    #[test]
+    fn timer_fires_without_cancellation() {
+        let mut w = World::new(vec![Echo::new()], 1);
+        w.send_external(ActorId(0), 1, SimDuration::ZERO);
+        w.run();
+        let mut fired = w.actor(ActorId(0)).fired.clone();
+        fired.sort_unstable();
+        assert_eq!(fired, vec![77, 88]);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut w = World::new(vec![Echo::new()], 1);
+        w.send_external(ActorId(0), 5, SimDuration::from_millis(1));
+        w.send_external(ActorId(0), 6, SimDuration::from_millis(10));
+        w.run_until(SimTime(5_000_000));
+        assert_eq!(w.actor(ActorId(0)).deliveries.len(), 1);
+        assert_eq!(w.now(), SimTime(5_000_000));
+        w.run();
+        assert_eq!(w.actor(ActorId(0)).deliveries.len(), 2);
+    }
+
+    #[test]
+    fn identical_seeds_identical_runs() {
+        fn run_one(seed: u64) -> Vec<(SimTime, u32)> {
+            let mut w = World::new(vec![Echo::new(), Echo::new()], seed);
+            // jittered sends driven by actor rng
+            w.with_ctx(ActorId(0), |_, ctx| {
+                for i in 0..50 {
+                    let d = SimDuration::from_micros(ctx.rng().below(1000));
+                    ctx.send(ActorId(1), i, d);
+                }
+            });
+            w.run();
+            w.actor(ActorId(1)).deliveries.clone()
+        }
+        assert_eq!(run_one(42), run_one(42));
+        assert_ne!(run_one(42), run_one(43));
+    }
+
+    #[test]
+    fn message_counter_counts() {
+        let mut w = World::new(vec![Echo::new()], 9);
+        for _ in 0..7 {
+            w.send_external(ActorId(0), 0, SimDuration::ZERO);
+        }
+        w.run();
+        assert_eq!(w.messages_delivered(), 7);
+    }
+}

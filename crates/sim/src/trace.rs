@@ -1,0 +1,138 @@
+//! Lightweight tracing hooks for debugging protocol runs.
+//!
+//! Tracing is off by default ([`TraceSink::Disabled`] costs one branch per
+//! event) and can be switched to an in-memory ring buffer for tests and
+//! post-mortem inspection of scripted scenarios (Figs. 2–3).
+
+use crate::engine::ActorId;
+use crate::time::SimTime;
+use std::fmt;
+
+/// One recorded kernel-level occurrence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A message was delivered to `to` from `from`.
+    Deliver {
+        at: SimTime,
+        from: ActorId,
+        to: ActorId,
+        tag: &'static str,
+    },
+    /// A timer fired at `at` on `on`.
+    TimerFired {
+        at: SimTime,
+        on: ActorId,
+        tag: &'static str,
+    },
+    /// Free-form annotation emitted by actor code.
+    Note { at: SimTime, on: ActorId, text: String },
+}
+
+impl TraceEvent {
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceEvent::Deliver { at, .. }
+            | TraceEvent::TimerFired { at, .. }
+            | TraceEvent::Note { at, .. } => *at,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Deliver { at, from, to, tag } => {
+                write!(f, "[{at}] {from:?} -> {to:?}: {tag}")
+            }
+            TraceEvent::TimerFired { at, on, tag } => write!(f, "[{at}] timer on {on:?}: {tag}"),
+            TraceEvent::Note { at, on, text } => write!(f, "[{at}] note on {on:?}: {text}"),
+        }
+    }
+}
+
+/// Where trace events go.
+#[derive(Debug, Default)]
+pub enum TraceSink {
+    /// Drop everything (the default; near-zero overhead).
+    #[default]
+    Disabled,
+    /// Keep the last `cap` events in a ring buffer.
+    Ring { buf: Vec<TraceEvent>, cap: usize },
+}
+
+impl TraceSink {
+    pub fn ring(cap: usize) -> Self {
+        TraceSink::Ring {
+            buf: Vec::with_capacity(cap.min(4096)),
+            cap,
+        }
+    }
+
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        !matches!(self, TraceSink::Disabled)
+    }
+
+    #[inline]
+    pub fn record(&mut self, ev: TraceEvent) {
+        if let TraceSink::Ring { buf, cap } = self {
+            if buf.len() == *cap {
+                buf.remove(0); // ring is small; O(n) removal is fine here
+            }
+            buf.push(ev);
+        }
+    }
+
+    /// The recorded events (empty when disabled).
+    pub fn events(&self) -> &[TraceEvent] {
+        match self {
+            TraceSink::Disabled => &[],
+            TraceSink::Ring { buf, .. } => buf,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut sink = TraceSink::Disabled;
+        sink.record(TraceEvent::Note {
+            at: SimTime(1),
+            on: ActorId(0),
+            text: "x".into(),
+        });
+        assert!(sink.events().is_empty());
+        assert!(!sink.enabled());
+    }
+
+    #[test]
+    fn ring_caps_length() {
+        let mut sink = TraceSink::ring(3);
+        for i in 0..5 {
+            sink.record(TraceEvent::Note {
+                at: SimTime(i),
+                on: ActorId(0),
+                text: format!("{i}"),
+            });
+        }
+        let evs = sink.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].at(), SimTime(2));
+        assert_eq!(evs[2].at(), SimTime(4));
+    }
+
+    #[test]
+    fn display_formats() {
+        let ev = TraceEvent::Deliver {
+            at: SimTime(1_000_000),
+            from: ActorId(1),
+            to: ActorId(2),
+            tag: "req",
+        };
+        let s = ev.to_string();
+        assert!(s.contains("req"), "{s}");
+    }
+}

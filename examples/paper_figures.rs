@@ -1,0 +1,41 @@
+//! Regenerate a compact version of the paper's whole evaluation in one go:
+//! Table I, one Figure-4/5 panel per benchmark, and the Figure-6 speedup
+//! summary — at a reduced scale suitable for a laptop run.
+//!
+//! For the full-scale sweeps use the bench targets
+//! (`cargo bench -p dstm-bench --bench fig4_throughput_low` etc.).
+//!
+//! ```text
+//! cargo run --release --example paper_figures
+//! ```
+
+use closed_nesting_dstm::harness::experiments::{speedup, table1, Scale};
+
+fn main() {
+    let scale = Scale {
+        node_counts: vec![10, 20, 30],
+        table1_nodes: 20,
+        txns_per_node: 12,
+    };
+
+    println!("=== Table I (reduced scale: {} nodes) ===\n", scale.table1_nodes);
+    let t1 = table1::run(&scale, None);
+    println!("{}", t1.render());
+    println!(
+        "mean nested-abort-rate reduction under RTS: {:.0}% (paper ≈60%)\n",
+        100.0 * t1.mean_reduction()
+    );
+
+    println!("=== Figures 4 & 5 (reduced scale) ===\n");
+    let (low, high, summary) = speedup::run(&scale, None);
+    println!("{}", low.render());
+    println!("{}", high.render());
+
+    println!("=== Figure 6 — speedup summary ===\n");
+    println!("{}", summary.render());
+    println!(
+        "speedup range {:.2}x – {:.2}x (paper: up to 1.53x low / 1.88x high contention)",
+        summary.min_speedup(),
+        summary.max_speedup()
+    );
+}

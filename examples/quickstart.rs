@@ -1,0 +1,71 @@
+//! Quickstart: build an 8-node D-STM deployment, run the Bank benchmark
+//! under the RTS scheduler, and inspect the run metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use closed_nesting_dstm::prelude::*;
+
+fn main() {
+    // 1. The workload: the Bank benchmark (nested withdraw/deposit
+    //    transfers + audits), 10 transactions per node, 90% reads.
+    let params = WorkloadParams {
+        nodes: 8,
+        txns_per_node: 10,
+        read_ratio: 0.9,
+        ..Default::default()
+    };
+
+    // 2. The network: the paper's static testbed — every pair of nodes gets
+    //    a fixed delay drawn uniformly from 1..=50 ms.
+    let mut rng = SimRng::new(2026);
+    let topo = Topology::uniform_random(params.nodes, 1, 50, &mut rng);
+
+    // 3. The D-STM configuration: RTS scheduling with the Bank peak tuning.
+    let (threshold, slack) = Benchmark::Bank.rts_tuning();
+    let mut cfg = DstmConfig::default().with_scheduler(SchedulerKind::Rts);
+    cfg.cl_threshold = threshold;
+    cfg.queue_deadline_percent = slack;
+
+    // 4. Build and run to completion (deterministic: same seed, same run).
+    let mut system = SystemBuilder::new(topo, cfg)
+        .seed(2026)
+        .build(Benchmark::Bank.generate(&params));
+    let metrics = system.run_default();
+    assert!(system.all_done(), "workload must drain");
+
+    // 5. Report.
+    let m = &metrics.merged;
+    println!("== quickstart: Bank on 8 nodes under RTS ==");
+    println!("virtual time elapsed   {}", metrics.elapsed);
+    println!("throughput             {:.1} txns/s", metrics.throughput());
+    println!("commits                {}", m.commits);
+    println!("nested commits         {}", m.nested_commits);
+    println!(
+        "aborts (fv/cv/sched/qt) {}/{}/{}/{}",
+        m.aborts_forward_validation,
+        m.aborts_commit_validation,
+        m.aborts_scheduler,
+        m.aborts_queue_timeout
+    );
+    println!(
+        "nested aborts own/parent {}/{} (rate {:.2})",
+        m.nested_aborts_own,
+        m.nested_aborts_parent,
+        metrics.nested_abort_rate()
+    );
+    println!("RTS enqueues / served  {}/{}", m.enqueued, m.queue_served);
+    println!("protocol messages      {}", metrics.messages);
+    println!(
+        "mean commit latency    {:.1} ms",
+        m.commit_latency.mean()
+    );
+
+    // 6. The whole point of transactions: the money is still all there.
+    let state = system.object_state();
+    let total = closed_nesting_dstm::benchmarks::bank::total_balance(&state);
+    let expected = closed_nesting_dstm::benchmarks::bank::expected_total(&params);
+    assert_eq!(total, expected, "serializability violated!");
+    println!("bank invariant         OK ({total} == {expected})");
+}

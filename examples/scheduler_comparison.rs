@@ -1,0 +1,56 @@
+//! Scheduler comparison: one panel of the paper's Figure 5 — throughput of
+//! RTS vs TFA vs TFA+Backoff on a chosen benchmark at high contention, as
+//! the node count grows.
+//!
+//! ```text
+//! cargo run --release --example scheduler_comparison [benchmark] [max_nodes]
+//! ```
+
+use closed_nesting_dstm::harness::runner::{run_cells, Cell};
+use closed_nesting_dstm::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let benchmark = args
+        .get(1)
+        .and_then(|s| Benchmark::from_name(s))
+        .unwrap_or(Benchmark::Dht);
+    let max_nodes: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(30);
+
+    let schedulers = [
+        SchedulerKind::Rts,
+        SchedulerKind::Tfa,
+        SchedulerKind::TfaBackoff,
+    ];
+    let node_counts: Vec<usize> = (10..=max_nodes).step_by(10).collect();
+
+    println!(
+        "{} at high contention (10% reads), {} txns/node",
+        benchmark.label(),
+        15
+    );
+    println!(
+        "{:>6}  {:>10}  {:>10}  {:>12}",
+        "nodes", "RTS", "TFA", "TFA+Backoff"
+    );
+
+    let mut cells = Vec::new();
+    for &n in &node_counts {
+        for s in schedulers {
+            cells.push(Cell::new(benchmark, s, n, 0.1).with_txns(15));
+        }
+    }
+    let results = run_cells(cells, None);
+
+    for (row, &n) in node_counts.iter().enumerate() {
+        let base = row * schedulers.len();
+        let tputs: Vec<f64> = (0..3).map(|i| results[base + i].throughput()).collect();
+        println!(
+            "{n:>6}  {:>10.2}  {:>10.2}  {:>12.2}   (RTS {:+.0}% vs TFA)",
+            tputs[0],
+            tputs[1],
+            tputs[2],
+            100.0 * (tputs[0] / tputs[1] - 1.0)
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! End-to-end closed-nesting semantics: constructed multi-node scenarios
+//! driving the real protocol stack through partial aborts.
+
+use closed_nesting_dstm::hyflow::program::{ScriptOp, ScriptProgram};
+use closed_nesting_dstm::prelude::*;
+
+/// Two-node system: one object at each node (by id search), programs given
+/// per node.
+fn two_node_system(
+    objects: Vec<(ObjectId, Payload)>,
+    programs: Vec<Vec<BoxedProgram>>,
+    scheduler: SchedulerKind,
+) -> System {
+    let topo = Topology::complete(2, 10);
+    let cfg = DstmConfig {
+        scheduler,
+        concurrency_per_node: 2,
+        ..DstmConfig::default()
+    };
+    SystemBuilder::new(topo, cfg).seed(3).build(WorkloadSource { objects, programs })
+}
+
+fn oid_at(node: u32) -> ObjectId {
+    (1..)
+        .map(ObjectId)
+        .find(|o| o.home(2) == node)
+        .expect("found")
+}
+
+#[test]
+fn nested_writes_are_atomic_with_parent() {
+    // A parent does two nested increments on objects at different nodes.
+    // Whatever retries happen, both increments land exactly once.
+    let a = oid_at(0);
+    let b = oid_at(1);
+    let mk = |x: ObjectId, y: ObjectId| -> BoxedProgram {
+        Box::new(ScriptProgram::new(
+            TxKind(1),
+            vec![
+                ScriptOp::OpenNested(TxKind(2)),
+                ScriptOp::Write(x),
+                ScriptOp::AddScalar(x, 1),
+                ScriptOp::CloseNested,
+                ScriptOp::Compute(SimDuration::from_millis(3)),
+                ScriptOp::OpenNested(TxKind(2)),
+                ScriptOp::Write(y),
+                ScriptOp::AddScalar(y, 1),
+                ScriptOp::CloseNested,
+            ],
+        ))
+    };
+    let mut sys = two_node_system(
+        vec![(a, Payload::Scalar(0)), (b, Payload::Scalar(0))],
+        vec![vec![mk(a, b), mk(b, a)], vec![mk(a, b), mk(b, a)]],
+        SchedulerKind::Rts,
+    );
+    let m = sys.run(10_000_000);
+    assert!(sys.all_done());
+    assert_eq!(m.merged.commits, 4);
+    let state = sys.object_state();
+    assert_eq!(state[&a].0.as_scalar(), 4);
+    assert_eq!(state[&b].0.as_scalar(), 4);
+}
+
+#[test]
+fn nested_commit_counts_surface_in_metrics() {
+    let a = oid_at(0);
+    let prog = || -> BoxedProgram {
+        Box::new(ScriptProgram::new(
+            TxKind(1),
+            vec![
+                ScriptOp::OpenNested(TxKind(2)),
+                ScriptOp::Read(a),
+                ScriptOp::CloseNested,
+                ScriptOp::OpenNested(TxKind(2)),
+                ScriptOp::Read(a),
+                ScriptOp::CloseNested,
+            ],
+        ))
+    };
+    let mut sys = two_node_system(
+        vec![(a, Payload::Scalar(7))],
+        vec![vec![prog()], vec![prog()]],
+        SchedulerKind::Tfa,
+    );
+    let m = sys.run(10_000_000);
+    assert!(sys.all_done());
+    assert_eq!(m.merged.commits, 2);
+    // Each parent committed two children; retries may add more, never fewer.
+    assert!(m.merged.nested_commits >= 4, "nested commits undercounted");
+}
+
+#[test]
+fn deep_nesting_three_levels() {
+    // Parent -> child -> grandchild, each touching its own object, all
+    // merged into one atomic commit.
+    let a = oid_at(0);
+    let b = oid_at(1);
+    let c = ObjectId((1..).find(|i| ObjectId(*i).home(2) == 0 && ObjectId(*i) != a).unwrap());
+    let prog: BoxedProgram = Box::new(ScriptProgram::new(
+        TxKind(1),
+        vec![
+            ScriptOp::Write(a),
+            ScriptOp::AddScalar(a, 1),
+            ScriptOp::OpenNested(TxKind(2)),
+            ScriptOp::Write(b),
+            ScriptOp::AddScalar(b, 10),
+            ScriptOp::OpenNested(TxKind(3)),
+            ScriptOp::Write(c),
+            ScriptOp::AddScalar(c, 100),
+            ScriptOp::CloseNested,
+            ScriptOp::CloseNested,
+        ],
+    ));
+    let mut sys = two_node_system(
+        vec![
+            (a, Payload::Scalar(0)),
+            (b, Payload::Scalar(0)),
+            (c, Payload::Scalar(0)),
+        ],
+        vec![vec![prog], vec![]],
+        SchedulerKind::Rts,
+    );
+    let m = sys.run(10_000_000);
+    assert!(sys.all_done());
+    assert_eq!(m.merged.commits, 1);
+    assert_eq!(m.merged.nested_commits, 2);
+    let state = sys.object_state();
+    assert_eq!(state[&a].0.as_scalar(), 1);
+    assert_eq!(state[&b].0.as_scalar(), 10);
+    assert_eq!(state[&c].0.as_scalar(), 100);
+    // All three written objects share the committing transaction's version.
+    assert_eq!(state[&a].1, state[&b].1);
+    assert_eq!(state[&b].1, state[&c].1);
+}
+
+#[test]
+fn read_only_parents_do_not_bump_versions() {
+    let a = oid_at(0);
+    let reader = || -> BoxedProgram {
+        Box::new(ScriptProgram::new(
+            TxKind(1),
+            vec![
+                ScriptOp::OpenNested(TxKind(2)),
+                ScriptOp::Read(a),
+                ScriptOp::CloseNested,
+            ],
+        ))
+    };
+    let mut sys = two_node_system(
+        vec![(a, Payload::Scalar(5))],
+        vec![vec![reader()], vec![reader()]],
+        SchedulerKind::Rts,
+    );
+    let m = sys.run(10_000_000);
+    assert!(sys.all_done());
+    assert_eq!(m.merged.commits, 2);
+    let state = sys.object_state();
+    assert_eq!(state[&a].1, 0, "read-only commits must not create versions");
+    assert_eq!(state[&a].0.as_scalar(), 5);
+}

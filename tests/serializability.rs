@@ -1,0 +1,114 @@
+//! End-to-end serializability checks across the whole stack: every
+//! benchmark's application-level invariant must hold on the committed state
+//! under every scheduler, on a real multi-node run with contention.
+
+use closed_nesting_dstm::benchmarks::{bank, bst, dht, list, rbtree, vacation};
+use closed_nesting_dstm::harness::runner::{run_cell, Cell};
+use closed_nesting_dstm::prelude::*;
+
+const SCHEDULERS: [SchedulerKind; 3] = [
+    SchedulerKind::Rts,
+    SchedulerKind::Tfa,
+    SchedulerKind::TfaBackoff,
+];
+
+fn run_and_state(
+    benchmark: Benchmark,
+    scheduler: SchedulerKind,
+    seed: u64,
+) -> (
+    std::collections::HashMap<ObjectId, (Payload, u64)>,
+    WorkloadParams,
+    u64,
+) {
+    let mut cell = Cell::new(benchmark, scheduler, 6, 0.3).with_txns(8).with_seed(seed);
+    cell.params.objects_per_node = 5;
+    let params = cell.params.clone();
+    let mut system = closed_nesting_dstm::harness::runner::build_system(&cell);
+    let metrics = system.run_default();
+    assert!(
+        system.all_done(),
+        "{} under {scheduler:?} stalled",
+        benchmark.label()
+    );
+    assert_eq!(
+        metrics.merged.commits, 48,
+        "{} under {scheduler:?} lost commits",
+        benchmark.label()
+    );
+    (system.object_state(), params, metrics.merged.commits)
+}
+
+#[test]
+fn bank_conserves_money_under_all_schedulers() {
+    for s in SCHEDULERS {
+        let (state, params, _) = run_and_state(Benchmark::Bank, s, 11);
+        assert_eq!(
+            bank::total_balance(&state),
+            bank::expected_total(&params),
+            "money leaked under {s:?}"
+        );
+    }
+}
+
+#[test]
+fn vacation_billing_matches_inventory() {
+    for s in SCHEDULERS {
+        let (state, params, _) = run_and_state(Benchmark::Vacation, s, 12);
+        assert!(
+            vacation::billing_matches_inventory(&state, &params),
+            "billing/inventory mismatch under {s:?}"
+        );
+    }
+}
+
+#[test]
+fn linked_list_stays_sorted_and_acyclic() {
+    for s in SCHEDULERS {
+        let (state, _, _) = run_and_state(Benchmark::LinkedList, s, 13);
+        let values = list::collect_list(&state);
+        assert!(
+            values.windows(2).all(|w| w[0] < w[1]),
+            "list corrupted under {s:?}: {values:?}"
+        );
+    }
+}
+
+#[test]
+fn bst_keeps_search_order() {
+    for s in SCHEDULERS {
+        let (state, _, _) = run_and_state(Benchmark::Bst, s, 14);
+        let values = bst::collect_inorder(&state);
+        assert!(
+            values.windows(2).all(|w| w[0] < w[1]),
+            "BST corrupted under {s:?}"
+        );
+    }
+}
+
+#[test]
+fn rb_tree_keeps_red_black_invariants() {
+    for s in SCHEDULERS {
+        let (state, _, _) = run_and_state(Benchmark::RbTree, s, 15);
+        rbtree::check_rb(&state).unwrap_or_else(|e| panic!("RB broken under {s:?}: {e}"));
+    }
+}
+
+#[test]
+fn dht_keys_stay_in_their_buckets() {
+    for s in SCHEDULERS {
+        let (state, params, _) = run_and_state(Benchmark::Dht, s, 16);
+        dht::check_placement(&state, params.total_objects() as u64)
+            .unwrap_or_else(|e| panic!("DHT broken under {s:?}: {e}"));
+    }
+}
+
+#[test]
+fn single_writable_copy_invariant() {
+    // `object_state` panics internally if any object has two owners; make
+    // that an explicit end-to-end check on a contended run.
+    for s in SCHEDULERS {
+        let (_state, _, commits) = run_and_state(Benchmark::Bank, s, 17);
+        assert!(commits > 0);
+    }
+}
