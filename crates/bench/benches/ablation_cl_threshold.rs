@@ -4,8 +4,8 @@
 //! adaptive hill-climbing controller.
 
 use dstm_bench::{emit, workers};
-use dstm_harness::experiments::{threshold, Scale};
 use dstm_benchmarks::Benchmark;
+use dstm_harness::experiments::{threshold, Scale};
 
 fn main() {
     let scale = Scale::from_env();

@@ -8,9 +8,8 @@ fn main() {
     let scale = Scale::from_env();
     let t0 = std::time::Instant::now();
     let fig = throughput::run(&scale, 0.1, workers());
-    let mut out = String::from(
-        "Figure 5 — Transactional throughput on HIGH contention (10% reads)\n\n",
-    );
+    let mut out =
+        String::from("Figure 5 — Transactional throughput on HIGH contention (10% reads)\n\n");
     out.push_str(&fig.render());
     let incomplete = fig.raw.iter().filter(|r| !r.completed).count();
     out.push_str(&format!(

@@ -7,11 +7,12 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dstm_benchmarks::Benchmark;
 use dstm_harness::runner::{run_cell, Cell};
 use dstm_sim::{
-    BinaryHeapQueue, CalendarQueue, EventQueue, Sequenced, SimDuration, SimRng, SimTime,
+    Actor, ActorId, BinaryHeapQueue, CalendarQueue, Ctx, EventQueue, GenericWorld, KernelEvent,
+    Sequenced, SimDuration, SimRng, SimTime, World,
 };
 use rts_core::{
-    BloomFilter, ConflictCtx, ConflictPolicy, Ets, ObjectClWindow, ObjectId, Requester,
-    RtsPolicy, SchedulingTable, TxId,
+    BloomFilter, ConflictCtx, ConflictPolicy, Ets, ObjectClWindow, ObjectId, Requester, RtsPolicy,
+    SchedulingTable, TxId,
 };
 use std::hint::black_box;
 
@@ -50,6 +51,64 @@ fn bench_event_queues(c: &mut Criterion) {
         });
     }
     group.finish();
+}
+
+/// A two-actor ping-pong with jittered delays: every delivered message costs
+/// exactly one pop + one push, so `wall-clock / messages_delivered` is the
+/// kernel's marginal ns/event through the full dispatch path (queue, timer
+/// slab bookkeeping, RNG, actor call).
+struct PingPong;
+
+impl Actor for PingPong {
+    type Msg = u32;
+    type Timer = u32;
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u32, u32>, _from: ActorId, msg: u32) {
+        if msg > 0 {
+            let to = ActorId(1 - ctx.me().0);
+            let d = SimDuration::from_micros(1 + ctx.rng().below(100));
+            ctx.send(to, msg - 1, d);
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, u32, u32>, _timer: u32) {}
+}
+
+fn run_pingpong<Q: EventQueue<KernelEvent<u32, u32>>>(queue: Q, events: u32) -> u64 {
+    let mut w = GenericWorld::with_queue(vec![PingPong, PingPong], 1, queue);
+    w.send_external(ActorId(0), events, SimDuration::ZERO);
+    w.run();
+    w.messages_delivered()
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    // Marginal per-event kernel cost by queue backend. Each iteration
+    // delivers `N + 1` messages, so ns/event = reported time / (N + 1).
+    const N: u32 = 10_000;
+    let mut group = c.benchmark_group("kernel-events");
+    group.bench_with_input(BenchmarkId::new("heap", N), &N, |b, &n| {
+        b.iter(|| black_box(run_pingpong(BinaryHeapQueue::new(), n)));
+    });
+    group.bench_with_input(BenchmarkId::new("calendar", N), &N, |b, &n| {
+        b.iter(|| black_box(run_pingpong(CalendarQueue::new(), n)));
+    });
+    group.finish();
+
+    // Timer arm + cancel through the generation-stamped slab, including the
+    // kernel draining the dead (tombstoned) events.
+    c.bench_function("kernel/timer-arm-cancel-x64", |b| {
+        let mut w: World<PingPong> = World::new(vec![PingPong], 1);
+        b.iter(|| {
+            w.with_ctx(ActorId(0), |_, ctx| {
+                for i in 0..64u64 {
+                    let t = ctx.set_timer(SimDuration::from_micros(1 + i), i as u32);
+                    ctx.cancel_timer(t);
+                }
+            });
+            w.run();
+            black_box(w.timers_fired())
+        });
+    });
 }
 
 fn bench_rng(c: &mut Criterion) {
@@ -112,7 +171,7 @@ fn bench_policy(c: &mut Criterion) {
                 requester: Requester {
                     node: (i % 8) as u32,
                     tx: TxId::new((i % 8) as u32, i),
-                    read_only: i % 4 == 0,
+                    read_only: i.is_multiple_of(4),
                     attempt: 0,
                     enqueued_at: request,
                 },
@@ -122,7 +181,7 @@ fn bench_policy(c: &mut Criterion) {
                 attempt: 0,
             };
             black_box(policy.on_conflict(&ctx, &mut table));
-            if i % 64 == 0 {
+            if i.is_multiple_of(64) {
                 table = SchedulingTable::new(); // keep queues bounded
             }
         });
@@ -134,13 +193,8 @@ fn bench_full_cell(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("bank-4nodes-rts", |b| {
         b.iter(|| {
-            let mut cell = Cell::new(
-                Benchmark::Bank,
-                rts_core::SchedulerKind::Rts,
-                4,
-                0.5,
-            )
-            .with_txns(5);
+            let mut cell =
+                Cell::new(Benchmark::Bank, rts_core::SchedulerKind::Rts, 4, 0.5).with_txns(5);
             cell.params.objects_per_node = 4;
             black_box(run_cell(cell).metrics.merged.commits)
         });
@@ -150,6 +204,7 @@ fn bench_full_cell(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_kernel,
     bench_event_queues,
     bench_rng,
     bench_bloom,

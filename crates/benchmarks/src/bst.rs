@@ -212,7 +212,11 @@ impl BstProgram {
                 BstOp::Remove(_) => self.start_remove(seen),
             };
         }
-        let next = if v < seen.value { seen.left } else { seen.right };
+        let next = if v < seen.value {
+            seen.left
+        } else {
+            seen.right
+        };
         self.path.push(seen);
         match next {
             Some(oid) => {
@@ -264,20 +268,14 @@ impl BstProgram {
         match self.succ_parent {
             None => {
                 // Successor is the target's direct right child.
-                self.plan.push((
-                    t.oid,
-                    t.payload_with(seen.value, t.left, seen.right),
-                ));
+                self.plan
+                    .push((t.oid, t.payload_with(seen.value, t.left, seen.right)));
             }
             Some((sp, _via_left)) => {
-                self.plan.push((
-                    t.oid,
-                    t.payload_with(seen.value, t.left, t.right),
-                ));
-                self.plan.push((
-                    sp.oid,
-                    sp.payload_with(sp.value, seen.right, sp.right),
-                ));
+                self.plan
+                    .push((t.oid, t.payload_with(seen.value, t.left, t.right)));
+                self.plan
+                    .push((sp.oid, sp.payload_with(sp.value, seen.right, sp.right)));
             }
         }
         self.drain_plan()
@@ -334,10 +332,7 @@ impl TxProgram for BstProgram {
             }
             St::Descend => {
                 let StepInput::Value(Payload::TreeNode {
-                    value,
-                    left,
-                    right,
-                    ..
+                    value, left, right, ..
                 }) = input
                 else {
                     panic!("expected tree node, got {input:?}");
@@ -470,7 +465,11 @@ pub fn generate(p: &WorkloadParams) -> WorkloadSource {
         for _ in 0..p.txns_per_node {
             let nested = p.sample_nested_ops(&mut rng);
             let read_only = p.sample_read_only(&mut rng);
-            let kind = if read_only { KIND_BST_READER } else { KIND_BST_WRITER };
+            let kind = if read_only {
+                KIND_BST_READER
+            } else {
+                KIND_BST_WRITER
+            };
             let ops: Vec<BstOp> = (0..nested)
                 .map(|_| {
                     let v = 1 + rng.below(value_space) as i64;
@@ -511,7 +510,10 @@ pub fn collect_inorder(state: &std::collections::HashMap<ObjectId, (Payload, u64
         let (payload, _) = state
             .get(&oid)
             .unwrap_or_else(|| panic!("dangling tree link to {oid:?}"));
-        let Payload::TreeNode { value, left, right, .. } = payload else {
+        let Payload::TreeNode {
+            value, left, right, ..
+        } = payload
+        else {
             panic!("non-tree-node in tree: {payload:?}");
         };
         walk(state, *left, out, budget);
@@ -547,9 +549,12 @@ mod tests {
             begin = false;
             match out {
                 StepOutput::Acquire(oid, _) => {
-                    value = Some(store.get(&oid).cloned().unwrap_or_else(|| {
-                        panic!("acquired unknown object {oid:?}")
-                    }));
+                    value = Some(
+                        store
+                            .get(&oid)
+                            .cloned()
+                            .unwrap_or_else(|| panic!("acquired unknown object {oid:?}")),
+                    );
                 }
                 StepOutput::WriteLocal(oid, p) => {
                     store.insert(oid, p);
@@ -562,10 +567,7 @@ mod tests {
     }
 
     fn store_from(p: &WorkloadParams) -> HashMap<ObjectId, Payload> {
-        generate(p)
-            .objects
-            .into_iter()
-            .collect()
+        generate(p).objects.into_iter().collect()
     }
 
     fn inorder(store: &HashMap<ObjectId, Payload>) -> Vec<i64> {

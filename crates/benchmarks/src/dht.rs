@@ -131,10 +131,7 @@ impl TxProgram for DhtProgram {
                             None => kvs.push((k, v)),
                         }
                         self.st = St::Written;
-                        StepOutput::WriteLocal(
-                            bucket_of(k, self.buckets),
-                            Payload::Bucket(kvs),
-                        )
+                        StepOutput::WriteLocal(bucket_of(k, self.buckets), Payload::Bucket(kvs))
                     }
                 }
             }
@@ -175,7 +172,11 @@ pub fn generate(p: &WorkloadParams) -> WorkloadSource {
         for _ in 0..p.txns_per_node {
             let nested = p.sample_nested_ops(&mut rng);
             let read_only = p.sample_read_only(&mut rng);
-            let kind = if read_only { KIND_DHT_READER } else { KIND_DHT_WRITER };
+            let kind = if read_only {
+                KIND_DHT_READER
+            } else {
+                KIND_DHT_WRITER
+            };
             let ops: Vec<DhtOp> = (0..nested)
                 .map(|_| {
                     let k = rng.below(key_space);

@@ -356,18 +356,22 @@ pub fn generate(p: &WorkloadParams) -> WorkloadSource {
     }
     objects.push((
         HEAD,
-        Payload::Ptr(if len > 0 { Some(ObjectId(NODE_BASE)) } else { None }),
+        Payload::Ptr(if len > 0 {
+            Some(ObjectId(NODE_BASE))
+        } else {
+            None
+        }),
     ));
     // Pools and counters.
     for node in 0..p.nodes {
-        objects.push((
-            ObjectId(COUNTER_BASE + node as u64),
-            Payload::Scalar(0),
-        ));
+        objects.push((ObjectId(COUNTER_BASE + node as u64), Payload::Scalar(0)));
         for k in 0..pool_size {
             objects.push((
                 ObjectId(POOL_BASE + node as u64 * pool_size + k),
-                Payload::ListNode { value: 0, next: None },
+                Payload::ListNode {
+                    value: 0,
+                    next: None,
+                },
             ));
         }
     }
@@ -385,7 +389,11 @@ pub fn generate(p: &WorkloadParams) -> WorkloadSource {
         for _ in 0..p.txns_per_node {
             let nested = p.sample_nested_ops(&mut rng);
             let read_only = p.sample_read_only(&mut rng);
-            let kind = if read_only { KIND_LL_READER } else { KIND_LL_WRITER };
+            let kind = if read_only {
+                KIND_LL_READER
+            } else {
+                KIND_LL_WRITER
+            };
             let ops: Vec<ListOp> = (0..nested)
                 .map(|_| {
                     let v = 1 + rng.below(value_space as u64) as i64;
@@ -455,17 +463,18 @@ mod tests {
             is_begin = false;
             match out {
                 StepOutput::Acquire(oid, _) => {
-                    input_owned = Some(store.get(&oid).cloned().unwrap_or_else(|| {
-                        panic!("program acquired unknown object {oid:?}")
-                    }));
+                    input_owned = Some(
+                        store
+                            .get(&oid)
+                            .cloned()
+                            .unwrap_or_else(|| panic!("program acquired unknown object {oid:?}")),
+                    );
                 }
                 StepOutput::WriteLocal(oid, payload) => {
                     store.insert(oid, payload);
                     input_owned = None;
                 }
-                StepOutput::Compute(_)
-                | StepOutput::OpenNested(_)
-                | StepOutput::CloseNested => {
+                StepOutput::Compute(_) | StepOutput::OpenNested(_) | StepOutput::CloseNested => {
                     input_owned = None;
                 }
                 StepOutput::Finish => break,
@@ -477,22 +486,44 @@ mod tests {
         // List: 2 -> 4 -> 6.
         let mut s = std::collections::HashMap::new();
         s.insert(HEAD, Payload::Ptr(Some(ObjectId(2))));
-        s.insert(ObjectId(2), Payload::ListNode { value: 2, next: Some(ObjectId(3)) });
-        s.insert(ObjectId(3), Payload::ListNode { value: 4, next: Some(ObjectId(4)) });
-        s.insert(ObjectId(4), Payload::ListNode { value: 6, next: None });
+        s.insert(
+            ObjectId(2),
+            Payload::ListNode {
+                value: 2,
+                next: Some(ObjectId(3)),
+            },
+        );
+        s.insert(
+            ObjectId(3),
+            Payload::ListNode {
+                value: 4,
+                next: Some(ObjectId(4)),
+            },
+        );
+        s.insert(
+            ObjectId(4),
+            Payload::ListNode {
+                value: 6,
+                next: None,
+            },
+        );
         // node-0 pool of 4 slots + counter
         s.insert(ObjectId(COUNTER_BASE), Payload::Scalar(0));
         for k in 0..4 {
-            s.insert(ObjectId(POOL_BASE + k), Payload::ListNode { value: 0, next: None });
+            s.insert(
+                ObjectId(POOL_BASE + k),
+                Payload::ListNode {
+                    value: 0,
+                    next: None,
+                },
+            );
         }
         s
     }
 
     fn list_values(store: &std::collections::HashMap<ObjectId, Payload>) -> Vec<i64> {
-        let state: std::collections::HashMap<ObjectId, (Payload, u64)> = store
-            .iter()
-            .map(|(k, v)| (*k, (v.clone(), 0)))
-            .collect();
+        let state: std::collections::HashMap<ObjectId, (Payload, u64)> =
+            store.iter().map(|(k, v)| (*k, (v.clone(), 0))).collect();
         collect_list(&state)
     }
 
@@ -611,7 +642,10 @@ mod tests {
             .collect();
         let values = collect_list(&state);
         assert_eq!(values.len(), p.total_objects().min(12));
-        assert!(values.windows(2).all(|w| w[0] < w[1]), "list must be sorted");
+        assert!(
+            values.windows(2).all(|w| w[0] < w[1]),
+            "list must be sorted"
+        );
         assert_eq!(w.programs.len(), 3);
     }
 }

@@ -76,7 +76,13 @@ impl Tn {
     }
 
     fn from_payload(p: &Payload) -> Tn {
-        let Payload::TreeNode { value, left, right, red } = p else {
+        let Payload::TreeNode {
+            value,
+            left,
+            right,
+            red,
+        } = p
+        else {
             panic!("expected tree node, got {p:?}");
         };
         Tn {
@@ -91,7 +97,10 @@ impl Tn {
 /// Outcome of one fixup pass over the local model.
 enum Fixup {
     /// Need this uncle (child of `parent_hint`) fetched into the model.
-    NeedUncle { uncle: ObjectId, parent_hint: ObjectId },
+    NeedUncle {
+        uncle: ObjectId,
+        parent_hint: ObjectId,
+    },
     Done,
 }
 
@@ -274,7 +283,10 @@ impl RbProgram {
             };
             if let Some(u) = uncle {
                 if !self.nodes.contains_key(&u) {
-                    return Fixup::NeedUncle { uncle: u, parent_hint: g };
+                    return Fixup::NeedUncle {
+                        uncle: u,
+                        parent_hint: g,
+                    };
                 }
                 if self.nodes[&u].red {
                     // Case 1: recolor and continue from the grandparent.
@@ -548,7 +560,15 @@ pub fn generate(p: &WorkloadParams) -> WorkloadSource {
 
     let mut objects: Vec<(ObjectId, Payload)> = Vec::new();
     let mut next_oid = NODE_BASE;
-    let root = build_balanced(&values, 0, values.len(), 0, max_depth, &mut next_oid, &mut objects);
+    let root = build_balanced(
+        &values,
+        0,
+        values.len(),
+        0,
+        max_depth,
+        &mut next_oid,
+        &mut objects,
+    );
     objects.push((ROOT, Payload::Ptr(root)));
     for node in 0..p.nodes {
         objects.push((ObjectId(COUNTER_BASE + node as u64), Payload::Scalar(0)));
@@ -578,7 +598,11 @@ pub fn generate(p: &WorkloadParams) -> WorkloadSource {
         for _ in 0..p.txns_per_node {
             let nested = p.sample_nested_ops(&mut rng);
             let read_only = p.sample_read_only(&mut rng);
-            let kind = if read_only { KIND_RB_READER } else { KIND_RB_WRITER };
+            let kind = if read_only {
+                KIND_RB_READER
+            } else {
+                KIND_RB_WRITER
+            };
             let ops: Vec<RbOp> = (0..nested)
                 .map(|_| {
                     let v = 1 + rng.below(value_space) as i64;
@@ -620,7 +644,13 @@ pub fn check_rb(state: &std::collections::HashMap<ObjectId, (Payload, u64)>) -> 
         let (payload, _) = state
             .get(&oid)
             .ok_or_else(|| format!("dangling link to {oid:?}"))?;
-        let Payload::TreeNode { value, left, right, red } = payload else {
+        let Payload::TreeNode {
+            value,
+            left,
+            right,
+            red,
+        } = payload
+        else {
             return Err(format!("non-tree payload at {oid:?}"));
         };
         if lo.is_some_and(|l| *value <= l) || hi.is_some_and(|h| *value >= h) {
@@ -732,7 +762,12 @@ mod tests {
         for k in 0..8 {
             store.insert(
                 ObjectId(POOL_BASE + k),
-                Payload::TreeNode { value: 0, left: None, right: None, red: false },
+                Payload::TreeNode {
+                    value: 0,
+                    left: None,
+                    right: None,
+                    red: false,
+                },
             );
         }
         let mut prog = RbProgram::new(
@@ -764,7 +799,12 @@ mod tests {
         for k in 0..n {
             store.insert(
                 ObjectId(POOL_BASE + k),
-                Payload::TreeNode { value: 0, left: None, right: None, red: false },
+                Payload::TreeNode {
+                    value: 0,
+                    left: None,
+                    right: None,
+                    red: false,
+                },
             );
         }
         for v in 1..=n as i64 {

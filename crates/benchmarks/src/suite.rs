@@ -108,8 +108,11 @@ mod tests {
     #[test]
     fn names_round_trip() {
         for b in Benchmark::ALL {
-            assert_eq!(Benchmark::from_name(b.label().replace(' ', "-").as_str())
-                .or_else(|| Benchmark::from_name(b.label().replace(' ', "").as_str())), Some(b));
+            assert_eq!(
+                Benchmark::from_name(b.label().replace(' ', "-").as_str())
+                    .or_else(|| Benchmark::from_name(b.label().replace(' ', "").as_str())),
+                Some(b)
+            );
         }
         assert_eq!(Benchmark::from_name("nope"), None);
     }

@@ -164,10 +164,7 @@ mod tests {
         for n in [4usize, 16, 64] {
             let topo = Topology::metric_plane(n, 50.0, 1, &mut rng);
             let r = tour_to_star_ratio(&topo, ActorId(0));
-            assert!(
-                r < (2 * n - 3) as f64,
-                "NN ratio {r} exceeds 2N-3 at n={n}"
-            );
+            assert!(r < (2 * n - 3) as f64, "NN ratio {r} exceeds 2N-3 at n={n}");
         }
     }
 

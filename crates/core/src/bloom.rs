@@ -135,9 +135,7 @@ mod tests {
         for i in 0..1000u64 {
             f.insert(i);
         }
-        let fps = (1_000_000u64..1_100_000)
-            .filter(|&x| f.contains(x))
-            .count();
+        let fps = (1_000_000u64..1_100_000).filter(|&x| f.contains(x)).count();
         let rate = fps as f64 / 100_000.0;
         assert!(rate < 0.03, "fp rate {rate} too high for 1% target");
         assert!(f.estimated_fp_rate() < 0.02);

@@ -81,7 +81,11 @@ impl ConflictPolicy for QueueAllPolicy {
     fn on_conflict(&mut self, ctx: &ConflictCtx, table: &mut SchedulingTable) -> Decision {
         let list = table.list_mut(ctx.oid);
         list.remove_duplicate(ctx.requester.tx);
-        let backoff = list.extend_bk(ctx.ets.expected_remaining().max(SimDuration::from_millis(1)));
+        let backoff = list.extend_bk(
+            ctx.ets
+                .expected_remaining()
+                .max(SimDuration::from_millis(1)),
+        );
         list.add_requester(list.get_contention().saturating_add(1), ctx.requester);
         Decision::Enqueue { backoff }
     }

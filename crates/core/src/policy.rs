@@ -360,16 +360,26 @@ mod tests {
         let mut p = RtsPolicy::with_fixed_threshold(10);
         let mut table = SchedulingTable::new();
         let c1 = ctx_with(100, 25, 0, 0, 0, false, 4);
-        assert!(matches!(p.on_conflict(&c1, &mut table), Decision::Enqueue { .. }));
+        assert!(matches!(
+            p.on_conflict(&c1, &mut table),
+            Decision::Enqueue { .. }
+        ));
         // Same transaction re-requests after its backoff expired.
         let c2 = ctx_with(140, 25, 0, 0, 1, false, 4);
-        assert!(matches!(p.on_conflict(&c2, &mut table), Decision::Enqueue { .. }));
+        assert!(matches!(
+            p.on_conflict(&c2, &mut table),
+            Decision::Enqueue { .. }
+        ));
         assert_eq!(table.total_queued(), 1, "old entry must be deduplicated");
     }
 
     #[test]
     fn build_policy_kinds() {
-        for kind in [SchedulerKind::Tfa, SchedulerKind::TfaBackoff, SchedulerKind::Rts] {
+        for kind in [
+            SchedulerKind::Tfa,
+            SchedulerKind::TfaBackoff,
+            SchedulerKind::Rts,
+        ] {
             let p = build_policy(kind, SimDuration::from_millis(10), 3);
             assert_eq!(p.kind(), kind);
         }

@@ -177,7 +177,10 @@ mod tests {
             t.record_commit(K, ms(100), ms(2));
         }
         let high = t.expected_exec(K);
-        assert!(high > low * 5, "EWMA failed to track shift: {low} -> {high}");
+        assert!(
+            high > low * 5,
+            "EWMA failed to track shift: {low} -> {high}"
+        );
     }
 
     #[test]
@@ -205,11 +208,15 @@ mod tests {
         let ewma = SimDuration::from_nanos(
             (0.25 * ms(200).as_nanos() as f64 + 0.75 * ms(10).as_nanos() as f64) as u64,
         );
-        assert_eq!(est, ewma + ewma.mul_ratio(1, 2), "estimate should widen by 50%");
+        assert_eq!(
+            est,
+            ewma + ewma.mul_ratio(1, 2),
+            "estimate should widen by 50%"
+        );
     }
 
     #[test]
-    fn kinds_are_independent(){
+    fn kinds_are_independent() {
         let mut t = StatsTable::new(ms(20));
         t.record_commit(TxKind(1), ms(10), ms(1));
         t.record_commit(TxKind(2), ms(90), ms(1));

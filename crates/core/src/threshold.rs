@@ -131,7 +131,11 @@ mod tests {
         for i in 1..=5u64 {
             c.on_commit(t(2 * i));
         }
-        assert_eq!(c.threshold(), 5, "first boundary steps in the initial direction");
+        assert_eq!(
+            c.threshold(),
+            5,
+            "first boundary steps in the initial direction"
+        );
         // Epoch 2 (from t=10): denser commits -> higher rate -> keep climbing.
         for i in 1..=20u64 {
             c.on_commit(t(10 + i));

@@ -2,18 +2,99 @@
 //!
 //! ```text
 //! dstm-sweep [nodes] [txns_per_node] [benchmark]
+//! dstm-sweep kernel [out.json]
 //! ```
 //!
-//! Prints throughput, nested-abort rate, and speedups for every
-//! (benchmark, contention, scheduler) cell. Useful for quick shape checks
-//! without the full figure benches.
+//! The default mode prints throughput, nested-abort rate, and speedups for
+//! every (benchmark, contention, scheduler) cell — useful for quick shape
+//! checks without the full figure benches.
+//!
+//! `kernel` mode times the host wall-clock of every Fig. 4 sweep cell under
+//! both event-queue backends (the simulated results are bit-identical, so
+//! this isolates kernel cost) and writes a machine-readable JSON report,
+//! by default `BENCH_kernel.json`. Scale via `DSTM_SCALE=smoke|quick|full`.
 
 use dstm_benchmarks::Benchmark;
+use dstm_harness::experiments::Scale;
 use dstm_harness::runner::{run_cell, Cell};
+use hyflow_dstm::QueueBackend;
 use rts_core::SchedulerKind;
+use std::fmt::Write as _;
+
+/// Wall-clock every Fig. 4 cell (six benchmarks × node counts × three
+/// schedulers at 90% reads) under each queue backend, sequentially so the
+/// timings are not polluted by sibling cells.
+fn kernel_report(out_path: &str) {
+    let scale = Scale::from_env();
+    let schedulers = [
+        SchedulerKind::Rts,
+        SchedulerKind::Tfa,
+        SchedulerKind::TfaBackoff,
+    ];
+    let mut rows = Vec::new();
+    for b in Benchmark::ALL {
+        for &nodes in &scale.node_counts {
+            for s in schedulers {
+                for backend in [QueueBackend::BinaryHeap, QueueBackend::Calendar] {
+                    let cell = Cell::new(b, s, nodes, 0.9)
+                        .with_txns(scale.txns_per_node)
+                        .with_queue_backend(backend);
+                    let t0 = std::time::Instant::now();
+                    let r = run_cell(cell);
+                    let wall = t0.elapsed();
+                    assert!(r.completed, "{} under {s:?} stalled", b.label());
+                    let wall_ns = wall.as_nanos() as u64;
+                    let events = r.metrics.messages;
+                    println!(
+                        "{:<12} n={:<3} {:<12} {:<9} {:>9.1} ms  {:>7.0} ns/event",
+                        b.label(),
+                        nodes,
+                        s.label(),
+                        backend.label(),
+                        wall_ns as f64 / 1e6,
+                        wall_ns as f64 / events.max(1) as f64,
+                    );
+                    rows.push((b, nodes, s, backend, wall_ns, events, r));
+                }
+            }
+        }
+    }
+
+    let mut json = String::from("{\n  \"unit\": \"ns\",\n  \"cells\": [\n");
+    for (i, (b, nodes, s, backend, wall_ns, events, r)) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"benchmark\": \"{}\", \"nodes\": {}, \"scheduler\": \"{}\", \
+             \"backend\": \"{}\", \"wall_ns\": {}, \"events\": {}, \
+             \"ns_per_event\": {:.1}, \"commits\": {}}}{}",
+            b.label(),
+            nodes,
+            s.label(),
+            backend.label(),
+            wall_ns,
+            events,
+            *wall_ns as f64 / (*events).max(1) as f64,
+            r.metrics.merged.commits,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write(out_path, &json) {
+        Ok(()) => println!("\n[written to {out_path}]"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("kernel") {
+        let out = args
+            .get(2)
+            .map(String::as_str)
+            .unwrap_or("BENCH_kernel.json");
+        kernel_report(out);
+        return;
+    }
     let nodes: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(20);
     let txns: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(20);
     let only: Option<Benchmark> = args.get(3).and_then(|s| Benchmark::from_name(s));

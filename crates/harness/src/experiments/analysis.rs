@@ -141,7 +141,10 @@ mod tests {
             assert!(r.sim_tfa_ms > 0.0 && r.sim_rts_ms > 0.0);
             // The bounds are worst-case: the simulation must come in under
             // the *B* bound under either scheduler.
-            assert!(r.sim_tfa_ms <= r.bound_b_ms * 1.5, "TFA sim far above bound");
+            assert!(
+                r.sim_tfa_ms <= r.bound_b_ms * 1.5,
+                "TFA sim far above bound"
+            );
         }
         assert!(render(&rows).contains("Thm 3.4"));
     }

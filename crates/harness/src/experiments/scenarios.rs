@@ -12,9 +12,7 @@ use dstm_benchmarks::WorkloadParams;
 use dstm_net::Topology;
 use dstm_sim::SimDuration;
 use hyflow_dstm::program::{ScriptOp, ScriptProgram};
-use hyflow_dstm::{
-    BoxedProgram, DstmConfig, Payload, RunMetrics, SystemBuilder, WorkloadSource,
-};
+use hyflow_dstm::{BoxedProgram, DstmConfig, Payload, RunMetrics, SystemBuilder, WorkloadSource};
 use rts_core::{ObjectId, SchedulerKind, TxKind};
 
 /// Find an object id homed at `node` for an `n`-node system.
@@ -37,11 +35,7 @@ pub struct ScenarioResult {
 /// `writers` write transactions (and `readers` read transactions) on one
 /// object homed at node 0, with staggered starts so that later requests
 /// land inside the first committer's validation window.
-pub fn run_collision(
-    scheduler: SchedulerKind,
-    writers: usize,
-    readers: usize,
-) -> ScenarioResult {
+pub fn run_collision(scheduler: SchedulerKind, writers: usize, readers: usize) -> ScenarioResult {
     let n = 1 + writers + readers;
     let topo = Topology::complete(n, 10);
     let oid = oid_homed_at(0, n);
@@ -103,10 +97,9 @@ pub fn run_collision(
     for s in &side_oids {
         objects.push((*s, Payload::Scalar(0)));
     }
-    let mut system = SystemBuilder::new(topo, cfg).seed(7).build(WorkloadSource {
-        objects,
-        programs,
-    });
+    let mut system = SystemBuilder::new(topo, cfg)
+        .seed(7)
+        .build(WorkloadSource { objects, programs });
     let metrics = system.run(5_000_000);
     let all_done = system.all_done();
     let state = system.object_state();

@@ -105,7 +105,10 @@ pub fn from_throughput(low: &ThroughputFigure, high: &ThroughputFigure) -> Speed
 }
 
 /// Convenience: run both contention levels then summarize.
-pub fn run(scale: &Scale, workers: Option<usize>) -> (ThroughputFigure, ThroughputFigure, SpeedupSummary) {
+pub fn run(
+    scale: &Scale,
+    workers: Option<usize>,
+) -> (ThroughputFigure, ThroughputFigure, SpeedupSummary) {
     let low = super::throughput::run(scale, 0.9, workers);
     let high = super::throughput::run(scale, 0.1, workers);
     let summary = from_throughput(&low, &high);

@@ -92,8 +92,7 @@ pub fn run(scale: &Scale, workers: Option<usize>) -> Table1 {
         for read_ratio in [0.9, 0.1] {
             for s in [SchedulerKind::Rts, SchedulerKind::Tfa] {
                 cells.push(
-                    Cell::new(b, s, scale.table1_nodes, read_ratio)
-                        .with_txns(scale.txns_per_node),
+                    Cell::new(b, s, scale.table1_nodes, read_ratio).with_txns(scale.txns_per_node),
                 );
             }
         }

@@ -32,13 +32,16 @@ impl ThresholdSweep {
         self.points
             .iter()
             .copied()
-            .fold((0, f64::NEG_INFINITY), |best, p| {
-                if p.1 > best.1 {
-                    p
-                } else {
-                    best
-                }
-            })
+            .fold(
+                (0, f64::NEG_INFINITY),
+                |best, p| {
+                    if p.1 > best.1 {
+                        p
+                    } else {
+                        best
+                    }
+                },
+            )
     }
 }
 
@@ -60,7 +63,8 @@ pub fn run(
             );
         }
         // One adaptive cell per benchmark.
-        let mut adaptive = Cell::new(b, SchedulerKind::Rts, nodes, 0.1).with_txns(scale.txns_per_node);
+        let mut adaptive =
+            Cell::new(b, SchedulerKind::Rts, nodes, 0.1).with_txns(scale.txns_per_node);
         adaptive.dstm.adaptive_threshold = true;
         cells.push(adaptive);
     }

@@ -16,7 +16,7 @@
 //! | Backoff/deadline ablation | [`experiments::backoff`] | `ablation_backoff` |
 //!
 //! The [`runner`] executes independent simulation cells on a small
-//! crossbeam worker pool (cells are single-threaded and deterministic, so
+//! scoped-thread worker pool (cells are single-threaded and deterministic, so
 //! the sweep is embarrassingly parallel), and [`table`] renders aligned
 //! text tables the way the paper prints them.
 

@@ -2,14 +2,13 @@
 //!
 //! One **cell** = one complete deterministic simulation (benchmark ×
 //! scheduler × node count × contention level × seed). Cells are independent,
-//! so a sweep fans out over a crossbeam worker pool and merges results in
+//! so a sweep fans out over a scoped worker pool and merges results in
 //! input order.
 
-use crossbeam::channel;
 use dstm_benchmarks::{Benchmark, WorkloadParams};
 use dstm_net::Topology;
-use dstm_sim::SimRng;
-use hyflow_dstm::{DstmConfig, RunMetrics, System, SystemBuilder};
+use dstm_sim::{CalendarQueue, EventQueue, SimRng};
+use hyflow_dstm::{DstmConfig, NodeEvent, QueueBackend, RunMetrics, System, SystemBuilder};
 use rts_core::SchedulerKind;
 
 /// One point of an experiment sweep.
@@ -27,7 +26,12 @@ pub struct Cell {
 impl Cell {
     /// A cell with harness defaults for the given axes. RTS cells use the
     /// benchmark's peak tuning (§IV-A: threshold at the throughput peak).
-    pub fn new(benchmark: Benchmark, scheduler: SchedulerKind, nodes: usize, read_ratio: f64) -> Self {
+    pub fn new(
+        benchmark: Benchmark,
+        scheduler: SchedulerKind,
+        nodes: usize,
+        read_ratio: f64,
+    ) -> Self {
         let params = WorkloadParams {
             nodes,
             read_ratio,
@@ -61,6 +65,11 @@ impl Cell {
         self.params.seed = seed.wrapping_mul(0x9E37_79B9);
         self
     }
+
+    pub fn with_queue_backend(mut self, q: QueueBackend) -> Self {
+        self.dstm.queue_backend = q;
+        self
+    }
 }
 
 /// Aggregate outcome of one cell.
@@ -81,8 +90,8 @@ impl CellResult {
     }
 }
 
-/// Build the system for a cell (shared by experiments and tests).
-pub fn build_system(cell: &Cell) -> System {
+/// Build the system for a cell on an explicit event-queue backend.
+pub fn build_system_with_queue<Q: EventQueue<NodeEvent>>(cell: &Cell, queue: Q) -> System<Q> {
     // The paper's static network: 1–50 ms uniform delays (§IV-A).
     let mut rng = SimRng::new(cell.sim_seed);
     let topo = Topology::uniform_random(cell.params.nodes, 1, 50, &mut rng);
@@ -92,17 +101,36 @@ pub fn build_system(cell: &Cell) -> System {
     let workload = cell.benchmark.generate(&cell.params);
     SystemBuilder::new(topo, dstm)
         .seed(cell.sim_seed ^ 0xA5A5_5A5A)
-        .build(workload)
+        .build_with_queue(workload, queue)
 }
 
-/// Run a single cell to completion.
-pub fn run_cell(cell: Cell) -> CellResult {
-    let mut system = build_system(&cell);
+/// Build the system for a cell (shared by experiments and tests) on the
+/// default binary-heap queue.
+pub fn build_system(cell: &Cell) -> System {
+    build_system_with_queue(cell, dstm_sim::BinaryHeapQueue::new())
+}
+
+fn finish_cell<Q: EventQueue<NodeEvent>>(cell: Cell, mut system: System<Q>) -> CellResult {
     let metrics = system.run_default();
     CellResult {
         completed: system.all_done(),
         cell,
         metrics,
+    }
+}
+
+/// Run a single cell to completion on the backend its config selects. The
+/// backend changes host wall-clock only — metrics are bit-identical.
+pub fn run_cell(cell: Cell) -> CellResult {
+    match cell.dstm.queue_backend {
+        QueueBackend::BinaryHeap => {
+            let system = build_system(&cell);
+            finish_cell(cell, system)
+        }
+        QueueBackend::Calendar => {
+            let system = build_system_with_queue(&cell, CalendarQueue::new());
+            finish_cell(cell, system)
+        }
     }
 }
 
@@ -124,23 +152,23 @@ pub fn run_cells(cells: Vec<Cell>, workers: Option<usize>) -> Vec<CellResult> {
         return cells.into_iter().map(run_cell).collect();
     }
 
-    let (task_tx, task_rx) = channel::unbounded::<(usize, Cell)>();
-    let (res_tx, res_rx) = channel::unbounded::<(usize, CellResult)>();
-    for item in cells.into_iter().enumerate() {
-        task_tx.send(item).expect("queue open");
-    }
-    drop(task_tx);
+    // Work-stealing by shared index: each worker claims the next unclaimed
+    // cell, runs it, and sends `(index, result)` back; the collector reorders.
+    let tasks: Vec<Cell> = cells;
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (res_tx, res_rx) = std::sync::mpsc::channel::<(usize, CellResult)>();
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            let task_rx = task_rx.clone();
             let res_tx = res_tx.clone();
-            scope.spawn(move |_| {
-                while let Ok((idx, cell)) = task_rx.recv() {
-                    let result = run_cell(cell);
-                    if res_tx.send((idx, result)).is_err() {
-                        return;
-                    }
+            let next = &next;
+            let tasks = &tasks;
+            scope.spawn(move || loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(cell) = tasks.get(idx) else { return };
+                let result = run_cell(cell.clone());
+                if res_tx.send((idx, result)).is_err() {
+                    return;
                 }
             });
         }
@@ -153,7 +181,6 @@ pub fn run_cells(cells: Vec<Cell>, workers: Option<usize>) -> Vec<CellResult> {
             .map(|r| r.expect("every cell produced a result"))
             .collect()
     })
-    .expect("worker pool panicked")
 }
 
 #[cfg(test)]
@@ -185,7 +212,8 @@ mod tests {
                 let r = run_cell(tiny(b, s));
                 assert!(r.completed, "{} under {s:?} stalled", b.label());
                 assert_eq!(
-                    r.metrics.merged.commits, 16,
+                    r.metrics.merged.commits,
+                    16,
                     "{} under {s:?} lost transactions",
                     b.label()
                 );
@@ -200,6 +228,21 @@ mod tests {
         assert_eq!(a.metrics.merged.commits, b.metrics.merged.commits);
         assert_eq!(a.metrics.messages, b.metrics.messages);
         assert_eq!(a.metrics.elapsed, b.metrics.elapsed);
+    }
+
+    #[test]
+    fn queue_backend_does_not_change_results() {
+        let base = tiny(Benchmark::Bank, SchedulerKind::Rts);
+        let heap = run_cell(base.clone().with_queue_backend(QueueBackend::BinaryHeap));
+        let cal = run_cell(base.with_queue_backend(QueueBackend::Calendar));
+        assert!(heap.completed && cal.completed);
+        assert_eq!(heap.metrics.merged.commits, cal.metrics.merged.commits);
+        assert_eq!(
+            heap.metrics.merged.total_aborts(),
+            cal.metrics.merged.total_aborts()
+        );
+        assert_eq!(heap.metrics.messages, cal.metrics.messages);
+        assert_eq!(heap.metrics.elapsed, cal.metrics.elapsed);
     }
 
     #[test]

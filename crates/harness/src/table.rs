@@ -68,7 +68,11 @@ impl TextTable {
         let _ = writeln!(
             out,
             "|{}|",
-            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.header
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
@@ -104,7 +108,7 @@ impl SeriesTable {
             title: title.into(),
             x_label: x_label.into(),
             series_labels: series_labels.into_iter().map(Into::into).collect(),
-        points: Vec::new(),
+            points: Vec::new(),
         }
     }
 

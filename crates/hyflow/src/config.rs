@@ -30,6 +30,40 @@ pub enum ConflictScope {
     Child,
 }
 
+/// Which pending-event-set implementation backs the simulation kernel for a
+/// run. Both produce bit-identical schedules (same `EventKey` total order);
+/// they differ only in wall-clock cost per event, so this is purely a
+/// performance knob for the host machine running the sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum QueueBackend {
+    /// `std::collections::BinaryHeap`-backed — O(log n) push/pop, the
+    /// safe default at any queue size.
+    #[default]
+    BinaryHeap,
+    /// Calendar queue (Brown 1988) — amortized O(1) push/pop when event
+    /// times are roughly uniform, which D-STM workloads are.
+    Calendar,
+}
+
+impl QueueBackend {
+    /// Short label for reports and CLI parsing.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueueBackend::BinaryHeap => "heap",
+            QueueBackend::Calendar => "calendar",
+        }
+    }
+
+    /// Parse a CLI spelling (`heap` / `calendar`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "heap" | "binary-heap" => Some(QueueBackend::BinaryHeap),
+            "calendar" | "cal" => Some(QueueBackend::Calendar),
+            _ => None,
+        }
+    }
+}
+
 /// All the knobs of a run. `Default` gives the harness's baseline setup.
 #[derive(Clone, Debug)]
 pub struct DstmConfig {
@@ -60,6 +94,8 @@ pub struct DstmConfig {
     pub conflict_scope: ConflictScope,
     /// Closed (the paper's model) or flat nesting (see [`NestingMode`]).
     pub nesting: NestingMode,
+    /// Kernel pending-event-set implementation (see [`QueueBackend`]).
+    pub queue_backend: QueueBackend,
     /// Concurrent transactions each node keeps in flight.
     pub concurrency_per_node: usize,
     /// Top-level transactions each node runs in total (the workload size).
@@ -79,6 +115,7 @@ impl Default for DstmConfig {
             queue_deadline_percent: 150,
             conflict_scope: ConflictScope::Child,
             nesting: NestingMode::Closed,
+            queue_backend: QueueBackend::default(),
             concurrency_per_node: 4,
             txns_per_node: 50,
         }
@@ -106,6 +143,11 @@ impl DstmConfig {
         self
     }
 
+    pub fn with_queue_backend(mut self, q: QueueBackend) -> Self {
+        self.queue_backend = q;
+        self
+    }
+
     /// The deadline a requester arms when RTS enqueues it with `backoff`.
     pub fn queue_deadline(&self, backoff: SimDuration) -> SimDuration {
         backoff.mul_ratio(self.queue_deadline_percent, 100)
@@ -127,6 +169,20 @@ mod tests {
         assert_eq!(c.cl_threshold, 7);
         assert_eq!(c.txns_per_node, 10);
         assert_eq!(c.concurrency_per_node, 2);
+    }
+
+    #[test]
+    fn queue_backend_parses_and_labels() {
+        assert_eq!(QueueBackend::parse("heap"), Some(QueueBackend::BinaryHeap));
+        assert_eq!(
+            QueueBackend::parse("calendar"),
+            Some(QueueBackend::Calendar)
+        );
+        assert_eq!(QueueBackend::parse("cal"), Some(QueueBackend::Calendar));
+        assert_eq!(QueueBackend::parse("bogus"), None);
+        assert_eq!(QueueBackend::BinaryHeap.label(), "heap");
+        assert_eq!(QueueBackend::Calendar.label(), "calendar");
+        assert_eq!(QueueBackend::default(), QueueBackend::BinaryHeap);
     }
 
     #[test]

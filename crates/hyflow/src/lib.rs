@@ -46,14 +46,16 @@ pub mod metrics;
 pub mod node;
 pub mod object;
 pub mod program;
+pub mod small;
 pub mod system;
 pub mod tx;
 
-pub use config::{ConflictScope, DstmConfig, NestingMode};
+pub use config::{ConflictScope, DstmConfig, NestingMode, QueueBackend};
 pub use message::{FetchResult, Msg, Timer};
 pub use metrics::{AbortCause, NestedAbortCause, NodeMetrics, RunMetrics};
 pub use node::Node;
 pub use object::{OwnedObject, Payload};
 pub use program::{AccessMode, BoxedProgram, StepInput, StepOutput, TxProgram, WithTrailer};
-pub use system::{System, SystemBuilder, WorkloadSource};
+pub use small::{ObjMap, ObjSet};
+pub use system::{NodeEvent, System, SystemBuilder, WorkloadSource};
 pub use tx::{TxOutcome, TxRuntime};

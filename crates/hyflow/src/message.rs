@@ -22,6 +22,7 @@
 use crate::object::Payload;
 use dstm_sim::SimDuration;
 use rts_core::{Ets, ObjectId, TxId};
+use std::sync::Arc;
 
 use crate::program::AccessMode;
 
@@ -30,9 +31,11 @@ use crate::program::AccessMode;
 pub enum FetchResult {
     /// The object copy, its version, the owner-side local CL of the object
     /// (folded into the requester's `myCL`), and the current owner (to heal
-    /// the requester's owner cache).
+    /// the requester's owner cache). The payload is shared (`Arc`): granting
+    /// a copy is a pointer bump, not a deep clone (copy-on-write discipline —
+    /// writers replace payloads, never mutate them in place).
     Granted {
-        payload: Payload,
+        payload: Arc<Payload>,
         version: u64,
         local_cl: u32,
         owner: u32,
@@ -101,7 +104,7 @@ pub enum Msg {
     Publish {
         oid: ObjectId,
         tx: TxId,
-        payload: Payload,
+        payload: Arc<Payload>,
         new_version: u64,
         new_owner: u32,
     },
@@ -140,7 +143,11 @@ pub enum Timer {
     ComputeDone { tx: TxId, attempt: u32 },
     /// An RTS queue-wait deadline expired before the object arrived:
     /// abort and re-request (Algorithm 2 lines 9–15).
-    QueueDeadline { tx: TxId, attempt: u32, oid: ObjectId },
+    QueueDeadline {
+        tx: TxId,
+        attempt: u32,
+        oid: ObjectId,
+    },
     /// A TFA+Backoff retry delay elapsed: restart the transaction.
     RetryBackoff { tx: TxId, attempt: u32 },
 }

@@ -215,8 +215,10 @@ mod tests {
 
     #[test]
     fn throughput_over_virtual_time() {
-        let mut m = NodeMetrics::default();
-        m.commits = 500;
+        let m = NodeMetrics {
+            commits: 500,
+            ..Default::default()
+        };
         let run = RunMetrics {
             nodes: 4,
             merged: m,

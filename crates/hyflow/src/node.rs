@@ -27,7 +27,7 @@ use rts_core::{
     ConflictCtx, ConflictPolicy, Decision, ObjectClWindow, ObjectId, Requester, SchedulingTable,
     StatsTable, TxId,
 };
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Minimum local hop latency, so that node-local protocol messages always
@@ -41,7 +41,7 @@ type NodeCtx<'a> = Ctx<'a, Msg, Timer>;
 enum DriveInput {
     Begin,
     Ack,
-    Value(Payload),
+    Value(Arc<Payload>),
 }
 
 /// One simulated node.
@@ -152,7 +152,10 @@ impl Node {
             .collect();
         for (oid, o) in &self.store {
             if o.is_locked() {
-                out.push(format!("node {} object {oid:?} locked by {:?}", self.me, o.lock));
+                out.push(format!(
+                    "node {} object {oid:?} locked by {:?}",
+                    self.me, o.lock
+                ));
             }
         }
         if self.sched.total_queued() > 0 {
@@ -246,7 +249,7 @@ impl Node {
                 let step_in = match &input {
                     DriveInput::Begin => StepInput::Begin,
                     DriveInput::Ack => StepInput::Ack,
-                    DriveInput::Value(p) => StepInput::Value(p),
+                    DriveInput::Value(p) => StepInput::Value(p.as_ref()),
                 };
                 tx.program.step(step_in)
             };
@@ -314,14 +317,18 @@ impl Node {
 
     /// Begin the commit protocol. Returns `true` on synchronous commit.
     fn start_commit(&mut self, ctx: &mut NodeCtx<'_>, tx: &mut TxRuntime) -> bool {
-        assert!(!tx.in_nested(), "Finish inside a nested level in {:?}", tx.id);
+        assert!(
+            !tx.in_nested(),
+            "Finish inside a nested level in {:?}",
+            tx.id
+        );
         tx.validation_started_at = Some(ctx.now());
         let write_back = tx.write_back_set();
         if write_back.is_empty() {
             // Read-only: validate the read set, then finalize.
             return self.begin_validation(ctx, tx, ValidationResume::Commit);
         }
-        let mut pending = HashSet::new();
+        let mut pending = crate::small::ObjSet::new();
         for (oid, _payload, version, owner) in &write_back {
             pending.insert(*oid);
             let msg = Msg::LockReq {
@@ -351,7 +358,7 @@ impl Node {
         resume: ValidationResume,
     ) -> bool {
         let commit_mode = matches!(resume, ValidationResume::Commit);
-        let mut pending = HashSet::new();
+        let mut pending = crate::small::ObjSet::new();
         for (oid, version, owner, dirty, _mode) in tx.object_summary() {
             if commit_mode && dirty {
                 continue;
@@ -394,7 +401,7 @@ impl Node {
                 mode,
             } => {
                 tx.wv = tx.wv.max(version);
-                tx.install_fetched(oid, payload.clone(), version, local_cl, owner, mode);
+                tx.install_fetched(oid, Arc::clone(&payload), version, local_cl, owner, mode);
                 self.drive(ctx, tx, DriveInput::Value(payload))
             }
             ValidationResume::Commit => self.publish_or_finalize(ctx, tx),
@@ -412,7 +419,7 @@ impl Node {
         }
         let new_version = self.clock.max(tx.wv) + 1;
         self.clock = new_version;
-        let mut pending = HashSet::new();
+        let mut pending = crate::small::ObjSet::new();
         for (oid, payload, _version, owner) in write_back {
             if owner == self.me {
                 // Local object: update in place and release.
@@ -431,7 +438,7 @@ impl Node {
                 self.store.insert(
                     oid,
                     OwnedObject {
-                        payload: payload.clone(),
+                        payload: Arc::clone(&payload),
                         version: new_version,
                         lock: None,
                     },
@@ -682,7 +689,7 @@ impl Node {
             tx: txid,
             attempt,
             result: FetchResult::Granted {
-                payload: o.payload.clone(),
+                payload: Arc::clone(&o.payload),
                 version: o.version,
                 local_cl,
                 owner: self.me,
@@ -702,7 +709,7 @@ impl Node {
         if o.is_locked() {
             return;
         }
-        let (payload, version) = (o.payload.clone(), o.version);
+        let (payload, version) = (Arc::clone(&o.payload), o.version);
         let list = self.sched.list_mut(oid);
         let mut grants = list.pop_servable();
         if grants.first().is_some_and(|r| r.read_only) {
@@ -721,7 +728,7 @@ impl Node {
                 tx: r.tx,
                 attempt: r.attempt,
                 result: FetchResult::Granted {
-                    payload: payload.clone(),
+                    payload: Arc::clone(&payload),
                     version,
                     local_cl,
                     owner: self.me,
@@ -817,9 +824,11 @@ impl Node {
         }
         let wanted = match &tx.phase {
             TxPhase::AwaitObject { oid: o, mode } if *o == oid => Some((*mode, None)),
-            TxPhase::AwaitQueuedObject { oid: o, mode, timer } if *o == oid => {
-                Some((*mode, Some(*timer)))
-            }
+            TxPhase::AwaitQueuedObject {
+                oid: o,
+                mode,
+                timer,
+            } if *o == oid => Some((*mode, Some(*timer))),
             _ => None,
         };
         let Some((mode, timer)) = wanted else {
@@ -857,7 +866,7 @@ impl Node {
                     )
                 } else {
                     tx.wv = tx.wv.max(version);
-                    tx.install_fetched(oid, payload.clone(), version, local_cl, owner, mode);
+                    tx.install_fetched(oid, Arc::clone(&payload), version, local_cl, owner, mode);
                     self.drive(ctx, &mut tx, DriveInput::Value(payload))
                 }
             }
@@ -885,8 +894,7 @@ impl Node {
                 enqueued: false,
                 owner: _,
             } => {
-                if tx.in_nested()
-                    && self.cfg.conflict_scope == crate::config::ConflictScope::Child
+                if tx.in_nested() && self.cfg.conflict_scope == crate::config::ConflictScope::Child
                 {
                     // Child-scoped contention management: the conflict aborts
                     // the innermost child alone; the parent (and committed
@@ -985,7 +993,10 @@ impl Node {
                         // write-set locks were granted: release them or the
                         // owners stay locked forever.
                         for (goid, _payload, _version, owner) in tx.write_back_set() {
-                            let msg = Msg::Unlock { oid: goid, tx: txid };
+                            let msg = Msg::Unlock {
+                                oid: goid,
+                                tx: txid,
+                            };
                             self.send(ctx, owner, msg);
                         }
                         AbortCause::CommitValidation
@@ -1062,10 +1073,18 @@ impl Node {
                         .lookup(goid)
                         .map(|c| c.owner)
                         .unwrap_or_else(|| self.owner_guess(goid));
-                    let msg = Msg::Unlock { oid: goid, tx: txid };
+                    let msg = Msg::Unlock {
+                        oid: goid,
+                        tx: txid,
+                    };
                     self.send(ctx, owner, msg);
                 }
-                self.abort_parent(ctx, &mut tx, AbortCause::CommitValidation, SimDuration::ZERO);
+                self.abort_parent(
+                    ctx,
+                    &mut tx,
+                    AbortCause::CommitValidation,
+                    SimDuration::ZERO,
+                );
                 false
             } else {
                 // Write set locked; validate the clean reads.
@@ -1164,10 +1183,7 @@ impl Actor for Node {
             } => self.handle_lock_resp(ctx, from, oid, tx, attempt, granted),
             Msg::Unlock { oid, tx } => self.handle_unlock(ctx, oid, tx),
             Msg::Publish {
-                oid,
-                tx,
-                new_owner,
-                ..
+                oid, tx, new_owner, ..
             } => self.handle_publish(ctx, from, oid, tx, new_owner),
             Msg::PublishAck { oid, tx, queue } => self.handle_publish_ack(ctx, oid, tx, queue),
             Msg::VersionCheck {

@@ -8,6 +8,7 @@
 //! writer.
 
 use rts_core::{ObjectId, TxId};
+use std::sync::Arc;
 
 /// The application-visible contents of an object. The benchmarks of §IV
 /// need scalars (Bank accounts, Vacation inventories), pointer-shaped nodes
@@ -62,9 +63,14 @@ impl Payload {
 }
 
 /// An object as held by its owner node.
+///
+/// The payload is behind an [`Arc`]: serving a read copy, migrating
+/// ownership, and installing fetched copies are all pointer bumps
+/// (copy-on-write — a writer builds a *new* payload and swaps the pointer,
+/// it never mutates through the `Arc`).
 #[derive(Clone, Debug)]
 pub struct OwnedObject {
-    pub payload: Payload,
+    pub payload: Arc<Payload>,
     /// TFA commit clock of the last writer.
     pub version: u64,
     /// `Some(tx)` while a committing transaction holds the validation lock —
@@ -75,6 +81,11 @@ pub struct OwnedObject {
 
 impl OwnedObject {
     pub fn new(payload: Payload) -> Self {
+        Self::new_shared(Arc::new(payload))
+    }
+
+    /// Install an already-shared payload (the zero-copy migration path).
+    pub fn new_shared(payload: Arc<Payload>) -> Self {
         OwnedObject {
             payload,
             version: 0,

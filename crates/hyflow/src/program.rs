@@ -299,7 +299,11 @@ mod tests {
             StepOutput::Compute(SimDuration::from_micros(10))
         );
         assert_eq!(p.step(StepInput::Ack), StepOutput::Finish);
-        assert_eq!(p.step(StepInput::Ack), StepOutput::Finish, "idempotent at end");
+        assert_eq!(
+            p.step(StepInput::Ack),
+            StepOutput::Finish,
+            "idempotent at end"
+        );
     }
 
     #[test]

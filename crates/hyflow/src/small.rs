@@ -1,0 +1,202 @@
+//! Small inline vec-backed collections keyed by [`ObjectId`].
+//!
+//! Per-transaction read/write sets are tiny — a handful of objects for every
+//! benchmark in §IV — so `HashMap`/`HashSet` pay hashing and heap-bucket
+//! overhead on every access for no benefit. [`ObjMap`] and [`ObjSet`] store
+//! entries in a plain `Vec` with linear search: O(n) in theory, but with
+//! n ≤ ~10 a linear scan over a contiguous line of `u64` keys beats SipHash
+//! by a wide margin, and iteration order becomes deterministic insertion
+//! order (one less source of accidental nondeterminism; note that no
+//! protocol message order may depend on map iteration order — summaries are
+//! sorted by object id before use, see `TxRuntime::object_summary`).
+
+use rts_core::ObjectId;
+
+/// Insertion-ordered map from [`ObjectId`] to `V`, vec-backed.
+#[derive(Clone, Debug, Default)]
+pub struct ObjMap<V> {
+    entries: Vec<(ObjectId, V)>,
+}
+
+impl<V> ObjMap<V> {
+    pub fn new() -> Self {
+        ObjMap {
+            entries: Vec::new(),
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    #[inline]
+    pub fn contains_key(&self, oid: &ObjectId) -> bool {
+        self.entries.iter().any(|(k, _)| k == oid)
+    }
+
+    #[inline]
+    pub fn get(&self, oid: &ObjectId) -> Option<&V> {
+        self.entries.iter().find(|(k, _)| k == oid).map(|(_, v)| v)
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self, oid: &ObjectId) -> Option<&mut V> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == oid)
+            .map(|(_, v)| v)
+    }
+
+    /// Insert or replace; returns the previous value if any.
+    pub fn insert(&mut self, oid: ObjectId, value: V) -> Option<V> {
+        match self.entries.iter_mut().find(|(k, _)| *k == oid) {
+            Some((_, v)) => Some(std::mem::replace(v, value)),
+            None => {
+                self.entries.push((oid, value));
+                None
+            }
+        }
+    }
+
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Iterate in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&ObjectId, &V)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl<V> IntoIterator for ObjMap<V> {
+    type Item = (ObjectId, V);
+    type IntoIter = std::vec::IntoIter<(ObjectId, V)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl<'m, V> IntoIterator for &'m ObjMap<V> {
+    type Item = (&'m ObjectId, &'m V);
+    type IntoIter = Box<dyn Iterator<Item = (&'m ObjectId, &'m V)> + 'm>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.entries.iter().map(|(k, v)| (k, v)))
+    }
+}
+
+impl<V> std::ops::Index<&ObjectId> for ObjMap<V> {
+    type Output = V;
+
+    fn index(&self, oid: &ObjectId) -> &V {
+        self.get(oid).expect("no entry for object id")
+    }
+}
+
+/// Insertion-ordered set of [`ObjectId`]s, vec-backed.
+#[derive(Clone, Debug, Default)]
+pub struct ObjSet {
+    entries: Vec<ObjectId>,
+}
+
+impl ObjSet {
+    pub fn new() -> Self {
+        ObjSet {
+            entries: Vec::new(),
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    #[inline]
+    pub fn contains(&self, oid: &ObjectId) -> bool {
+        self.entries.contains(oid)
+    }
+
+    /// Insert; returns `true` if newly added.
+    pub fn insert(&mut self, oid: ObjectId) -> bool {
+        if self.entries.contains(&oid) {
+            return false;
+        }
+        self.entries.push(oid);
+        true
+    }
+
+    /// Remove; returns `true` if it was present. Order-preserving is not
+    /// required of a set, so this uses `swap_remove`.
+    pub fn remove(&mut self, oid: &ObjectId) -> bool {
+        match self.entries.iter().position(|k| k == oid) {
+            Some(i) => {
+                self.entries.swap_remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &ObjectId> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_insert_get_replace() {
+        let mut m: ObjMap<i64> = ObjMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(ObjectId(1), 10), None);
+        assert_eq!(m.insert(ObjectId(2), 20), None);
+        assert_eq!(m.insert(ObjectId(1), 11), Some(10));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(&ObjectId(1)), Some(&11));
+        assert_eq!(m[&ObjectId(2)], 20);
+        assert!(m.contains_key(&ObjectId(2)));
+        assert!(!m.contains_key(&ObjectId(3)));
+        *m.get_mut(&ObjectId(2)).unwrap() = 21;
+        assert_eq!(m[&ObjectId(2)], 21);
+    }
+
+    #[test]
+    fn map_iterates_in_insertion_order() {
+        let mut m: ObjMap<i64> = ObjMap::new();
+        for i in [5u64, 1, 9, 3] {
+            m.insert(ObjectId(i), i as i64);
+        }
+        let keys: Vec<u64> = m.iter().map(|(k, _)| k.0).collect();
+        assert_eq!(keys, vec![5, 1, 9, 3]);
+        let owned: Vec<u64> = m.into_iter().map(|(k, _)| k.0).collect();
+        assert_eq!(owned, vec![5, 1, 9, 3]);
+    }
+
+    #[test]
+    fn set_insert_remove() {
+        let mut s = ObjSet::new();
+        assert!(s.insert(ObjectId(1)));
+        assert!(!s.insert(ObjectId(1)), "duplicate insert rejected");
+        assert!(s.insert(ObjectId(2)));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(&ObjectId(1)));
+        assert!(!s.remove(&ObjectId(1)));
+        assert!(!s.is_empty());
+        assert!(s.remove(&ObjectId(2)));
+        assert!(s.is_empty());
+    }
+}

@@ -2,16 +2,21 @@
 //! runnable [`World`] of [`Node`]s, plus end-of-run aggregation.
 
 use crate::config::DstmConfig;
-use crate::message::Msg;
+use crate::message::{Msg, Timer};
 use crate::metrics::{NodeMetrics, RunMetrics};
 use crate::node::Node;
 use crate::object::Payload;
 use crate::program::BoxedProgram;
 use dstm_net::Topology;
-use dstm_sim::{ActorId, SimDuration, SimTime, World};
+use dstm_sim::{
+    ActorId, BinaryHeapQueue, EventQueue, GenericWorld, KernelEvent, SimDuration, SimTime,
+};
 use rts_core::{build_policy, ObjectId, RtsPolicy, ThresholdController};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// The kernel event type of a D-STM world (what a queue backend must hold).
+pub type NodeEvent = KernelEvent<Msg, Timer>;
 
 /// Where a system gets its shared objects and transactions.
 ///
@@ -44,9 +49,21 @@ impl SystemBuilder {
         self
     }
 
-    /// Assemble the world. Panics if `programs` does not match the node
-    /// count or if an object is homed outside the node range.
+    /// Assemble the world on the default binary-heap event queue. Panics if
+    /// `programs` does not match the node count or if an object is homed
+    /// outside the node range.
     pub fn build(self, workload: WorkloadSource) -> System {
+        self.build_with_queue(workload, BinaryHeapQueue::new())
+    }
+
+    /// Assemble the world on an explicit event-queue backend (the schedule —
+    /// and therefore every metric — is bit-identical across backends; only
+    /// host wall-clock differs).
+    pub fn build_with_queue<Q: EventQueue<NodeEvent>>(
+        self,
+        workload: WorkloadSource,
+        queue: Q,
+    ) -> System<Q> {
         let n = self.topo.n();
         assert_eq!(
             workload.programs.len(),
@@ -64,18 +81,17 @@ impl SystemBuilder {
         let mut programs = workload.programs;
         let nodes: Vec<Node> = (0..n)
             .map(|i| {
-                let policy = if cfg.adaptive_threshold
-                    && cfg.scheduler == rts_core::SchedulerKind::Rts
-                {
-                    Box::new(RtsPolicy::new(ThresholdController::adaptive(
-                        cfg.cl_threshold,
-                        1,
-                        cfg.cl_threshold * 4,
-                        SimDuration::from_millis(500),
-                    ))) as Box<dyn rts_core::ConflictPolicy>
-                } else {
-                    build_policy(cfg.scheduler, cfg.backoff_base, cfg.cl_threshold)
-                };
+                let policy =
+                    if cfg.adaptive_threshold && cfg.scheduler == rts_core::SchedulerKind::Rts {
+                        Box::new(RtsPolicy::new(ThresholdController::adaptive(
+                            cfg.cl_threshold,
+                            1,
+                            cfg.cl_threshold * 4,
+                            SimDuration::from_millis(500),
+                        ))) as Box<dyn rts_core::ConflictPolicy>
+                    } else {
+                        build_policy(cfg.scheduler, cfg.backoff_base, cfg.cl_threshold)
+                    };
                 Node::new(
                     i as u32,
                     Arc::clone(&self.topo),
@@ -87,7 +103,7 @@ impl SystemBuilder {
             })
             .collect();
 
-        let mut world = World::new(nodes, self.seed);
+        let mut world = GenericWorld::with_queue(nodes, self.seed, queue);
         for i in 0..n {
             world.send_external(ActorId(i as u32), Msg::StartWorkload, SimDuration::ZERO);
         }
@@ -98,22 +114,24 @@ impl SystemBuilder {
     }
 }
 
-/// A runnable deployment.
-pub struct System {
-    world: World<Node>,
+/// A runnable deployment, generic over the kernel's event-queue backend
+/// (defaults to the binary heap so existing `System` call sites are
+/// unchanged).
+pub struct System<Q = BinaryHeapQueue<NodeEvent>> {
+    world: GenericWorld<Node, Q>,
     topo: Arc<Topology>,
 }
 
-impl System {
+impl<Q: EventQueue<NodeEvent>> System<Q> {
     pub fn topology(&self) -> &Topology {
         &self.topo
     }
 
-    pub fn world(&self) -> &World<Node> {
+    pub fn world(&self) -> &GenericWorld<Node, Q> {
         &self.world
     }
 
-    pub fn world_mut(&mut self) -> &mut World<Node> {
+    pub fn world_mut(&mut self) -> &mut GenericWorld<Node, Q> {
         &mut self.world
     }
 
@@ -158,7 +176,7 @@ impl System {
         let mut out = HashMap::new();
         for node in self.world.actors() {
             for (oid, o) in node.owned_objects() {
-                let prev = out.insert(*oid, (o.payload.clone(), o.version));
+                let prev = out.insert(*oid, ((*o.payload).clone(), o.version));
                 assert!(
                     prev.is_none(),
                     "single-writable-copy violated: {oid:?} owned twice"
@@ -181,7 +199,10 @@ mod tests {
     use dstm_sim::SimRng;
     use rts_core::{SchedulerKind, TxKind};
 
-    fn single_node_system(programs: Vec<BoxedProgram>, objects: Vec<(ObjectId, Payload)>) -> System {
+    fn single_node_system(
+        programs: Vec<BoxedProgram>,
+        objects: Vec<(ObjectId, Payload)>,
+    ) -> System {
         let topo = Topology::complete(1, 1);
         let cfg = DstmConfig::default().with_scheduler(SchedulerKind::Tfa);
         SystemBuilder::new(topo, cfg).build(WorkloadSource {
@@ -199,10 +220,8 @@ mod tests {
                 ScriptOp::AddScalar(ObjectId(1), 5),
             ],
         );
-        let mut sys = single_node_system(
-            vec![Box::new(p)],
-            vec![(ObjectId(1), Payload::Scalar(10))],
-        );
+        let mut sys =
+            single_node_system(vec![Box::new(p)], vec![(ObjectId(1), Payload::Scalar(10))]);
         let m = sys.run(100_000);
         assert!(sys.all_done());
         assert_eq!(m.merged.commits, 1);
@@ -254,7 +273,11 @@ mod tests {
         assert!(sys.all_done(), "system stalled");
         assert_eq!(m.merged.commits, 4);
         let state = sys.object_state();
-        assert_eq!(state[&oid].0, Payload::Scalar(4), "increments must serialize");
+        assert_eq!(
+            state[&oid].0,
+            Payload::Scalar(4),
+            "increments must serialize"
+        );
     }
 
     #[test]
@@ -284,10 +307,12 @@ mod tests {
             };
             let programs: Vec<Vec<BoxedProgram>> =
                 (0..4).map(|_| (0..5).map(|_| mk()).collect()).collect();
-            let mut sys = SystemBuilder::new(topo, cfg).seed(99).build(WorkloadSource {
-                objects: vec![(oid, Payload::Scalar(0))],
-                programs,
-            });
+            let mut sys = SystemBuilder::new(topo, cfg)
+                .seed(99)
+                .build(WorkloadSource {
+                    objects: vec![(oid, Payload::Scalar(0))],
+                    programs,
+                });
             let m = sys.run(5_000_000);
             assert!(sys.all_done(), "{scheduler:?} run stalled");
             assert_eq!(m.merged.commits, 20, "{scheduler:?} lost commits");
@@ -301,12 +326,61 @@ mod tests {
     }
 
     #[test]
+    fn queue_backends_produce_identical_runs() {
+        // The same contended multi-node workload on the heap-backed and
+        // calendar-backed kernels must produce bit-identical metrics: same
+        // commits, same message count, same virtual end time.
+        use dstm_sim::CalendarQueue;
+
+        fn build_cfg() -> (Topology, DstmConfig, WorkloadSource) {
+            let oid = ObjectId(1);
+            let mut rng = SimRng::new(41);
+            let topo = Topology::uniform_random(3, 1, 20, &mut rng);
+            let cfg = DstmConfig::default()
+                .with_scheduler(SchedulerKind::Rts)
+                .with_concurrency(2);
+            let mk = || -> BoxedProgram {
+                Box::new(ScriptProgram::new(
+                    TxKind(1),
+                    vec![
+                        ScriptOp::Write(oid),
+                        ScriptOp::AddScalar(oid, 1),
+                        ScriptOp::Compute(SimDuration::from_micros(250)),
+                    ],
+                ))
+            };
+            let programs = (0..3).map(|_| (0..4).map(|_| mk()).collect()).collect();
+            let workload = WorkloadSource {
+                objects: vec![(oid, Payload::Scalar(0))],
+                programs,
+            };
+            (topo, cfg, workload)
+        }
+
+        let (topo, cfg, workload) = build_cfg();
+        let mut heap_sys = SystemBuilder::new(topo, cfg).seed(17).build(workload);
+        let heap = heap_sys.run(5_000_000);
+        assert!(heap_sys.all_done());
+
+        let (topo, cfg, workload) = build_cfg();
+        let mut cal_sys = SystemBuilder::new(topo, cfg)
+            .seed(17)
+            .build_with_queue(workload, CalendarQueue::new());
+        let cal = cal_sys.run(5_000_000);
+        assert!(cal_sys.all_done());
+
+        assert_eq!(heap.merged.commits, cal.merged.commits);
+        assert_eq!(heap.merged.total_aborts(), cal.merged.total_aborts());
+        assert_eq!(heap.messages, cal.messages);
+        assert_eq!(heap.ended_at, cal.ended_at);
+        assert_eq!(heap_sys.object_state(), cal_sys.object_state());
+    }
+
+    #[test]
     fn read_only_transactions_commit() {
         let p = ScriptProgram::new(TxKind(1), vec![ScriptOp::Read(ObjectId(1))]);
-        let mut sys = single_node_system(
-            vec![Box::new(p)],
-            vec![(ObjectId(1), Payload::Scalar(10))],
-        );
+        let mut sys =
+            single_node_system(vec![Box::new(p)], vec![(ObjectId(1), Payload::Scalar(10))]);
         let m = sys.run(100_000);
         assert!(sys.all_done());
         assert_eq!(m.merged.commits, 1);

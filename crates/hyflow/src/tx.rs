@@ -14,14 +14,20 @@
 
 use crate::object::Payload;
 use crate::program::{AccessMode, BoxedProgram};
+use crate::small::{ObjMap, ObjSet};
 use dstm_sim::{SimTime, TimerToken};
 use rts_core::{ClAccounting, Ets, ObjectId, TxId, TxKind};
-use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// A fetched object copy inside a transaction.
+///
+/// The payload is shared copy-on-write: reads hand out `Arc` clones, and a
+/// `WriteLocal` replaces the pointer with a freshly built payload, so
+/// shadowing a copy into a nested level or merging it back up never deep-
+/// clones object contents.
 #[derive(Clone, Debug)]
 pub struct WorkingCopy {
-    pub payload: Payload,
+    pub payload: Arc<Payload>,
     /// Version observed at fetch time (validated at commit).
     pub version: u64,
     /// Strongest access mode so far.
@@ -39,7 +45,7 @@ pub struct WorkingCopy {
 /// One closed-nesting level.
 pub struct NestingLevel {
     pub kind: TxKind,
-    pub copies: HashMap<ObjectId, WorkingCopy>,
+    pub copies: ObjMap<WorkingCopy>,
     /// Program state at entry to this level; restored on retry of the level.
     pub snapshot: BoxedProgram,
     /// Nested transactions (recursively) already committed into this level.
@@ -64,18 +70,18 @@ pub enum TxPhase {
     },
     /// Waiting for `VersionResp`s of an early/commit validation round.
     AwaitValidation {
-        pending: HashSet<ObjectId>,
+        pending: ObjSet,
         stale: Vec<ObjectId>,
         resume: ValidationResume,
     },
     /// Waiting for `LockResp`s on the write set.
     AwaitLocks {
-        pending: HashSet<ObjectId>,
+        pending: ObjSet,
         granted: Vec<ObjectId>,
         failed: bool,
     },
     /// Waiting for `PublishAck`s.
-    AwaitPublish { pending: HashSet<ObjectId> },
+    AwaitPublish { pending: ObjSet },
     /// Aborted with a retry backoff; waiting for `RetryBackoff`.
     BackedOff,
     /// A child level aborted with a retry backoff; waiting for
@@ -91,7 +97,7 @@ pub enum ValidationResume {
     /// Transactional forwarding: deliver the stashed fetched object.
     Deliver {
         oid: ObjectId,
-        payload: Payload,
+        payload: Arc<Payload>,
         version: u64,
         local_cl: u32,
         owner: u32,
@@ -163,7 +169,7 @@ impl TxRuntime {
             pristine,
             levels: vec![NestingLevel {
                 kind,
-                copies: HashMap::new(),
+                copies: ObjMap::new(),
                 snapshot,
                 committed_children: 0,
                 opened_at: now,
@@ -213,11 +219,12 @@ impl TxRuntime {
 
     /// Prepare a local access to an already-held object in the current
     /// level: shadow-copy it up from an ancestor if needed, upgrade the
-    /// mode, and return a clone of the payload for the program.
+    /// mode, and return a shared handle to the payload for the program
+    /// (a pointer bump — contents are copy-on-write).
     ///
     /// Returns `None` if the object is not held anywhere (a remote fetch is
     /// required).
-    pub fn access_held(&mut self, oid: ObjectId, mode: AccessMode) -> Option<Payload> {
+    pub fn access_held(&mut self, oid: ObjectId, mode: AccessMode) -> Option<Arc<Payload>> {
         let top = self.top();
         if !self.levels[top].copies.contains_key(&oid) {
             // Shadow an ancestor's copy into the current level.
@@ -239,14 +246,14 @@ impl TxRuntime {
         if mode == AccessMode::Write {
             copy.mode = AccessMode::Write;
         }
-        Some(copy.payload.clone())
+        Some(Arc::clone(&copy.payload))
     }
 
     /// Install a freshly fetched copy into the current level.
     pub fn install_fetched(
         &mut self,
         oid: ObjectId,
-        payload: Payload,
+        payload: Arc<Payload>,
         version: u64,
         local_cl: u32,
         owner: u32,
@@ -279,7 +286,7 @@ impl TxRuntime {
         );
         let top = self.top();
         let copy = self.levels[top].copies.get_mut(&oid).expect("shadowed");
-        copy.payload = payload;
+        copy.payload = Arc::new(payload);
         copy.dirty = true;
         copy.mode = AccessMode::Write;
     }
@@ -289,7 +296,7 @@ impl TxRuntime {
     pub fn open_nested(&mut self, kind: TxKind, snapshot: BoxedProgram, now: SimTime) {
         self.levels.push(NestingLevel {
             kind,
-            copies: HashMap::new(),
+            copies: ObjMap::new(),
             snapshot,
             committed_children: 0,
             opened_at: now,
@@ -302,7 +309,11 @@ impl TxRuntime {
     ///
     /// Panics if called at top level (programs must balance Open/Close).
     pub fn close_nested(&mut self) {
-        assert!(self.in_nested(), "CloseNested at top level in {:?}", self.id);
+        assert!(
+            self.in_nested(),
+            "CloseNested at top level in {:?}",
+            self.id
+        );
         let child = self.levels.pop().expect("len > 1");
         let parent = self.levels.last_mut().expect("parent exists");
         for (oid, copy) in child.copies {
@@ -369,7 +380,10 @@ impl TxRuntime {
         for oid in dropped {
             // An ancestor below `level` may still hold its own fetch of the
             // same oid; only release if nobody below holds it.
-            if !self.levels[..level].iter().any(|l| l.copies.contains_key(&oid)) {
+            if !self.levels[..level]
+                .iter()
+                .any(|l| l.copies.contains_key(&oid))
+            {
                 self.cl.object_released(oid);
             }
         }
@@ -385,7 +399,7 @@ impl TxRuntime {
         self.levels.clear();
         self.levels.push(NestingLevel {
             kind: self.kind,
-            copies: HashMap::new(),
+            copies: ObjMap::new(),
             snapshot,
             committed_children: 0,
             opened_at: now,
@@ -402,7 +416,7 @@ impl TxRuntime {
     /// `(oid, version, owner, dirty_anywhere, mode_anywhere)`.
     pub fn object_summary(&self) -> Vec<(ObjectId, u64, u32, bool, AccessMode)> {
         let mut out: Vec<(ObjectId, u64, u32, bool, AccessMode)> = Vec::new();
-        let mut seen: HashSet<ObjectId> = HashSet::new();
+        let mut seen = ObjSet::new();
         for l in &self.levels {
             for (oid, c) in &l.copies {
                 if seen.insert(*oid) {
@@ -421,16 +435,13 @@ impl TxRuntime {
     }
 
     /// The publish set: objects dirtied anywhere in the (merged) transaction
-    /// with the payload of the innermost copy.
-    pub fn write_back_set(&self) -> Vec<(ObjectId, Payload, u64, u32)> {
+    /// with the payload of the innermost copy (shared, not deep-cloned).
+    pub fn write_back_set(&self) -> Vec<(ObjectId, Arc<Payload>, u64, u32)> {
         let mut out = Vec::new();
         for (oid, version, owner, dirty, _mode) in self.object_summary() {
             if dirty {
-                let payload = self
-                    .lookup(oid)
-                    .expect("summarized object present")
-                    .payload
-                    .clone();
+                let payload =
+                    Arc::clone(&self.lookup(oid).expect("summarized object present").payload);
                 out.push((oid, payload, version, owner));
             }
         }
@@ -462,7 +473,7 @@ mod tests {
     }
 
     fn install(tx: &mut TxRuntime, oid: u64, val: i64, mode: AccessMode) {
-        tx.install_fetched(ObjectId(oid), Payload::Scalar(val), 1, 0, 0, mode);
+        tx.install_fetched(ObjectId(oid), Arc::new(Payload::Scalar(val)), 1, 0, 0, mode);
     }
 
     #[test]
@@ -472,13 +483,16 @@ mod tests {
         tx.open_nested(TxKind(2), tx.program.clone_box(), SimTime(2_000));
         // Child reads o1: gets a shadow of the parent's copy.
         let v = tx.access_held(ObjectId(1), AccessMode::Read).unwrap();
-        assert_eq!(v, Payload::Scalar(10));
+        assert_eq!(*v, Payload::Scalar(10));
         // Child writes its shadow.
         tx.write_local(ObjectId(1), Payload::Scalar(99));
-        assert_eq!(tx.lookup(ObjectId(1)).unwrap().payload, Payload::Scalar(99));
+        assert_eq!(
+            *tx.lookup(ObjectId(1)).unwrap().payload,
+            Payload::Scalar(99)
+        );
         // Parent's own copy (level 0) is untouched.
         assert_eq!(
-            tx.levels[0].copies[&ObjectId(1)].payload,
+            *tx.levels[0].copies[&ObjectId(1)].payload,
             Payload::Scalar(10)
         );
     }
@@ -493,7 +507,10 @@ mod tests {
         assert_eq!(acc.nested_own, 1);
         assert_eq!(acc.nested_parent, 0);
         assert!(!acc.parent_aborted);
-        assert_eq!(tx.lookup(ObjectId(1)).unwrap().payload, Payload::Scalar(10));
+        assert_eq!(
+            *tx.lookup(ObjectId(1)).unwrap().payload,
+            Payload::Scalar(10)
+        );
         assert!(!tx.lookup(ObjectId(1)).unwrap().dirty);
         assert_eq!(tx.levels.len(), 2, "child level retained for retry");
     }
@@ -510,9 +527,15 @@ mod tests {
         tx.close_nested();
         assert_eq!(tx.levels.len(), 1);
         assert_eq!(tx.levels[0].committed_children, 1);
-        assert_eq!(tx.lookup(ObjectId(1)).unwrap().payload, Payload::Scalar(11));
+        assert_eq!(
+            *tx.lookup(ObjectId(1)).unwrap().payload,
+            Payload::Scalar(11)
+        );
         assert!(tx.lookup(ObjectId(1)).unwrap().dirty);
-        assert_eq!(tx.lookup(ObjectId(2)).unwrap().payload, Payload::Scalar(21));
+        assert_eq!(
+            *tx.lookup(ObjectId(2)).unwrap().payload,
+            Payload::Scalar(21)
+        );
     }
 
     #[test]
@@ -569,7 +592,7 @@ mod tests {
         tx.write_local(ObjectId(1), Payload::Scalar(12));
         let wbs = tx.write_back_set();
         assert_eq!(wbs.len(), 1);
-        assert_eq!(wbs[0].1, Payload::Scalar(12));
+        assert_eq!(*wbs[0].1, Payload::Scalar(12));
     }
 
     #[test]

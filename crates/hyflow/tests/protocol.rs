@@ -3,7 +3,7 @@
 //! protocol-visible outcomes.
 
 use dstm_net::Topology;
-use dstm_sim::{SimDuration, SimRng};
+use dstm_sim::SimDuration;
 use hyflow_dstm::program::{ScriptOp, ScriptProgram};
 use hyflow_dstm::{
     BoxedProgram, ConflictScope, DstmConfig, NestingMode, Payload, System, SystemBuilder,
@@ -36,7 +36,9 @@ fn build(
     programs: Vec<Vec<BoxedProgram>>,
 ) -> System {
     let topo = Topology::complete(n, 10);
-    SystemBuilder::new(topo, cfg).seed(5).build(WorkloadSource { objects, programs })
+    SystemBuilder::new(topo, cfg)
+        .seed(5)
+        .build(WorkloadSource { objects, programs })
 }
 
 #[test]
@@ -66,7 +68,11 @@ fn ownership_chain_spans_many_moves() {
     assert!(sys.all_done());
     assert_eq!(m.merged.commits, 4);
     // With fully staggered single writers there is no contention at all.
-    assert_eq!(m.merged.total_aborts(), 0, "staggered writers must not conflict");
+    assert_eq!(
+        m.merged.total_aborts(),
+        0,
+        "staggered writers must not conflict"
+    );
     let state = sys.object_state();
     assert_eq!(state[&oid].0.as_scalar(), 4);
     // Ownership ended away from the home node (the last committer's node).

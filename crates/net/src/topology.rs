@@ -332,7 +332,10 @@ mod tests {
         let b = Topology::uniform_random(10, 1, 50, &mut SimRng::new(5));
         for x in 0..10 {
             for y in 0..10 {
-                assert_eq!(a.delay(ActorId(x), ActorId(y)), b.delay(ActorId(x), ActorId(y)));
+                assert_eq!(
+                    a.delay(ActorId(x), ActorId(y)),
+                    b.delay(ActorId(x), ActorId(y))
+                );
             }
         }
     }

@@ -7,13 +7,35 @@
 //! time, and drawing random numbers. This narrow interface is what makes
 //! whole-protocol runs reproducible: identical seeds yield identical event
 //! sequences.
+//!
+//! # Queue backends
+//!
+//! The pending-event set is pluggable: [`GenericWorld<A, Q>`] is generic over
+//! any [`EventQueue`] implementation, and [`World<A>`] is the
+//! [`BinaryHeapQueue`]-backed default alias. Because every backend must honor
+//! the same total order ([`crate::event::EventKey`]: time, then issue
+//! sequence), a run is bit-identical regardless of backend — the choice is
+//! purely a performance knob (see `queue.rs` for the calendar-queue
+//! trade-offs). The event-dispatch loop in [`GenericWorld::step`] is
+//! statically dispatched over `Q`; only pushes from inside actor callbacks go
+//! through a `dyn EventQueue` so that the [`Actor`] trait (and every actor
+//! implementation) stays independent of the backend type.
+//!
+//! # Timer cancellation
+//!
+//! Timers are cancelled in O(1) without hashing: each armed timer occupies a
+//! slot in a generation-stamped slab and its [`TimerToken`] packs
+//! `(slot, generation)`. Cancelling (or firing) bumps the slot's generation,
+//! so a queued timer event whose stamped generation no longer matches is
+//! skipped when popped. Slots are recycled through a free list, bounding slab
+//! size by the maximum number of *concurrently armed* timers rather than the
+//! total armed over a run.
 
 use crate::event::Sequenced;
 use crate::queue::{BinaryHeapQueue, EventQueue};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{TraceEvent, TraceSink};
-use std::collections::HashSet;
 
 /// Identifies an actor (node) in the world. Dense indices starting at 0.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -27,8 +49,24 @@ impl ActorId {
 }
 
 /// Handle to a pending timer; pass to [`Ctx::cancel_timer`] to cancel.
+///
+/// Packs `(generation << 32) | slot` of the kernel's timer slab. Tokens are
+/// opaque to actors; a token is spent once its timer fires or is cancelled,
+/// and later use is a harmless no-op (the generation no longer matches).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct TimerToken(u64);
+
+impl TimerToken {
+    #[inline]
+    fn pack(slot: u32, generation: u32) -> Self {
+        TimerToken(((generation as u64) << 32) | slot as u64)
+    }
+
+    #[inline]
+    fn unpack(self) -> (u32, u32) {
+        (self.0 as u32, (self.0 >> 32) as u32)
+    }
+}
 
 /// A simulated node. `Msg` is the network message type, `Timer` the local
 /// timer payload type.
@@ -37,24 +75,49 @@ pub trait Actor {
     type Timer;
 
     /// A message from `from` has been delivered to this actor.
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, from: ActorId, msg: Self::Msg);
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Msg, Self::Timer>,
+        from: ActorId,
+        msg: Self::Msg,
+    );
 
     /// A previously armed (and not cancelled) timer has fired.
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, timer: Self::Timer);
 }
 
-enum Payload<M, T> {
-    Msg { from: ActorId, to: ActorId, msg: M },
-    Timer { on: ActorId, token: TimerToken, timer: T },
+/// One pending event in the kernel queue: a message delivery or a timer
+/// expiry. Public so queue backends can be named in type signatures
+/// (e.g. `CalendarQueue<KernelEvent<M, T>>`), but its fields stay private to
+/// the engine.
+pub enum KernelEvent<M, T> {
+    Msg {
+        from: ActorId,
+        to: ActorId,
+        msg: M,
+    },
+    Timer {
+        on: ActorId,
+        token: TimerToken,
+        timer: T,
+    },
 }
 
-/// Engine internals shared between the run loop and actor callbacks.
-struct Kernel<M, T> {
+/// Queue-independent engine state shared between the run loop and actor
+/// callbacks. Holds no message/timer payloads, so it needs no type
+/// parameters — which is what lets [`Ctx`] stay independent of the queue
+/// backend.
+struct KernelCore {
     now: SimTime,
     seq: u64,
-    next_timer: u64,
-    queue: BinaryHeapQueue<Payload<M, T>>,
-    cancelled: HashSet<u64>,
+    /// Generation stamp per timer slot; bumped when the slot's timer fires or
+    /// is cancelled, invalidating any queued event carrying the old stamp.
+    /// (A stamp would have to survive 2^32 arm/retire cycles of one slot
+    /// while its event sits in the queue to collide — not possible, since
+    /// a slot is only recycled after its previous event is resolved.)
+    timer_gens: Vec<u32>,
+    /// Recycled slots available for the next `set_timer`.
+    timer_free: Vec<u32>,
     rngs: Vec<SimRng>,
     trace: TraceSink,
     /// Delivered message count (protocol messages, not timers).
@@ -62,17 +125,73 @@ struct Kernel<M, T> {
     timers_fired: u64,
 }
 
-impl<M, T> Kernel<M, T> {
-    fn schedule(&mut self, delay: SimDuration, payload: Payload<M, T>) {
-        let at = self.now + delay;
-        self.seq += 1;
-        self.queue.push(Sequenced::new(at, self.seq, payload));
+impl KernelCore {
+    fn new(seed: u64, actors: usize) -> Self {
+        let root = SimRng::new(seed);
+        KernelCore {
+            now: SimTime::ZERO,
+            seq: 0,
+            timer_gens: Vec::new(),
+            timer_free: Vec::new(),
+            rngs: (0..actors).map(|i| root.split(i as u64)).collect(),
+            trace: TraceSink::Disabled,
+            messages_delivered: 0,
+            timers_fired: 0,
+        }
+    }
+
+    /// Claim a slot for a newly armed timer and stamp a token with its
+    /// current generation.
+    #[inline]
+    fn timer_arm(&mut self) -> TimerToken {
+        let slot = match self.timer_free.pop() {
+            Some(slot) => slot,
+            None => {
+                self.timer_gens.push(0);
+                (self.timer_gens.len() - 1) as u32
+            }
+        };
+        TimerToken::pack(slot, self.timer_gens[slot as usize])
+    }
+
+    /// Retire a timer: bump its slot's generation and recycle the slot.
+    /// No-op (returns false) if the token's generation is stale, i.e. the
+    /// timer already fired or was already cancelled.
+    #[inline]
+    fn timer_retire(&mut self, token: TimerToken) -> bool {
+        let (slot, generation) = token.unpack();
+        let current = &mut self.timer_gens[slot as usize];
+        if *current != generation {
+            return false;
+        }
+        *current = current.wrapping_add(1);
+        self.timer_free.push(slot);
+        true
     }
 }
 
+/// Schedule `payload` at `core.now + delay` into `queue`. Free function (not
+/// a method) so it can be called with a split borrow of core + dyn queue.
+#[inline]
+fn schedule<M, T>(
+    core: &mut KernelCore,
+    queue: &mut dyn EventQueue<KernelEvent<M, T>>,
+    delay: SimDuration,
+    payload: KernelEvent<M, T>,
+) {
+    let at = core.now + delay;
+    core.seq += 1;
+    queue.push(Sequenced::new(at, core.seq, payload));
+}
+
 /// The per-callback view of the engine handed to actor code.
+///
+/// Independent of the queue backend (`Q`) by design: the queue is borrowed as
+/// a trait object, so `Actor` implementations compile once and run under any
+/// backend.
 pub struct Ctx<'a, M, T> {
-    kernel: &'a mut Kernel<M, T>,
+    core: &'a mut KernelCore,
+    queue: &'a mut dyn EventQueue<KernelEvent<M, T>>,
     me: ActorId,
 }
 
@@ -80,7 +199,7 @@ impl<'a, M, T> Ctx<'a, M, T> {
     /// Current virtual time.
     #[inline]
     pub fn now(&self) -> SimTime {
-        self.kernel.now
+        self.core.now
     }
 
     /// The actor this callback runs on.
@@ -94,74 +213,99 @@ impl<'a, M, T> Ctx<'a, M, T> {
     /// the engine itself is delay-agnostic.
     pub fn send(&mut self, to: ActorId, msg: M, delay: SimDuration) {
         let from = self.me;
-        self.kernel.schedule(delay, Payload::Msg { from, to, msg });
+        schedule(
+            self.core,
+            self.queue,
+            delay,
+            KernelEvent::Msg { from, to, msg },
+        );
     }
 
     /// Arm a timer on this actor that fires after `delay`.
     pub fn set_timer(&mut self, delay: SimDuration, timer: T) -> TimerToken {
-        self.kernel.next_timer += 1;
-        let token = TimerToken(self.kernel.next_timer);
+        let token = self.core.timer_arm();
         let on = self.me;
-        self.kernel.schedule(delay, Payload::Timer { on, token, timer });
+        schedule(
+            self.core,
+            self.queue,
+            delay,
+            KernelEvent::Timer { on, token, timer },
+        );
         token
     }
 
     /// Cancel a pending timer. Cancelling an already-fired or already-
-    /// cancelled timer is a no-op.
+    /// cancelled timer is a no-op. O(1): bumps the slot generation so the
+    /// queued event is skipped when it surfaces.
     pub fn cancel_timer(&mut self, token: TimerToken) {
-        self.kernel.cancelled.insert(token.0);
+        self.core.timer_retire(token);
     }
 
     /// This actor's private deterministic RNG stream.
     #[inline]
     pub fn rng(&mut self) -> &mut SimRng {
-        &mut self.kernel.rngs[self.me.index()]
+        &mut self.core.rngs[self.me.index()]
     }
 
     /// Emit a free-form trace annotation (no-op when tracing is disabled).
     pub fn note(&mut self, text: impl FnOnce() -> String) {
-        if self.kernel.trace.enabled() {
-            let at = self.kernel.now;
+        if self.core.trace.enabled() {
+            let at = self.core.now;
             let on = self.me;
-            self.kernel.trace.record(TraceEvent::Note { at, on, text: text() });
+            self.core.trace.record(TraceEvent::Note {
+                at,
+                on,
+                text: text(),
+            });
         }
     }
 }
 
-/// A complete simulation: actors + kernel.
-pub struct World<A: Actor> {
+/// A complete simulation — actors plus kernel — generic over the
+/// pending-event-set backend `Q`. Use the [`World`] alias unless you are
+/// selecting a backend explicitly (e.g. [`CalendarQueue`] via
+/// [`GenericWorld::with_queue`]).
+///
+/// [`CalendarQueue`]: crate::queue::CalendarQueue
+pub struct GenericWorld<A: Actor, Q> {
     actors: Vec<A>,
-    kernel: Kernel<A::Msg, A::Timer>,
+    core: KernelCore,
+    queue: Q,
 }
 
+/// The default world: binary-heap-backed pending-event set. A type alias (not
+/// a default type parameter) so `World::new(...)` keeps inferring at existing
+/// call sites.
+pub type World<A> =
+    GenericWorld<A, BinaryHeapQueue<KernelEvent<<A as Actor>::Msg, <A as Actor>::Timer>>>;
+
 impl<A: Actor> World<A> {
-    /// Build a world over `actors`; all randomness derives from `seed`.
+    /// Build a heap-backed world over `actors`; all randomness derives from
+    /// `seed`.
     pub fn new(actors: Vec<A>, seed: u64) -> Self {
-        let root = SimRng::new(seed);
-        let rngs = (0..actors.len()).map(|i| root.split(i as u64)).collect();
-        World {
+        GenericWorld::with_queue(actors, seed, BinaryHeapQueue::new())
+    }
+}
+
+impl<A: Actor, Q: EventQueue<KernelEvent<A::Msg, A::Timer>>> GenericWorld<A, Q> {
+    /// Build a world over `actors` with an explicit queue backend; all
+    /// randomness derives from `seed`. The queue must be empty.
+    pub fn with_queue(actors: Vec<A>, seed: u64, queue: Q) -> Self {
+        debug_assert!(queue.is_empty(), "queue backend must start empty");
+        GenericWorld {
+            core: KernelCore::new(seed, actors.len()),
             actors,
-            kernel: Kernel {
-                now: SimTime::ZERO,
-                seq: 0,
-                next_timer: 0,
-                queue: BinaryHeapQueue::new(),
-                cancelled: HashSet::new(),
-                rngs,
-                trace: TraceSink::Disabled,
-                messages_delivered: 0,
-                timers_fired: 0,
-            },
+            queue,
         }
     }
 
     /// Enable in-memory tracing (for tests/scenario inspection).
     pub fn enable_trace(&mut self, cap: usize) {
-        self.kernel.trace = TraceSink::ring(cap);
+        self.core.trace = TraceSink::ring(cap);
     }
 
     pub fn trace_events(&self) -> &[TraceEvent] {
-        self.kernel.trace.events()
+        self.core.trace.events()
     }
 
     pub fn len(&self) -> usize {
@@ -173,7 +317,7 @@ impl<A: Actor> World<A> {
     }
 
     pub fn now(&self) -> SimTime {
-        self.kernel.now
+        self.core.now
     }
 
     pub fn actor(&self, id: ActorId) -> &A {
@@ -190,17 +334,27 @@ impl<A: Actor> World<A> {
 
     /// Total protocol messages delivered so far.
     pub fn messages_delivered(&self) -> u64 {
-        self.kernel.messages_delivered
+        self.core.messages_delivered
     }
 
     pub fn timers_fired(&self) -> u64 {
-        self.kernel.timers_fired
+        self.core.timers_fired
+    }
+
+    /// Pending events (undelivered messages + armed-or-cancelled timers).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
     }
 
     /// Inject a message from outside the world (workload arrival); `from` is
     /// recorded as the destination itself.
     pub fn send_external(&mut self, to: ActorId, msg: A::Msg, delay: SimDuration) {
-        self.kernel.schedule(delay, Payload::Msg { from: to, to, msg });
+        schedule(
+            &mut self.core,
+            &mut self.queue,
+            delay,
+            KernelEvent::Msg { from: to, to, msg },
+        );
     }
 
     /// Run a callback in `actor`'s context, as if an event had fired there.
@@ -211,7 +365,8 @@ impl<A: Actor> World<A> {
         f: impl FnOnce(&mut A, &mut Ctx<'_, A::Msg, A::Timer>) -> R,
     ) -> R {
         let mut ctx = Ctx {
-            kernel: &mut self.kernel,
+            core: &mut self.core,
+            queue: &mut self.queue,
             me: actor,
         };
         f(&mut self.actors[actor.index()], &mut ctx)
@@ -219,43 +374,45 @@ impl<A: Actor> World<A> {
 
     /// Process one event. Returns `false` when the queue is exhausted.
     pub fn step(&mut self) -> bool {
-        let ev = match self.kernel.queue.pop() {
+        let ev = match self.queue.pop() {
             Some(ev) => ev,
             None => return false,
         };
-        debug_assert!(ev.key.time >= self.kernel.now, "time went backwards");
-        self.kernel.now = ev.key.time;
+        debug_assert!(ev.key.time >= self.core.now, "time went backwards");
+        self.core.now = ev.key.time;
         match ev.payload {
-            Payload::Msg { from, to, msg } => {
-                self.kernel.messages_delivered += 1;
-                if self.kernel.trace.enabled() {
-                    self.kernel.trace.record(TraceEvent::Deliver {
-                        at: self.kernel.now,
+            KernelEvent::Msg { from, to, msg } => {
+                self.core.messages_delivered += 1;
+                if self.core.trace.enabled() {
+                    self.core.trace.record(TraceEvent::Deliver {
+                        at: self.core.now,
                         from,
                         to,
                         tag: "msg",
                     });
                 }
                 let mut ctx = Ctx {
-                    kernel: &mut self.kernel,
+                    core: &mut self.core,
+                    queue: &mut self.queue,
                     me: to,
                 };
                 self.actors[to.index()].on_message(&mut ctx, from, msg);
             }
-            Payload::Timer { on, token, timer } => {
-                if self.kernel.cancelled.remove(&token.0) {
+            KernelEvent::Timer { on, token, timer } => {
+                if !self.core.timer_retire(token) {
                     return true; // cancelled; skip
                 }
-                self.kernel.timers_fired += 1;
-                if self.kernel.trace.enabled() {
-                    self.kernel.trace.record(TraceEvent::TimerFired {
-                        at: self.kernel.now,
+                self.core.timers_fired += 1;
+                if self.core.trace.enabled() {
+                    self.core.trace.record(TraceEvent::TimerFired {
+                        at: self.core.now,
                         on,
                         tag: "timer",
                     });
                 }
                 let mut ctx = Ctx {
-                    kernel: &mut self.kernel,
+                    core: &mut self.core,
+                    queue: &mut self.queue,
                     me: on,
                 };
                 self.actors[on.index()].on_timer(&mut ctx, timer);
@@ -269,21 +426,26 @@ impl<A: Actor> World<A> {
         while self.step() {}
     }
 
-    /// Run until the queue drains or virtual time would exceed `deadline`.
-    /// Events at exactly `deadline` are processed; later ones remain queued.
+    /// Run until virtual time reaches `deadline`. Events at exactly
+    /// `deadline` are processed; later ones remain queued. On return `now()`
+    /// is exactly `max(deadline, now)` on **every** exit path — including
+    /// when the queue drains early — so callers can treat the world as having
+    /// idled up to the deadline.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(key) = self.kernel.queue.peek_key() {
+        while let Some(key) = self.queue.peek_key() {
             if key.time > deadline {
-                self.kernel.now = deadline;
-                return;
+                break;
             }
             self.step();
+        }
+        if self.core.now < deadline {
+            self.core.now = deadline;
         }
     }
 
     /// Run until `pred` over the world returns true, checking after every
     /// event, with a hard event-count budget to bound runaway protocols.
-    pub fn run_while(&mut self, budget: u64, mut pred: impl FnMut(&World<A>) -> bool) -> u64 {
+    pub fn run_while(&mut self, budget: u64, mut pred: impl FnMut(&Self) -> bool) -> u64 {
         let mut steps = 0;
         while steps < budget && pred(self) {
             if !self.step() {
@@ -298,6 +460,7 @@ impl<A: Actor> World<A> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::queue::CalendarQueue;
 
     /// An actor that records delivery times and bounces messages.
     struct Echo {
@@ -376,6 +539,74 @@ mod tests {
     }
 
     #[test]
+    fn cancelling_twice_and_cancelling_fired_are_noops() {
+        struct Canceller {
+            token: Option<TimerToken>,
+        }
+        impl Actor for Canceller {
+            type Msg = u32;
+            type Timer = u32;
+            fn on_message(&mut self, ctx: &mut Ctx<'_, u32, u32>, _from: ActorId, msg: u32) {
+                match msg {
+                    1 => self.token = Some(ctx.set_timer(SimDuration::from_millis(1), 7)),
+                    2 => {
+                        // double-cancel: second must be a no-op even though the
+                        // slot may have been recycled by the next set_timer
+                        let tok = self.token.expect("armed");
+                        ctx.cancel_timer(tok);
+                        ctx.cancel_timer(tok);
+                        ctx.set_timer(SimDuration::from_millis(1), 9);
+                        ctx.cancel_timer(tok); // stale: recycled slot, new generation
+                    }
+                    _ => {}
+                }
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, u32, u32>, timer: u32) {
+                assert_eq!(timer, 9, "cancelled timer fired");
+                // cancelling an already-fired timer is a no-op
+                let tok = self.token.take().expect("armed");
+                ctx.cancel_timer(tok);
+            }
+        }
+        let mut w = World::new(vec![Canceller { token: None }], 1);
+        w.send_external(ActorId(0), 1, SimDuration::ZERO);
+        w.send_external(ActorId(0), 2, SimDuration::from_micros(10));
+        w.run();
+        assert_eq!(w.timers_fired(), 1);
+    }
+
+    #[test]
+    fn timer_slab_recycles_slots() {
+        // Arm/fire many timers sequentially: the slab must stay at O(max
+        // concurrently armed), not grow with the total number armed.
+        struct Chain {
+            remaining: u32,
+        }
+        impl Actor for Chain {
+            type Msg = u32;
+            type Timer = u32;
+            fn on_message(&mut self, ctx: &mut Ctx<'_, u32, u32>, _from: ActorId, _msg: u32) {
+                ctx.set_timer(SimDuration::from_micros(5), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, u32, u32>, _timer: u32) {
+                if self.remaining > 0 {
+                    self.remaining -= 1;
+                    ctx.set_timer(SimDuration::from_micros(5), 0);
+                }
+            }
+        }
+        let mut w = World::new(vec![Chain { remaining: 10_000 }], 1);
+        w.send_external(ActorId(0), 0, SimDuration::ZERO);
+        w.run();
+        assert_eq!(w.timers_fired(), 10_001);
+        assert!(
+            w.core.timer_gens.len() <= 2,
+            "slab grew to {} slots for 1 concurrent timer",
+            w.core.timer_gens.len()
+        );
+    }
+
+    #[test]
     fn run_until_stops_at_deadline() {
         let mut w = World::new(vec![Echo::new()], 1);
         w.send_external(ActorId(0), 5, SimDuration::from_millis(1));
@@ -385,6 +616,24 @@ mod tests {
         assert_eq!(w.now(), SimTime(5_000_000));
         w.run();
         assert_eq!(w.actor(ActorId(0)).deliveries.len(), 2);
+    }
+
+    #[test]
+    fn run_until_advances_to_deadline_when_queue_drains() {
+        // Both exit paths of run_until must leave now() at the deadline: the
+        // last event here lands at 1 ms, well before the 5 ms deadline.
+        let mut w = World::new(vec![Echo::new()], 1);
+        w.send_external(ActorId(0), 5, SimDuration::from_millis(1));
+        w.run_until(SimTime(5_000_000));
+        assert_eq!(w.actor(ActorId(0)).deliveries.len(), 1);
+        assert_eq!(
+            w.now(),
+            SimTime(5_000_000),
+            "drained queue must still advance now"
+        );
+        // And a deadline in the past never moves time backwards.
+        w.run_until(SimTime(1_000_000));
+        assert_eq!(w.now(), SimTime(5_000_000));
     }
 
     #[test]
@@ -403,6 +652,35 @@ mod tests {
         }
         assert_eq!(run_one(42), run_one(42));
         assert_ne!(run_one(42), run_one(43));
+    }
+
+    #[test]
+    fn heap_and_calendar_worlds_are_bit_identical() {
+        // The same seed must produce the same trajectory under either queue
+        // backend — the backend is a pure performance knob.
+        fn run_jittered<Q: EventQueue<KernelEvent<u32, u32>>>(
+            queue: Q,
+        ) -> (Vec<(SimTime, u32)>, u64, u64) {
+            let mut w = GenericWorld::with_queue(vec![Echo::new(), Echo::new()], 42, queue);
+            w.with_ctx(ActorId(0), |_, ctx| {
+                for i in 0..200 {
+                    let d = SimDuration::from_micros(ctx.rng().below(2000));
+                    ctx.send(ActorId(1), i, d);
+                }
+            });
+            // exercise the timer/cancel path under both backends too
+            w.send_external(ActorId(1), 1, SimDuration::ZERO);
+            w.send_external(ActorId(1), 2, SimDuration::from_millis(2));
+            w.run();
+            (
+                w.actor(ActorId(1)).deliveries.clone(),
+                w.messages_delivered(),
+                w.timers_fired(),
+            )
+        }
+        let heap = run_jittered(BinaryHeapQueue::new());
+        let calendar = run_jittered(CalendarQueue::new());
+        assert_eq!(heap, calendar);
     }
 
     #[test]

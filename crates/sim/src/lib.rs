@@ -52,7 +52,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use engine::{Actor, ActorId, Ctx, TimerToken, World};
+pub use engine::{Actor, ActorId, Ctx, GenericWorld, KernelEvent, TimerToken, World};
 pub use event::{EventKey, Sequenced};
 pub use queue::{BinaryHeapQueue, CalendarQueue, EventQueue};
 pub use rng::SimRng;

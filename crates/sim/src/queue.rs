@@ -114,6 +114,11 @@ pub struct CalendarQueue<E> {
     shrink_at: usize,
     /// Lower bound on the last dequeued key, for ordering assertions.
     last_popped: Option<EventKey>,
+    /// Memoized minimum key: `Some` = known-correct min, `None` = recompute
+    /// on next peek. Interior-mutable because [`EventQueue::peek_key`] takes
+    /// `&self`. Keeps repeated peeks (the `run_until` loop) O(1) instead of
+    /// O(nbuckets) per call.
+    min_cache: std::cell::Cell<Option<EventKey>>,
 }
 
 impl<E> CalendarQueue<E> {
@@ -123,7 +128,10 @@ impl<E> CalendarQueue<E> {
     }
 
     pub fn with_params(nbuckets: usize, day_width: u64) -> Self {
-        assert!(nbuckets.is_power_of_two(), "bucket count must be a power of two");
+        assert!(
+            nbuckets.is_power_of_two(),
+            "bucket count must be a power of two"
+        );
         assert!(day_width > 0);
         CalendarQueue {
             buckets: (0..nbuckets).map(|_| Vec::new()).collect(),
@@ -134,6 +142,7 @@ impl<E> CalendarQueue<E> {
             grow_at: nbuckets * 2,
             shrink_at: 0,
             last_popped: None,
+            min_cache: std::cell::Cell::new(None),
         }
     }
 
@@ -189,6 +198,12 @@ impl<E> CalendarQueue<E> {
         let pos = bucket
             .binary_search_by(|probe| ev.key.cmp(&probe.key))
             .unwrap_or_else(|p| p);
+        // A still-valid cached minimum only tightens on insert.
+        if let Some(m) = self.min_cache.get() {
+            if ev.key < m {
+                self.min_cache.set(Some(ev.key));
+            }
+        }
         bucket.insert(pos, ev);
         self.len += 1;
 
@@ -208,6 +223,31 @@ impl<E> CalendarQueue<E> {
             .iter()
             .filter_map(|b| b.last().map(|e| e.key))
             .min()
+    }
+
+    /// Non-destructive mirror of `pop`'s search: scan forward from the
+    /// current day for at most one year (amortized O(1) in the dense regime),
+    /// falling back to the O(nbuckets) global scan only when the calendar is
+    /// sparse. Must find the same event `pop` would, which holds because
+    /// `push_inner` rewinds the calendar whenever an event lands before the
+    /// scan point.
+    fn scan_min(&self) -> Option<EventKey> {
+        if self.len == 0 {
+            return None;
+        }
+        let nbuckets = self.buckets.len();
+        let mut b = self.current_bucket;
+        let mut top = self.bucket_top;
+        for _ in 0..nbuckets {
+            if let Some(ev) = self.buckets[b].last() {
+                if ev.key.time.0 < top {
+                    return Some(ev.key);
+                }
+            }
+            b = (b + 1) & (nbuckets - 1);
+            top += self.day_width;
+        }
+        self.global_min()
     }
 }
 
@@ -238,6 +278,7 @@ impl<E> EventQueue<E> for CalendarQueue<E> {
         if self.len == 0 {
             return None;
         }
+        self.min_cache.set(None);
         let nbuckets = self.buckets.len();
         loop {
             // Scan at most one full year; in the sparse regime fall back to a
@@ -267,7 +308,15 @@ impl<E> EventQueue<E> for CalendarQueue<E> {
     }
 
     fn peek_key(&self) -> Option<EventKey> {
-        self.global_min()
+        if self.len == 0 {
+            return None;
+        }
+        if let Some(k) = self.min_cache.get() {
+            return Some(k);
+        }
+        let k = self.scan_min().expect("len > 0 implies a pending event");
+        self.min_cache.set(Some(k));
+        Some(k)
     }
 
     #[inline]
@@ -338,6 +387,38 @@ mod tests {
         let keys = drain(&mut q);
         check_total_order(&keys);
         assert_eq!(keys.len(), 10_000);
+    }
+
+    #[test]
+    fn calendar_peek_matches_pop_through_churn() {
+        // peek_key must always name the key the next pop returns, across
+        // interleaved pushes (cache tightening), pops (cache invalidation),
+        // resizes, and the sparse far-future fallback.
+        let mut q = CalendarQueue::with_params(16, 1000);
+        let mut seq = 0u64;
+        let mut push = |q: &mut CalendarQueue<u32>, t: u64| {
+            q.push(Sequenced::new(SimTime(t), seq, 0u32));
+            seq += 1;
+        };
+        for i in 0..500u64 {
+            push(&mut q, 10_000 + i * 13 % 4000);
+        }
+        push(&mut q, 5); // earlier than everything: cache must tighten
+        assert_eq!(q.peek_key().unwrap().time, SimTime(5));
+        while q.len() > 0 {
+            let peeked = q.peek_key().expect("non-empty");
+            assert_eq!(q.peek_key(), Some(peeked), "repeated peek disagrees");
+            let popped = q.pop().expect("non-empty");
+            assert_eq!(peeked, popped.key, "peek disagreed with pop");
+        }
+        assert_eq!(q.peek_key(), None);
+
+        // Sparse regime: events far beyond one calendar year.
+        push(&mut q, 10_000_000_000);
+        push(&mut q, 20_000_000_000);
+        assert_eq!(q.peek_key().unwrap().time, SimTime(10_000_000_000));
+        assert_eq!(q.pop().unwrap().key.time, SimTime(10_000_000_000));
+        assert_eq!(q.peek_key().unwrap().time, SimTime(20_000_000_000));
     }
 
     #[test]

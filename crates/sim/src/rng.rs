@@ -4,16 +4,15 @@
 //! seed, so results are reproducible bit-for-bit. Rather than depend on a
 //! particular `rand` generator whose stream may change across versions, we
 //! ship a self-contained **xoshiro256++** generator (Blackman & Vigna),
-//! seeded through **splitmix64** as its authors recommend. `rand::RngCore`
-//! is implemented so the full `rand` distribution API is available.
+//! seeded through **splitmix64** as its authors recommend. The generator is
+//! dependency-free; the inherent methods below cover every distribution the
+//! simulator needs.
 //!
 //! Streams are *splittable*: [`SimRng::split`] derives an independent child
 //! stream from a label, so each node / transaction / workload generator owns
 //! its own stream and event-ordering changes in one component do not perturb
 //! the random choices of another (a classic reproducibility hazard in
 //! parallel simulators).
-
-use rand::{Error, RngCore};
 
 /// splitmix64 step: the canonical seeding function for xoshiro.
 #[inline]
@@ -63,7 +62,7 @@ impl SimRng {
     }
 
     /// The raw xoshiro256++ step.
-    #[allow(clippy::should_implement_trait)] // established PRNG naming; RngCore::next_u64 delegates here
+    #[allow(clippy::should_implement_trait)] // established PRNG naming for the raw step
     #[inline]
     pub fn next(&mut self) -> u64 {
         let result = self.s[0]
@@ -139,20 +138,9 @@ impl SimRng {
         let u = 1.0 - self.unit_f64(); // (0, 1]
         -mean * u.ln()
     }
-}
 
-impl RngCore for SimRng {
-    #[inline]
-    fn next_u32(&mut self) -> u32 {
-        (self.next() >> 32) as u32
-    }
-
-    #[inline]
-    fn next_u64(&mut self) -> u64 {
-        self.next()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+    /// Fill a byte slice from the stream (hash seeds, identifiers).
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         let mut chunks = dest.chunks_exact_mut(8);
         for chunk in &mut chunks {
             chunk.copy_from_slice(&self.next().to_le_bytes());
@@ -162,11 +150,6 @@ impl RngCore for SimRng {
             let bytes = self.next().to_le_bytes();
             rem.copy_from_slice(&bytes[..rem.len()]);
         }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 
@@ -222,7 +205,10 @@ mod tests {
             counts[rng.below(10) as usize] += 1;
         }
         for &c in &counts {
-            assert!((8_000..12_000).contains(&c), "bucket count {c} far from uniform");
+            assert!(
+                (8_000..12_000).contains(&c),
+                "bucket count {c} far from uniform"
+            );
         }
     }
 
@@ -265,7 +251,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
-        assert_ne!(v, (0..100).collect::<Vec<u32>>(), "shuffle left input unchanged");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<u32>>(),
+            "shuffle left input unchanged"
+        );
     }
 
     #[test]

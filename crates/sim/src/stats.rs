@@ -90,9 +90,7 @@ impl OnlineStats {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -247,7 +245,7 @@ mod tests {
         let p50 = h.quantile_upper_bound(0.5);
         let p99 = h.quantile_upper_bound(0.99);
         assert!(p50 <= p99);
-        assert!(p50 >= 500 / 2 && p50 <= 1024, "p50 bucket bound {p50}");
+        assert!((500 / 2..=1024).contains(&p50), "p50 bucket bound {p50}");
     }
 
     #[test]

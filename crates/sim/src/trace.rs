@@ -25,7 +25,11 @@ pub enum TraceEvent {
         tag: &'static str,
     },
     /// Free-form annotation emitted by actor code.
-    Note { at: SimTime, on: ActorId, text: String },
+    Note {
+        at: SimTime,
+        on: ActorId,
+        text: String,
+    },
 }
 
 impl TraceEvent {

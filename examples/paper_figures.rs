@@ -18,7 +18,10 @@ fn main() {
         txns_per_node: 12,
     };
 
-    println!("=== Table I (reduced scale: {} nodes) ===\n", scale.table1_nodes);
+    println!(
+        "=== Table I (reduced scale: {} nodes) ===\n",
+        scale.table1_nodes
+    );
     let t1 = table1::run(&scale, None);
     println!("{}", t1.render());
     println!(

@@ -57,10 +57,7 @@ fn main() {
     );
     println!("RTS enqueues / served  {}/{}", m.enqueued, m.queue_served);
     println!("protocol messages      {}", metrics.messages);
-    println!(
-        "mean commit latency    {:.1} ms",
-        m.commit_latency.mean()
-    );
+    println!("mean commit latency    {:.1} ms", m.commit_latency.mean());
 
     // 6. The whole point of transactions: the money is still all there.
     let state = system.object_state();

@@ -1,0 +1,417 @@
+//! Offline stand-in for the [proptest](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! this shim implements the subset of proptest's API that the repository's
+//! property tests use:
+//!
+//! * the [`Strategy`] trait, implemented for integer ranges
+//!   (`0u64..1000`, `1usize..=6`), [`Just`], `prop_oneof!` unions, and the
+//!   [`collection`] combinators `vec` / `hash_set`;
+//! * the `proptest! { #![proptest_config(...)] #[test] fn f(x in strat) {} }`
+//!   macro, which expands each test into a deterministic multi-case loop;
+//! * `prop_assert!` / `prop_assert_eq!`, which fail the enclosing case with
+//!   a formatted message.
+//!
+//! Differences from real proptest: cases are drawn from a deterministic
+//! per-test RNG (seeded from the test's name) rather than an entropy source,
+//! and there is **no shrinking** — a failing case prints its number and the
+//! message, and the deterministic seeding reproduces it on the next run.
+//! `PROPTEST_CASES` overrides the case count globally. When the real crate is
+//! available the shim can be deleted and the workspace dependency re-pointed
+//! without touching test source.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    /// splitmix64 — small, fast, and plenty for test-case generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Deterministic stream derived from a test's name, so every run of
+        /// the suite explores the same cases (reproducible failures without
+        /// persistence files).
+        pub fn deterministic(label: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in label.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            // Multiply-shift; bias is immaterial for test-case generation.
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A value generator. The shim's strategies sample directly (no value trees,
+/// no shrinking).
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Strategy producing one fixed value (cloned per case).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty : $u:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )+};
+}
+
+signed_range_strategy!(i32: u32, i64: u64);
+
+/// Uniform choice between same-valued strategies — the target of
+/// [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].sample(rng)
+    }
+}
+
+pub mod collection {
+    use super::*;
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().sample(rng);
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(elem, size_range)`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    pub struct HashSetStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = self.size.clone().sample(rng);
+            let mut out = HashSet::with_capacity(target);
+            // Collisions only shrink the set; bound the attempts so narrow
+            // domains terminate.
+            for _ in 0..target.saturating_mul(4).max(8) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.elem.sample(rng));
+            }
+            out
+        }
+    }
+
+    /// `proptest::collection::hash_set(elem, size_range)`.
+    pub fn hash_set<S: Strategy>(elem: S, size: Range<usize>) -> HashSetStrategy<S> {
+        HashSetStrategy { elem, size }
+    }
+}
+
+/// The subset of proptest's config the repository uses. Extra fields can be
+/// added as call sites need them.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+    pub max_shrink_iters: u32,
+    /// Accepted for API compatibility; this shim never persists failures.
+    pub failure_persistence: Option<&'static str>,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+            failure_persistence: None,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Effective case count (`PROPTEST_CASES` env var overrides).
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+/// Failure raised by `prop_assert!`-family macros inside a case body.
+#[derive(Debug)]
+pub struct TestCaseError {
+    pub message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $( Box::new($arm) as Box<dyn $crate::Strategy<Value = _>> ),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: {l:?}\n right: {r:?}"
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left == right`: {}\n  left: {l:?}\n right: {r:?}",
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left != right`\n  both: {l:?}"
+            )));
+        }
+    }};
+}
+
+/// `proptest! { ... }` — expands each `#[test] fn f(x in strat, ...)` into a
+/// multi-case deterministic loop.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;
+     $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for case in 0..config.effective_cases() {
+                    $( let $arg = $crate::Strategy::sample(&($strat), &mut rng); )+
+                    let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        Ok(())
+                    })();
+                    if let Err(e) = outcome {
+                        panic!(
+                            "proptest case {case}/{} of `{}` failed: {e}",
+                            config.effective_cases(),
+                            stringify!($name)
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let v = (10u64..20).sample(&mut rng);
+            assert!((10..20).contains(&v));
+            let w = (0u32..=10).sample(&mut rng);
+            assert!(w <= 10);
+            let s = (1usize..6).sample(&mut rng);
+            assert!((1..6).contains(&s));
+        }
+    }
+
+    #[test]
+    fn union_picks_every_arm() {
+        let u = prop_oneof![Just(1u32), Just(2u32), Just(3u32)];
+        let mut rng = TestRng::new(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(u.sample(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = TestRng::new(3);
+        let v = collection::vec(0u64..100, 5..6).sample(&mut rng);
+        assert_eq!(v.len(), 5);
+        let s = collection::hash_set(0u64..1_000_000, 3..10).sample(&mut rng);
+        assert!(!s.is_empty() && s.len() < 10);
+    }
+
+    #[test]
+    fn deterministic_per_label() {
+        let mut a = TestRng::deterministic("case");
+        let mut b = TestRng::deterministic("case");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::deterministic("other");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_binds_and_asserts(x in 0u64..100, y in 1usize..4) {
+            prop_assert!(x < 100, "x out of range: {x}");
+            prop_assert_eq!(y.min(3), y);
+        }
+    }
+}

@@ -4,7 +4,9 @@ use closed_nesting_dstm::harness::runner::{run_cell, Cell};
 use closed_nesting_dstm::prelude::*;
 
 fn fingerprint(benchmark: Benchmark, scheduler: SchedulerKind, seed: u64) -> (u64, u64, u64, u64) {
-    let mut cell = Cell::new(benchmark, scheduler, 5, 0.5).with_txns(5).with_seed(seed);
+    let mut cell = Cell::new(benchmark, scheduler, 5, 0.5)
+        .with_txns(5)
+        .with_seed(seed);
     cell.params.objects_per_node = 5;
     let r = run_cell(cell);
     assert!(r.completed);

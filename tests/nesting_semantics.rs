@@ -17,7 +17,9 @@ fn two_node_system(
         concurrency_per_node: 2,
         ..DstmConfig::default()
     };
-    SystemBuilder::new(topo, cfg).seed(3).build(WorkloadSource { objects, programs })
+    SystemBuilder::new(topo, cfg)
+        .seed(3)
+        .build(WorkloadSource { objects, programs })
 }
 
 fn oid_at(node: u32) -> ObjectId {
@@ -96,7 +98,11 @@ fn deep_nesting_three_levels() {
     // merged into one atomic commit.
     let a = oid_at(0);
     let b = oid_at(1);
-    let c = ObjectId((1..).find(|i| ObjectId(*i).home(2) == 0 && ObjectId(*i) != a).unwrap());
+    let c = ObjectId(
+        (1..)
+            .find(|i| ObjectId(*i).home(2) == 0 && ObjectId(*i) != a)
+            .unwrap(),
+    );
     let prog: BoxedProgram = Box::new(ScriptProgram::new(
         TxKind(1),
         vec![

@@ -1,0 +1,179 @@
+//! Differential property tests for the kernel's pending-event-set backends.
+//!
+//! The queue backend is a pure performance knob: for any sequence of pushes
+//! and pops — including patterns that force the calendar queue to resize and
+//! to fall back to its sparse far-future scan — [`BinaryHeapQueue`] and
+//! [`CalendarQueue`] must emit the exact same events in the exact same order,
+//! and a whole actor world driven through both (messages, timers, and timer
+//! cancellations) must follow a bit-identical trajectory.
+
+use closed_nesting_dstm::sim::{
+    Actor, ActorId, BinaryHeapQueue, CalendarQueue, Ctx, EventKey, EventQueue, GenericWorld,
+    Sequenced, SimDuration, SimTime, TimerToken,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Queue-level differential test
+// ---------------------------------------------------------------------------
+
+/// Interpret each op word as a push (with one of three time regimes) or a
+/// pop, checking `peek_key` against every pop on the way, and return the full
+/// popped sequence (drained at the end).
+fn apply_ops<Q: EventQueue<u32>>(mut q: Q, ops: &[u64]) -> Vec<(EventKey, u32)> {
+    let mut popped = Vec::new();
+    let mut now = 0u64; // last popped time: pushes must not go into the past
+    let mut seq = 0u64;
+    for &op in ops {
+        let kind = op % 8;
+        let body = op / 8;
+        if kind < 5 {
+            // Three regimes: dense same-day (bucket collisions), spread
+            // across the calendar year (rotation + resize), and far future
+            // (the sparse global-min fallback).
+            let off = match kind {
+                0 | 1 => body % 10_000,
+                2 | 3 => (body % 1_000) * 1_000_000,
+                _ => 1_000_000_000_000 + (body % 1_000) * 7_919,
+            };
+            q.push(Sequenced::new(SimTime(now + off), seq, seq as u32));
+            seq += 1;
+        } else {
+            let peeked = q.peek_key();
+            match q.pop() {
+                Some(ev) => {
+                    assert_eq!(peeked, Some(ev.key), "peek_key disagreed with pop");
+                    now = ev.key.time.0;
+                    popped.push((ev.key, ev.payload));
+                }
+                None => assert_eq!(peeked, None),
+            }
+        }
+    }
+    while let Some(ev) = q.pop() {
+        popped.push((ev.key, ev.payload));
+    }
+    popped
+}
+
+// ---------------------------------------------------------------------------
+// World-level differential test
+// ---------------------------------------------------------------------------
+
+const CHAOS_ACTORS: u64 = 3;
+
+/// An actor that randomly sends, arms timers, and cancels previously armed
+/// timers, logging everything it observes. Budgets (`msg` counts down)
+/// guarantee termination.
+struct Chaos {
+    tokens: Vec<TimerToken>,
+    log: Vec<(u64, u32)>,
+}
+
+impl Chaos {
+    fn new() -> Self {
+        Chaos {
+            tokens: Vec::new(),
+            log: Vec::new(),
+        }
+    }
+}
+
+impl Actor for Chaos {
+    type Msg = u32;
+    type Timer = u32;
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u32, u32>, _from: ActorId, msg: u32) {
+        self.log.push((ctx.now().0, msg));
+        if msg == 0 {
+            return;
+        }
+        match ctx.rng().below(4) {
+            0 => {
+                let d = SimDuration::from_micros(ctx.rng().below(5_000));
+                let token = ctx.set_timer(d, msg - 1);
+                self.tokens.push(token);
+            }
+            1 => {
+                if let Some(token) = self.tokens.pop() {
+                    ctx.cancel_timer(token);
+                }
+                let to = ActorId(ctx.rng().below(CHAOS_ACTORS) as u32);
+                let d = SimDuration::from_micros(1 + ctx.rng().below(2_000));
+                ctx.send(to, msg - 1, d);
+            }
+            _ => {
+                let to = ActorId(ctx.rng().below(CHAOS_ACTORS) as u32);
+                let d = SimDuration::from_micros(1 + ctx.rng().below(2_000));
+                ctx.send(to, msg - 1, d);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, u32, u32>, timer: u32) {
+        self.log.push((ctx.now().0, 1_000_000 + timer));
+        if timer > 0 {
+            let to = ActorId(ctx.rng().below(CHAOS_ACTORS) as u32);
+            let d = SimDuration::from_micros(1 + ctx.rng().below(3_000));
+            ctx.send(to, timer - 1, d);
+        }
+    }
+}
+
+type ChaosEvent = closed_nesting_dstm::sim::KernelEvent<u32, u32>;
+
+/// (per-actor logs, messages delivered, timers fired, final virtual time).
+type ChaosOutcome = (Vec<Vec<(u64, u32)>>, u64, u64, u64);
+
+fn run_chaos<Q: EventQueue<ChaosEvent>>(queue: Q, seed: u64, budget: u32) -> ChaosOutcome {
+    let actors = (0..CHAOS_ACTORS).map(|_| Chaos::new()).collect();
+    let mut w = GenericWorld::with_queue(actors, seed, queue);
+    for i in 0..CHAOS_ACTORS {
+        w.send_external(ActorId(i as u32), budget, SimDuration::from_micros(i * 100));
+    }
+    w.run();
+    (
+        w.actors().iter().map(|a| a.log.clone()).collect(),
+        w.messages_delivered(),
+        w.timers_fired(),
+        w.now().0,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    #[test]
+    fn queue_backends_pop_identically(
+        ops in proptest::collection::vec(0u64..1_000_000_000, 1..400),
+    ) {
+        let heap = apply_ops(BinaryHeapQueue::new(), &ops);
+        let cal = apply_ops(CalendarQueue::new(), &ops);
+        prop_assert_eq!(&heap, &cal);
+        // And the total order is really a total order.
+        for w in heap.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "pop order not strictly increasing");
+        }
+    }
+
+    #[test]
+    fn queue_backends_agree_from_tiny_calendars(
+        ops in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+    ) {
+        // Start the calendar deliberately mis-parameterized (2 buckets, 1 ns
+        // days) so nearly every case exercises resize and re-estimation.
+        let heap = apply_ops(BinaryHeapQueue::new(), &ops);
+        let cal = apply_ops(CalendarQueue::with_params(2, 1), &ops);
+        prop_assert_eq!(heap, cal);
+    }
+
+    #[test]
+    fn chaos_worlds_are_bit_identical_across_backends(
+        seed in 0u64..100_000,
+        budget in 1u32..24,
+    ) {
+        let heap = run_chaos(BinaryHeapQueue::new(), seed, budget);
+        let cal = run_chaos(CalendarQueue::new(), seed, budget);
+        prop_assert_eq!(heap, cal);
+    }
+}

@@ -3,7 +3,7 @@
 //! under every scheduler, on a real multi-node run with contention.
 
 use closed_nesting_dstm::benchmarks::{bank, bst, dht, list, rbtree, vacation};
-use closed_nesting_dstm::harness::runner::{run_cell, Cell};
+use closed_nesting_dstm::harness::runner::Cell;
 use closed_nesting_dstm::prelude::*;
 
 const SCHEDULERS: [SchedulerKind; 3] = [
@@ -21,7 +21,9 @@ fn run_and_state(
     WorkloadParams,
     u64,
 ) {
-    let mut cell = Cell::new(benchmark, scheduler, 6, 0.3).with_txns(8).with_seed(seed);
+    let mut cell = Cell::new(benchmark, scheduler, 6, 0.3)
+        .with_txns(8)
+        .with_seed(seed);
     cell.params.objects_per_node = 5;
     let params = cell.params.clone();
     let mut system = closed_nesting_dstm::harness::runner::build_system(&cell);
@@ -32,7 +34,8 @@ fn run_and_state(
         benchmark.label()
     );
     assert_eq!(
-        metrics.merged.commits, 48,
+        metrics.merged.commits,
+        48,
         "{} under {scheduler:?} lost commits",
         benchmark.label()
     );
