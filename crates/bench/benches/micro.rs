@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dstm_benchmarks::Benchmark;
-use dstm_harness::runner::{run_cell, Cell};
+use dstm_harness::runner::{run_cell, run_cell_traced, Cell};
 use dstm_sim::{
     Actor, ActorId, BinaryHeapQueue, CalendarQueue, Ctx, EventQueue, GenericWorld, KernelEvent,
     Sequenced, SimDuration, SimRng, SimTime, World,
@@ -202,6 +202,34 @@ fn bench_full_cell(c: &mut Criterion) {
     group.finish();
 }
 
+/// Guard for the tracing subsystem's zero-cost claim: the same complete
+/// cell with protocol tracing compiled in but disabled (the production
+/// default — every recording site is behind one branch) versus enabled
+/// (events are pushed into per-node buffers and merged at the end). The
+/// `off` variant must track `simulation-cell/bank-4nodes-rts` exactly;
+/// `dstm-sweep kernel` records the same comparison per benchmark into
+/// `BENCH_kernel.json` (`"trace": "off"` vs `"on"` rows).
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace-overhead");
+    group.sample_size(10);
+    let mk = || {
+        let mut cell =
+            Cell::new(Benchmark::Bank, rts_core::SchedulerKind::Rts, 4, 0.5).with_txns(5);
+        cell.params.objects_per_node = 4;
+        cell
+    };
+    group.bench_function("cell-trace-off", |b| {
+        b.iter(|| black_box(run_cell(mk()).metrics.merged.commits));
+    });
+    group.bench_function("cell-trace-on", |b| {
+        b.iter(|| {
+            let (r, trace) = run_cell_traced(mk());
+            black_box((r.metrics.merged.commits, trace.records.len()))
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_kernel,
@@ -210,6 +238,7 @@ criterion_group!(
     bench_bloom,
     bench_cl_window,
     bench_policy,
-    bench_full_cell
+    bench_full_cell,
+    bench_trace_overhead
 );
 criterion_main!(benches);

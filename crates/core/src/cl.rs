@@ -70,6 +70,14 @@ impl ObjectClWindow {
     pub fn is_empty(&self) -> bool {
         self.requests.is_empty()
     }
+
+    /// Raw (non-distinct) request count inside the window ending at `now` —
+    /// the denominator tracing reports next to `local_cl` so window
+    /// saturation (retry storms vs. genuinely wide contention) is visible.
+    pub fn requests_in_window(&mut self, now: SimTime) -> u32 {
+        self.prune(now);
+        self.requests.len() as u32
+    }
 }
 
 /// Requester-side accounting of the CLs of currently held objects.
@@ -126,6 +134,7 @@ mod tests {
         w.record(t(20), tx(2));
         w.record(t(30), tx(1)); // retry of tx 1 counts once
         assert_eq!(w.local_cl(t(40)), 2);
+        assert_eq!(w.requests_in_window(t(40)), 3, "raw count keeps retries");
     }
 
     #[test]

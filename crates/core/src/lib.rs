@@ -41,8 +41,8 @@ pub use ets::Ets;
 pub use extensions::{AtsPolicy, QueueAllPolicy};
 pub use ids::{ObjectId, TxId, TxKind};
 pub use policy::{
-    build_policy, BackoffPolicy, ConflictCtx, ConflictPolicy, Decision, RtsPolicy, SchedulerKind,
-    TfaPolicy,
+    build_policy, explain_decision, BackoffPolicy, ConflictCtx, ConflictPolicy, Decision,
+    DecisionExplain, RtsPolicy, SchedulerKind, TfaPolicy,
 };
 pub use sched::{Requester, RequesterList, SchedulingTable};
 pub use stats::StatsTable;

@@ -82,6 +82,40 @@ pub enum Decision {
     Enqueue { backoff: SimDuration },
 }
 
+/// A fully explained verdict: the [`Decision`] plus the table state that
+/// produced it, assembled right after `on_conflict` so tracing/audit layers
+/// can reconstruct Algorithm 3's reasoning without re-running it.
+#[derive(Clone, Copy, Debug)]
+pub struct DecisionExplain {
+    pub decision: Decision,
+    /// Requesters parked on the object *after* the decision took effect.
+    pub queue_depth: usize,
+    /// The object's accumulated backlog `bk` after the decision.
+    pub bk: SimDuration,
+    /// The CL threshold in force (RTS only).
+    pub threshold: Option<u32>,
+}
+
+/// Assemble a [`DecisionExplain`] for a decision already made by `policy`
+/// against `table` (read-only: the decision itself already mutated the
+/// table).
+pub fn explain_decision(
+    decision: Decision,
+    policy: &dyn ConflictPolicy,
+    table: &SchedulingTable,
+    oid: ObjectId,
+) -> DecisionExplain {
+    let (queue_depth, bk) = table
+        .list(oid)
+        .map_or((0, SimDuration::ZERO), |l| (l.len(), l.bk()));
+    DecisionExplain {
+        decision,
+        queue_depth,
+        bk,
+        threshold: policy.current_threshold(),
+    }
+}
+
 /// Owner-side conflict resolution strategy.
 pub trait ConflictPolicy {
     fn kind(&self) -> SchedulerKind;

@@ -166,6 +166,11 @@ impl SchedulingTable {
         self.map.values().map(|l| l.len()).sum()
     }
 
+    /// Requesters currently parked on one object (0 if no list exists).
+    pub fn queue_depth(&self, oid: ObjectId) -> usize {
+        self.map.get(&oid).map_or(0, |l| l.len())
+    }
+
     /// Drop a transaction from every queue (it aborted or committed
     /// elsewhere). Returns how many entries were removed.
     pub fn purge_tx(&mut self, tx: TxId) -> usize {
@@ -262,6 +267,8 @@ mod tests {
         t.list_mut(ObjectId(2)).add_requester(1, req(1, false));
         t.list_mut(ObjectId(2)).add_requester(2, req(2, false));
         assert_eq!(t.total_queued(), 3);
+        assert_eq!(t.queue_depth(ObjectId(2)), 2);
+        assert_eq!(t.queue_depth(ObjectId(9)), 0);
         assert_eq!(t.purge_tx(TxId::new(1, 1)), 2);
         assert_eq!(t.total_queued(), 1);
         t.list_mut(ObjectId(1));

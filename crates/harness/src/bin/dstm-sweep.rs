@@ -1,29 +1,126 @@
 //! `dstm-sweep` — run one benchmark × scheduler grid from the command line.
 //!
 //! ```text
-//! dstm-sweep [nodes] [txns_per_node] [benchmark]
+//! dstm-sweep [nodes] [txns_per_node] [benchmark] [--hist-out out.json]
+//! dstm-sweep scenario [rts|tfa|tfa-backoff] [writers] [readers]
 //! dstm-sweep kernel [out.json]
 //! ```
 //!
+//! All modes accept `--trace <path>` / `--trace-format jsonl|chrome` (or the
+//! `DSTM_TRACE` / `DSTM_TRACE_FORMAT` environment variables) to record
+//! protocol events: `scenario` traces the whole scripted run, the default
+//! sweep traces its first RTS low-contention cell as a representative
+//! sample, and `kernel` ignores tracing (it measures the disabled path).
+//!
 //! The default mode prints throughput, nested-abort rate, and speedups for
-//! every (benchmark, contention, scheduler) cell — useful for quick shape
-//! checks without the full figure benches.
+//! every (benchmark, contention, scheduler) cell and writes the latency
+//! histogram summaries (commit latency, queue wait, fetch RTT, retries) to
+//! `BENCH_trace.json` — override with `--hist-out`.
+//!
+//! `scenario` mode replays the Fig. 2/3 single-object collision under the
+//! given scheduler (default RTS, 6 writers, 2 readers); with `--trace` the
+//! JSONL it writes is exactly what `dstm-trace audit` consumes.
 //!
 //! `kernel` mode times the host wall-clock of every Fig. 4 sweep cell under
 //! both event-queue backends (the simulated results are bit-identical, so
 //! this isolates kernel cost) and writes a machine-readable JSON report,
-//! by default `BENCH_kernel.json`. Scale via `DSTM_SCALE=smoke|quick|full`.
+//! by default `BENCH_kernel.json`. Each cell carries a `"trace"` field:
+//! `"off"` rows are the production path (tracing compiled in, disabled) and
+//! `"on"` rows rerun the bank benchmark with event recording enabled, so
+//! the sidecar documents both the zero-cost claim and the enabled-path
+//! price. Scale via `DSTM_SCALE=smoke|quick|full`.
 
 use dstm_benchmarks::Benchmark;
+use dstm_harness::experiments::scenarios::{render, run_collision_traced};
 use dstm_harness::experiments::Scale;
-use dstm_harness::runner::{run_cell, Cell};
-use hyflow_dstm::QueueBackend;
+use dstm_harness::runner::{run_cell, run_cell_traced, Cell};
+use dstm_harness::traceio::to_chrome_trace;
+use hyflow_dstm::{HistSummary, QueueBackend, TraceLog};
 use rts_core::SchedulerKind;
 use std::fmt::Write as _;
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    Jsonl,
+    Chrome,
+}
+
+impl TraceFormat {
+    fn parse(s: &str) -> Option<TraceFormat> {
+        match s {
+            "jsonl" => Some(TraceFormat::Jsonl),
+            "chrome" => Some(TraceFormat::Chrome),
+            _ => None,
+        }
+    }
+}
+
+struct TraceOpts {
+    path: Option<String>,
+    format: TraceFormat,
+}
+
+impl TraceOpts {
+    fn write(&self, trace: &TraceLog) {
+        let Some(path) = &self.path else { return };
+        let body = match self.format {
+            TraceFormat::Jsonl => trace.to_jsonl(),
+            TraceFormat::Chrome => to_chrome_trace(trace),
+        };
+        match std::fs::write(path, body) {
+            Ok(()) => println!("[trace: {} records written to {path}]", trace.records.len()),
+            Err(e) => eprintln!("could not write trace to {path}: {e}"),
+        }
+    }
+}
+
+/// Pull `--trace`, `--trace-format`, and `--hist-out` (with `DSTM_TRACE*`
+/// env fallbacks) out of the argument list; the rest stay positional.
+fn split_flags(args: &[String]) -> (Vec<String>, TraceOpts, Option<String>) {
+    let mut positional = Vec::new();
+    let mut trace_path = std::env::var("DSTM_TRACE").ok().filter(|s| !s.is_empty());
+    let mut format_arg = std::env::var("DSTM_TRACE_FORMAT").ok();
+    let mut hist_out = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--trace" => trace_path = it.next().cloned(),
+            "--trace-format" => format_arg = it.next().cloned(),
+            "--hist-out" => hist_out = it.next().cloned(),
+            _ => positional.push(a.clone()),
+        }
+    }
+    let format = match format_arg.as_deref() {
+        None => TraceFormat::Jsonl,
+        Some(s) => TraceFormat::parse(s).unwrap_or_else(|| {
+            eprintln!("unknown trace format {s:?} (expected jsonl|chrome), using jsonl");
+            TraceFormat::Jsonl
+        }),
+    };
+    (
+        positional,
+        TraceOpts {
+            path: trace_path,
+            format,
+        },
+        hist_out,
+    )
+}
+
+fn scheduler_from_name(s: &str) -> Option<SchedulerKind> {
+    match s.to_ascii_lowercase().as_str() {
+        "rts" => Some(SchedulerKind::Rts),
+        "tfa" => Some(SchedulerKind::Tfa),
+        "tfa-backoff" | "tfab" => Some(SchedulerKind::TfaBackoff),
+        _ => None,
+    }
+}
+
 /// Wall-clock every Fig. 4 cell (six benchmarks × node counts × three
 /// schedulers at 90% reads) under each queue backend, sequentially so the
-/// timings are not polluted by sibling cells.
+/// timings are not polluted by sibling cells. Bank cells are rerun with
+/// protocol tracing enabled (`"trace": "on"` rows) to record the
+/// enabled-path overhead next to the disabled-path baseline.
 fn kernel_report(out_path: &str) {
     let scale = Scale::from_env();
     let schedulers = [
@@ -32,6 +129,35 @@ fn kernel_report(out_path: &str) {
         SchedulerKind::TfaBackoff,
     ];
     let mut rows = Vec::new();
+    let mut time_cell = |cell: Cell, trace: bool| {
+        let (b, nodes, s, backend) = (
+            cell.benchmark,
+            cell.params.nodes,
+            cell.scheduler,
+            cell.dstm.queue_backend,
+        );
+        let t0 = std::time::Instant::now();
+        let r = if trace {
+            run_cell_traced(cell).0
+        } else {
+            run_cell(cell)
+        };
+        let wall = t0.elapsed();
+        assert!(r.completed, "{} under {s:?} stalled", b.label());
+        let wall_ns = wall.as_nanos() as u64;
+        let events = r.metrics.messages;
+        println!(
+            "{:<12} n={:<3} {:<12} {:<9} trace={:<3} {:>9.1} ms  {:>7.0} ns/event",
+            b.label(),
+            nodes,
+            s.label(),
+            backend.label(),
+            if trace { "on" } else { "off" },
+            wall_ns as f64 / 1e6,
+            wall_ns as f64 / events.max(1) as f64,
+        );
+        rows.push((b, nodes, s, backend, trace, wall_ns, events, r));
+    };
     for b in Benchmark::ALL {
         for &nodes in &scale.node_counts {
             for s in schedulers {
@@ -39,38 +165,31 @@ fn kernel_report(out_path: &str) {
                     let cell = Cell::new(b, s, nodes, 0.9)
                         .with_txns(scale.txns_per_node)
                         .with_queue_backend(backend);
-                    let t0 = std::time::Instant::now();
-                    let r = run_cell(cell);
-                    let wall = t0.elapsed();
-                    assert!(r.completed, "{} under {s:?} stalled", b.label());
-                    let wall_ns = wall.as_nanos() as u64;
-                    let events = r.metrics.messages;
-                    println!(
-                        "{:<12} n={:<3} {:<12} {:<9} {:>9.1} ms  {:>7.0} ns/event",
-                        b.label(),
-                        nodes,
-                        s.label(),
-                        backend.label(),
-                        wall_ns as f64 / 1e6,
-                        wall_ns as f64 / events.max(1) as f64,
-                    );
-                    rows.push((b, nodes, s, backend, wall_ns, events, r));
+                    time_cell(cell, false);
                 }
             }
         }
     }
+    // Enabled-path rows: bank only, binary heap, every node count.
+    for &nodes in &scale.node_counts {
+        for s in schedulers {
+            let cell = Cell::new(Benchmark::Bank, s, nodes, 0.9).with_txns(scale.txns_per_node);
+            time_cell(cell, true);
+        }
+    }
 
     let mut json = String::from("{\n  \"unit\": \"ns\",\n  \"cells\": [\n");
-    for (i, (b, nodes, s, backend, wall_ns, events, r)) in rows.iter().enumerate() {
+    for (i, (b, nodes, s, backend, trace, wall_ns, events, r)) in rows.iter().enumerate() {
         let _ = writeln!(
             json,
             "    {{\"benchmark\": \"{}\", \"nodes\": {}, \"scheduler\": \"{}\", \
-             \"backend\": \"{}\", \"wall_ns\": {}, \"events\": {}, \
+             \"backend\": \"{}\", \"trace\": \"{}\", \"wall_ns\": {}, \"events\": {}, \
              \"ns_per_event\": {:.1}, \"commits\": {}}}{}",
             b.label(),
             nodes,
             s.label(),
             backend.label(),
+            if *trace { "on" } else { "off" },
             wall_ns,
             events,
             *wall_ns as f64 / (*events).max(1) as f64,
@@ -85,21 +204,96 @@ fn kernel_report(out_path: &str) {
     }
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    if args.get(1).map(String::as_str) == Some("kernel") {
-        let out = args
-            .get(2)
-            .map(String::as_str)
-            .unwrap_or("BENCH_kernel.json");
-        kernel_report(out);
-        return;
+/// Replay the Fig. 2/3 collision under one scheduler with tracing on.
+fn scenario_mode(positional: &[String], topts: &TraceOpts) {
+    let scheduler = positional
+        .first()
+        .map(|s| {
+            scheduler_from_name(s)
+                .unwrap_or_else(|| panic!("unknown scheduler {s:?} (rts|tfa|tfa-backoff)"))
+        })
+        .unwrap_or(SchedulerKind::Rts);
+    let writers: usize = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let readers: usize = positional.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let (result, trace) = run_collision_traced(scheduler, writers, readers);
+    assert!(result.all_done, "scenario stalled");
+    let title = format!(
+        "collision scenario: {} writers + {} readers under {}",
+        writers,
+        readers,
+        scheduler.label()
+    );
+    print!("{}", render(&title, &result));
+    for (name, h) in result.metrics.merged.hist_summaries() {
+        println!(
+            "{name:<22} n={:<5} mean={:<12.0} p50={:<10} p95={:<10} p99={}",
+            h.count, h.mean, h.p50, h.p95, h.p99
+        );
     }
-    let nodes: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(20);
-    let txns: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(20);
-    let only: Option<Benchmark> = args.get(3).and_then(|s| Benchmark::from_name(s));
+    topts.write(&trace);
+}
+
+type HistRow = (
+    Benchmark,
+    f64,
+    SchedulerKind,
+    [(&'static str, HistSummary); 4],
+);
+
+fn hist_sidecar(out_path: &str, rows: &[HistRow]) {
+    let mut json = String::from("{\n  \"unit\": \"ns\",\n  \"cells\": [\n");
+    for (i, (b, read_ratio, s, summaries)) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"benchmark\": \"{}\", \"read_ratio\": {}, \"scheduler\": \"{}\"",
+            b.label(),
+            read_ratio,
+            s.label()
+        );
+        for (name, h) in summaries {
+            let _ = write!(
+                json,
+                ", \"{name}\": {{\"count\": {}, \"mean\": {:.1}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                h.count, h.mean, h.p50, h.p95, h.p99
+            );
+        }
+        let _ = writeln!(json, "}}{}", if i + 1 == rows.len() { "" } else { "," });
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write(out_path, &json) {
+        Ok(()) => println!("\n[histogram summaries written to {out_path}]"),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (positional, topts, hist_out) = split_flags(&args);
+    match positional.first().map(String::as_str) {
+        Some("kernel") => {
+            let out = positional
+                .get(1)
+                .map(String::as_str)
+                .unwrap_or("BENCH_kernel.json");
+            kernel_report(out);
+            return;
+        }
+        Some("scenario") => {
+            scenario_mode(&positional[1..], &topts);
+            return;
+        }
+        _ => {}
+    }
+    let nodes: usize = positional
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let txns: usize = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let only: Option<Benchmark> = positional.get(2).and_then(|s| Benchmark::from_name(s));
 
     println!("dstm-sweep: {nodes} nodes, {txns} txns/node, delays 1-50 ms\n");
+    let mut hist_rows = Vec::new();
+    let mut trace_opts = Some(&topts); // first RTS low-contention cell only
     for b in Benchmark::ALL {
         if only.is_some_and(|o| o != b) {
             continue;
@@ -113,7 +307,18 @@ fn main() {
                 SchedulerKind::Tfa,
                 SchedulerKind::TfaBackoff,
             ] {
-                let r = run_cell(Cell::new(b, s, nodes, read_ratio).with_txns(txns));
+                let cell = Cell::new(b, s, nodes, read_ratio).with_txns(txns);
+                let r = if s == SchedulerKind::Rts && read_ratio > 0.5 {
+                    if let Some(t) = trace_opts.take().filter(|t| t.path.is_some()) {
+                        let (r, trace) = run_cell_traced(cell);
+                        t.write(&trace);
+                        r
+                    } else {
+                        run_cell(cell)
+                    }
+                } else {
+                    run_cell(cell)
+                };
                 assert!(r.completed, "{} under {s:?} stalled", b.label());
                 tputs.push(r.throughput());
                 line += &format!(
@@ -122,6 +327,8 @@ fn main() {
                     r.throughput(),
                     r.nested_abort_rate()
                 );
+                let summaries = r.metrics.merged.hist_summaries();
+                hist_rows.push((b, read_ratio, s, summaries));
             }
             line += &format!(
                 "  | RTS speedup: {:.2}x vs TFA, {:.2}x vs TFA+Backoff",
@@ -131,4 +338,8 @@ fn main() {
             println!("{line}");
         }
     }
+    hist_sidecar(
+        hist_out.as_deref().unwrap_or("BENCH_trace.json"),
+        &hist_rows,
+    );
 }

@@ -1,0 +1,113 @@
+//! `dstm-trace` — offline audit and conversion of protocol-event traces.
+//!
+//! ```text
+//! dstm-trace audit  <trace.jsonl>            # check invariants; exit 1 on violation
+//! dstm-trace stats  <trace.jsonl>            # record census
+//! dstm-trace chrome <trace.jsonl> [out.json] # convert to Chrome trace_event JSON
+//! dstm-trace demo   [out.jsonl]              # record the Fig. 3 collision, write JSONL
+//! ```
+//!
+//! Traces are the JSONL streams written by `dstm-sweep --trace` (or any
+//! caller of `TraceLog::to_jsonl`). `audit` replays the trace and checks
+//! what the live counters cannot: every commit's read/write footprint is
+//! consistent with a serial order, every queue-timeout abort was actually
+//! enqueued, and the Table-I nested-abort split recomputed from spans
+//! matches the counter-based `RunSummary` exactly.
+
+use dstm_harness::experiments::scenarios::run_collision_traced;
+use dstm_harness::traceio::{audit, to_chrome_trace, trace_stats};
+use hyflow_dstm::TraceLog;
+use rts_core::SchedulerKind;
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<TraceLog, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    TraceLog::parse_jsonl(&text)
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  dstm-trace audit  <trace.jsonl>\n  dstm-trace stats  <trace.jsonl>\n  \
+         dstm-trace chrome <trace.jsonl> [out.json]\n  dstm-trace demo   [out.jsonl]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let (Some(cmd), file) = (args.get(1), args.get(2)) else {
+        return usage();
+    };
+    match (cmd.as_str(), file) {
+        ("audit", Some(path)) => match load(path) {
+            Ok(log) => {
+                let report = audit(&log);
+                print!("{}", report.render());
+                if report.ok() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::from(2)
+            }
+        },
+        ("stats", Some(path)) => match load(path) {
+            Ok(log) => {
+                print!("{}", trace_stats(&log));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::from(2)
+            }
+        },
+        ("chrome", Some(path)) => {
+            let out_path = args
+                .get(3)
+                .cloned()
+                .unwrap_or_else(|| format!("{}.chrome.json", path.trim_end_matches(".jsonl")));
+            match load(path) {
+                Ok(log) => match std::fs::write(&out_path, to_chrome_trace(&log)) {
+                    Ok(()) => {
+                        println!("[written to {out_path} — open in chrome://tracing or Perfetto]");
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("cannot write {out_path}: {e}");
+                        ExitCode::from(2)
+                    }
+                },
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        ("demo", _) => {
+            let out_path = args
+                .get(2)
+                .map(String::as_str)
+                .unwrap_or("fig3_trace.jsonl");
+            let (result, trace) = run_collision_traced(SchedulerKind::Rts, 6, 2);
+            assert!(result.all_done, "demo scenario stalled");
+            match std::fs::write(out_path, trace.to_jsonl()) {
+                Ok(()) => {
+                    println!(
+                        "[Fig. 3 collision: {} records, {} commits — written to {out_path}]",
+                        trace.records.len(),
+                        result.metrics.merged.commits
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("cannot write {out_path}: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -12,7 +12,9 @@ use dstm_benchmarks::WorkloadParams;
 use dstm_net::Topology;
 use dstm_sim::SimDuration;
 use hyflow_dstm::program::{ScriptOp, ScriptProgram};
-use hyflow_dstm::{BoxedProgram, DstmConfig, Payload, RunMetrics, SystemBuilder, WorkloadSource};
+use hyflow_dstm::{
+    BoxedProgram, DstmConfig, Payload, RunMetrics, SystemBuilder, TraceLog, WorkloadSource,
+};
 use rts_core::{ObjectId, SchedulerKind, TxKind};
 
 /// Find an object id homed at `node` for an `n`-node system.
@@ -36,6 +38,27 @@ pub struct ScenarioResult {
 /// object homed at node 0, with staggered starts so that later requests
 /// land inside the first committer's validation window.
 pub fn run_collision(scheduler: SchedulerKind, writers: usize, readers: usize) -> ScenarioResult {
+    run_collision_inner(scheduler, writers, readers, false).0
+}
+
+/// [`run_collision`] with protocol tracing on; the returned [`TraceLog`]
+/// carries every lifecycle span and scheduler decision of the scenario,
+/// terminated by a `RunSummary` record for offline counter cross-checks.
+pub fn run_collision_traced(
+    scheduler: SchedulerKind,
+    writers: usize,
+    readers: usize,
+) -> (ScenarioResult, TraceLog) {
+    let (result, trace) = run_collision_inner(scheduler, writers, readers, true);
+    (result, trace.expect("tracing was requested"))
+}
+
+fn run_collision_inner(
+    scheduler: SchedulerKind,
+    writers: usize,
+    readers: usize,
+    trace: bool,
+) -> (ScenarioResult, Option<TraceLog>) {
     let n = 1 + writers + readers;
     let topo = Topology::complete(n, 10);
     let oid = oid_homed_at(0, n);
@@ -43,6 +66,7 @@ pub fn run_collision(scheduler: SchedulerKind, writers: usize, readers: usize) -
         scheduler,
         concurrency_per_node: 1,
         txns_per_node: 1,
+        trace_protocol: trace,
         ..DstmConfig::default()
     };
 
@@ -104,11 +128,21 @@ pub fn run_collision(scheduler: SchedulerKind, writers: usize, readers: usize) -
     let all_done = system.all_done();
     let state = system.object_state();
     let final_value = state[&oid].0.as_scalar();
-    ScenarioResult {
-        metrics,
-        final_value,
-        all_done,
-    }
+    let trace_log = if trace {
+        let mut t = system.take_trace();
+        t.push_summary(system.now(), &metrics.merged);
+        Some(t)
+    } else {
+        None
+    };
+    (
+        ScenarioResult {
+            metrics,
+            final_value,
+            all_done,
+        },
+        trace_log,
+    )
 }
 
 /// Render a scenario result as a small report.

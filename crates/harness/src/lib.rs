@@ -20,9 +20,15 @@
 //! the sweep is embarrassingly parallel), and [`table`] renders aligned
 //! text tables the way the paper prints them.
 
+//! Protocol traces recorded by a run (`Cell::with_trace` /
+//! [`runner::run_cell_traced`]) are exported and audited by [`traceio`];
+//! the `dstm-trace` binary wraps those audits for the command line.
+
 pub mod experiments;
 pub mod runner;
 pub mod table;
+pub mod traceio;
 
-pub use runner::{run_cell, run_cells, Cell, CellResult};
+pub use runner::{run_cell, run_cell_traced, run_cells, Cell, CellResult};
 pub use table::{SeriesTable, TextTable};
+pub use traceio::{audit, to_chrome_trace, trace_stats, AuditReport};

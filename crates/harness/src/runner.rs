@@ -8,7 +8,9 @@
 use dstm_benchmarks::{Benchmark, WorkloadParams};
 use dstm_net::Topology;
 use dstm_sim::{CalendarQueue, EventQueue, SimRng};
-use hyflow_dstm::{DstmConfig, NodeEvent, QueueBackend, RunMetrics, System, SystemBuilder};
+use hyflow_dstm::{
+    DstmConfig, NodeEvent, QueueBackend, RunMetrics, System, SystemBuilder, TraceLog,
+};
 use rts_core::SchedulerKind;
 
 /// One point of an experiment sweep.
@@ -68,6 +70,12 @@ impl Cell {
 
     pub fn with_queue_backend(mut self, q: QueueBackend) -> Self {
         self.dstm.queue_backend = q;
+        self
+    }
+
+    /// Record typed protocol events during the run (see `hyflow_dstm::trace`).
+    pub fn with_trace(mut self) -> Self {
+        self.dstm.trace_protocol = true;
         self
     }
 }
@@ -130,6 +138,40 @@ pub fn run_cell(cell: Cell) -> CellResult {
         QueueBackend::Calendar => {
             let system = build_system_with_queue(&cell, CalendarQueue::new());
             finish_cell(cell, system)
+        }
+    }
+}
+
+/// Run a cell with protocol tracing forced on and return the merged,
+/// time-ordered trace next to the usual result. A `RunSummary` record with
+/// the counter-based totals is appended so offline audits can cross-check
+/// span-derived numbers (Table I) against the live counters.
+pub fn run_cell_traced(mut cell: Cell) -> (CellResult, TraceLog) {
+    cell.dstm.trace_protocol = true;
+
+    fn go<Q: EventQueue<NodeEvent>>(cell: Cell, mut system: System<Q>) -> (CellResult, TraceLog) {
+        let metrics = system.run_default();
+        let mut trace = system.take_trace();
+        trace.push_summary(system.now(), &metrics.merged);
+        let completed = system.all_done();
+        (
+            CellResult {
+                completed,
+                cell,
+                metrics,
+            },
+            trace,
+        )
+    }
+
+    match cell.dstm.queue_backend {
+        QueueBackend::BinaryHeap => {
+            let system = build_system(&cell);
+            go(cell, system)
+        }
+        QueueBackend::Calendar => {
+            let system = build_system_with_queue(&cell, CalendarQueue::new());
+            go(cell, system)
         }
     }
 }

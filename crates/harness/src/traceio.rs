@@ -1,0 +1,757 @@
+//! Trace export and offline auditing for protocol-event logs.
+//!
+//! Three consumers of a [`TraceLog`]:
+//!
+//! * [`audit`] — replays a trace and checks protocol invariants that the
+//!   live counters cannot express: commit-footprint consistency (a
+//!   necessary condition for serializability), write version chains,
+//!   enqueue/queue-timeout pairing, and the Table-I nested-abort split
+//!   recomputed from spans against the counter-based `RunSummary` record;
+//! * [`to_chrome_trace`] — renders the log in Chrome `trace_event` JSON
+//!   (open in `chrome://tracing` or Perfetto): one process per node, one
+//!   thread lane per transaction, complete-event spans per attempt and
+//!   nested child, instants for scheduler decisions / queue service /
+//!   migrations;
+//! * [`trace_stats`] — a quick textual census of the log.
+
+use hyflow_dstm::{ProtoEvent, TraceLog, Verdict};
+use rts_core::{ObjectId, TxId};
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// Audit
+// ---------------------------------------------------------------------------
+
+/// Outcome of an offline invariant audit.
+#[derive(Clone, Debug, Default)]
+pub struct AuditReport {
+    pub commits_checked: usize,
+    pub reads_checked: usize,
+    pub writes_checked: usize,
+    pub timeout_aborts_checked: usize,
+    /// Whether a `RunSummary` record was present to cross-check against.
+    pub summary_checked: bool,
+    pub violations: Vec<String>,
+}
+
+impl AuditReport {
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "audited {} commits ({} reads, {} writes), {} queue-timeout aborts; \
+             counter cross-check: {}\n",
+            self.commits_checked,
+            self.reads_checked,
+            self.writes_checked,
+            self.timeout_aborts_checked,
+            if self.summary_checked {
+                "yes"
+            } else {
+                "no summary record"
+            },
+        );
+        if self.ok() {
+            out.push_str("OK: all invariants hold\n");
+        } else {
+            let _ = writeln!(out, "{} violation(s):", self.violations.len());
+            for v in &self.violations {
+                let _ = writeln!(out, "  - {v}");
+            }
+        }
+        out
+    }
+}
+
+/// Replay a (time-ordered) trace and check protocol invariants.
+///
+/// **Footprint consistency.** Each commit's read set `(object, version)`
+/// must admit a single instant at which every read version was
+/// simultaneously current: version `v` of an object is current from its
+/// install (the committing writer's serialization point, which is when the
+/// `TxCommit` record is stamped) until the install of the next recorded
+/// version. An empty intersection means the commit observed two states that
+/// never coexisted — a serializability violation. Under TFA this can never
+/// happen (every read is re-validated after the last fetch), so any hit is
+/// a protocol bug, not workload noise.
+///
+/// **Write chains.** Per object, committed writes must form a linear
+/// version history: each write's expected (locked) version equals the
+/// previously installed one, and the published version strictly exceeds it.
+/// A mismatch is a lost update.
+///
+/// **Queue-timeout pairing.** Every `QueueTimeout` abort must be preceded
+/// by a scheduler decision that *enqueued* that same `(tx, attempt)` — a
+/// timeout without an enqueue means a deadline timer fired for a requester
+/// the owner never parked.
+pub fn audit(log: &TraceLog) -> AuditReport {
+    let mut report = AuditReport::default();
+
+    // Pass 1: per-object install history (version -> install time), in
+    // record order (the log is time-ordered).
+    let mut installs: HashMap<ObjectId, Vec<(u64, u64)>> = HashMap::new();
+    for r in &log.records {
+        if let ProtoEvent::TxCommit { writes, .. } = &r.ev {
+            for &(oid, _expect, new) in writes {
+                installs.entry(oid).or_default().push((new, r.at.0));
+            }
+        }
+    }
+
+    // Window of validity of (oid, version): [install(version), install of
+    // the first recorded version > version). Unknown installs (seed
+    // versions) open at 0; no successor leaves the window open-ended.
+    let window = |oid: ObjectId, version: u64| -> (u64, u64) {
+        let hist = installs.get(&oid).map(Vec::as_slice).unwrap_or(&[]);
+        let lo = hist
+            .iter()
+            .find(|&&(v, _)| v == version)
+            .map_or(0, |&(_, t)| t);
+        let hi = hist
+            .iter()
+            .filter(|&&(v, _)| v > version)
+            .map(|&(_, t)| t)
+            .min()
+            .unwrap_or(u64::MAX);
+        (lo, hi)
+    };
+
+    // Pass 2: sequential replay.
+    let mut cur_version: HashMap<ObjectId, u64> = HashMap::new();
+    let mut enqueued: HashSet<(TxId, u32)> = HashSet::new();
+    let mut spans = SpanTotals::default();
+
+    for r in &log.records {
+        match &r.ev {
+            ProtoEvent::TxCommit {
+                tx,
+                attempt,
+                reads,
+                writes,
+                ..
+            } => {
+                report.commits_checked += 1;
+                spans.commits += 1;
+
+                let mut lo_max = 0u64;
+                let mut hi_min = u64::MAX;
+                for &(oid, version) in reads {
+                    report.reads_checked += 1;
+                    let (lo, hi) = window(oid, version);
+                    lo_max = lo_max.max(lo);
+                    hi_min = hi_min.min(hi);
+                }
+                if lo_max >= hi_min {
+                    report.violations.push(format!(
+                        "commit of {tx} (attempt {attempt}) at t={} has an inconsistent \
+                         read footprint: no instant at which all {} read versions coexisted",
+                        r.at.0,
+                        reads.len()
+                    ));
+                }
+
+                for &(oid, expect, new) in writes {
+                    report.writes_checked += 1;
+                    if new <= expect {
+                        report.violations.push(format!(
+                            "write of {oid} by {tx} does not advance the version \
+                             ({expect} -> {new})"
+                        ));
+                    }
+                    if let Some(&prev) = cur_version.get(&oid) {
+                        if expect != prev {
+                            report.violations.push(format!(
+                                "lost update on {oid}: {tx} committed against version \
+                                 {expect} but the last installed version is {prev}"
+                            ));
+                        }
+                    }
+                    cur_version.insert(oid, new);
+                }
+            }
+            ProtoEvent::SchedDecision {
+                tx,
+                attempt,
+                verdict: Verdict::Enqueue,
+                ..
+            } => {
+                enqueued.insert((*tx, *attempt));
+            }
+            ProtoEvent::TxAbort {
+                tx,
+                attempt,
+                cause,
+                nested_parent,
+                ..
+            } => {
+                spans.aborts += 1;
+                spans.nested_parent += nested_parent;
+                if *cause == hyflow_dstm::AbortCause::QueueTimeout {
+                    report.timeout_aborts_checked += 1;
+                    if !enqueued.contains(&(*tx, *attempt)) {
+                        report.violations.push(format!(
+                            "queue-timeout abort of {tx} (attempt {attempt}) at t={} has \
+                             no preceding enqueue decision",
+                            r.at.0
+                        ));
+                    }
+                }
+            }
+            ProtoEvent::NestedCommit { .. } => spans.nested_commits += 1,
+            ProtoEvent::NestedAbort { own, parent, .. } => {
+                spans.nested_own += own;
+                spans.nested_parent += parent;
+            }
+            ProtoEvent::RunSummary {
+                commits,
+                aborts,
+                nested_own,
+                nested_parent,
+                nested_commits,
+            } => {
+                report.summary_checked = true;
+                let pairs = [
+                    ("commits", spans.commits, *commits),
+                    ("aborts", spans.aborts, *aborts),
+                    ("nested-own aborts", spans.nested_own, *nested_own),
+                    ("nested-parent aborts", spans.nested_parent, *nested_parent),
+                    ("nested commits", spans.nested_commits, *nested_commits),
+                ];
+                for (label, from_spans, from_counters) in pairs {
+                    if from_spans != from_counters {
+                        report.violations.push(format!(
+                            "Table-I cross-check failed for {label}: {from_spans} \
+                             recomputed from spans vs {from_counters} from counters"
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    report
+}
+
+/// Span-derived totals accumulated during replay (the numbers the
+/// counter-based `RunSummary` must match exactly).
+#[derive(Default)]
+struct SpanTotals {
+    commits: u64,
+    aborts: u64,
+    nested_own: u64,
+    nested_parent: u64,
+    nested_commits: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace_event export
+// ---------------------------------------------------------------------------
+
+fn ts_us(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+fn push_event(out: &mut String, first: &mut bool, body: &str) {
+    if *first {
+        *first = false;
+    } else {
+        out.push(',');
+    }
+    out.push_str("\n  ");
+    out.push_str(body);
+}
+
+/// Render the log as Chrome `trace_event` JSON (the "JSON array format"
+/// wrapped in an object). pid = node, tid = transaction sequence number on
+/// its origin node; each attempt is an `X` complete event and nested child
+/// levels stack beneath it; scheduler decisions, queue service, forwarding
+/// and migration are instants on the node that observed them.
+pub fn to_chrome_trace(log: &TraceLog) -> String {
+    let mut out = String::from("{\"traceEvents\": [");
+    let mut first = true;
+
+    // Process metadata: one "process" per node.
+    let mut nodes: Vec<u32> = log.records.iter().map(|r| r.node).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    for n in &nodes {
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{n},\"tid\":0,\
+                 \"args\":{{\"name\":\"node {n}\"}}}}"
+            ),
+        );
+    }
+
+    // Open attempt spans and nested-child stacks per transaction.
+    let mut open_attempt: HashMap<TxId, (u64, u32)> = HashMap::new();
+    let mut open_children: HashMap<TxId, Vec<(u32, u64)>> = HashMap::new();
+    let end_of_log = log.records.last().map_or(0, |r| r.at.0);
+
+    let close_children = |out: &mut String,
+                          first: &mut bool,
+                          tx: TxId,
+                          down_to: u32,
+                          at: u64,
+                          stacks: &mut HashMap<TxId, Vec<(u32, u64)>>| {
+        if let Some(stack) = stacks.get_mut(&tx) {
+            while stack.last().is_some_and(|&(lvl, _)| lvl >= down_to) {
+                let (lvl, started) = stack.pop().expect("checked");
+                push_event(
+                    out,
+                    first,
+                    &format!(
+                        "{{\"name\":\"child L{lvl}\",\"cat\":\"nested\",\"ph\":\"X\",\
+                         \"pid\":{},\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}",
+                        tx.node,
+                        tx.seq,
+                        ts_us(started),
+                        ts_us(at.saturating_sub(started)),
+                    ),
+                );
+            }
+        }
+    };
+
+    for r in &log.records {
+        let at = r.at.0;
+        match &r.ev {
+            ProtoEvent::TxStart { tx, attempt, .. } => {
+                open_attempt.insert(*tx, (at, *attempt));
+            }
+            ProtoEvent::TxCommit { tx, attempt, .. } => {
+                close_children(&mut out, &mut first, *tx, 1, at, &mut open_children);
+                let (started, a) = open_attempt.remove(tx).unwrap_or((at, *attempt));
+                push_event(
+                    &mut out,
+                    &mut first,
+                    &format!(
+                        "{{\"name\":\"{tx}#a{a} commit\",\"cat\":\"tx\",\"ph\":\"X\",\
+                         \"pid\":{},\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\
+                         \"args\":{{\"outcome\":\"commit\"}}}}",
+                        tx.node,
+                        tx.seq,
+                        ts_us(started),
+                        ts_us(at.saturating_sub(started)),
+                    ),
+                );
+            }
+            ProtoEvent::TxAbort {
+                tx, attempt, cause, ..
+            } => {
+                close_children(&mut out, &mut first, *tx, 1, at, &mut open_children);
+                let (started, a) = open_attempt.remove(tx).unwrap_or((at, *attempt));
+                push_event(
+                    &mut out,
+                    &mut first,
+                    &format!(
+                        "{{\"name\":\"{tx}#a{a} abort\",\"cat\":\"tx\",\"ph\":\"X\",\
+                         \"pid\":{},\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\
+                         \"args\":{{\"outcome\":\"abort\",\"cause\":\"{}\"}}}}",
+                        tx.node,
+                        tx.seq,
+                        ts_us(started),
+                        ts_us(at.saturating_sub(started)),
+                        cause.label(),
+                    ),
+                );
+            }
+            ProtoEvent::NestedOpen { tx, level, .. } => {
+                open_children.entry(*tx).or_default().push((*level, at));
+            }
+            ProtoEvent::NestedCommit { tx, level, .. }
+            | ProtoEvent::NestedAbort { tx, level, .. } => {
+                close_children(&mut out, &mut first, *tx, *level, at, &mut open_children);
+            }
+            ProtoEvent::TxForward { tx, oid, .. } => {
+                push_event(
+                    &mut out,
+                    &mut first,
+                    &format!(
+                        "{{\"name\":\"forward {oid}\",\"cat\":\"tfa\",\"ph\":\"i\",\"s\":\"t\",\
+                         \"pid\":{},\"tid\":{},\"ts\":{:.3}}}",
+                        tx.node,
+                        tx.seq,
+                        ts_us(at),
+                    ),
+                );
+            }
+            ProtoEvent::SchedDecision {
+                oid, tx, verdict, ..
+            } => {
+                push_event(
+                    &mut out,
+                    &mut first,
+                    &format!(
+                        "{{\"name\":\"{} {oid} for {tx}\",\"cat\":\"sched\",\"ph\":\"i\",\
+                         \"s\":\"p\",\"pid\":{},\"tid\":0,\"ts\":{:.3}}}",
+                        verdict.label(),
+                        r.node,
+                        ts_us(at),
+                    ),
+                );
+            }
+            ProtoEvent::QueueServed { oid, tx, .. } => {
+                push_event(
+                    &mut out,
+                    &mut first,
+                    &format!(
+                        "{{\"name\":\"serve {oid} to {tx}\",\"cat\":\"sched\",\"ph\":\"i\",\
+                         \"s\":\"p\",\"pid\":{},\"tid\":0,\"ts\":{:.3}}}",
+                        r.node,
+                        ts_us(at),
+                    ),
+                );
+            }
+            ProtoEvent::Migrate { oid, from, to, .. } => {
+                push_event(
+                    &mut out,
+                    &mut first,
+                    &format!(
+                        "{{\"name\":\"migrate {oid}: {from}->{to}\",\"cat\":\"cc\",\
+                         \"ph\":\"i\",\"s\":\"g\",\"pid\":{to},\"tid\":0,\"ts\":{:.3}}}",
+                        ts_us(at),
+                    ),
+                );
+            }
+            ProtoEvent::RunSummary { .. } => {}
+        }
+    }
+
+    // Close anything still open at the end of the log (stalled or
+    // budget-cut transactions).
+    let open: Vec<TxId> = open_children.keys().copied().collect();
+    for tx in open {
+        close_children(&mut out, &mut first, tx, 1, end_of_log, &mut open_children);
+    }
+    for (tx, (started, a)) in open_attempt {
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"name\":\"{tx}#a{a} unfinished\",\"cat\":\"tx\",\"ph\":\"X\",\
+                 \"pid\":{},\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}",
+                tx.node,
+                tx.seq,
+                ts_us(started),
+                ts_us(end_of_log.saturating_sub(started)),
+            ),
+        );
+    }
+
+    out.push_str("\n], \"displayTimeUnit\": \"ms\"}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+/// A quick census of the log: record counts per kind plus outcome totals.
+pub fn trace_stats(log: &TraceLog) -> String {
+    let mut by_kind: HashMap<&'static str, u64> = HashMap::new();
+    let (mut commits, mut aborts) = (0u64, 0u64);
+    let (mut enq, mut timeouts) = (0u64, 0u64);
+    for r in &log.records {
+        let kind = match &r.ev {
+            ProtoEvent::TxStart { .. } => "tx_start",
+            ProtoEvent::TxForward { .. } => "tx_forward",
+            ProtoEvent::TxCommit { .. } => {
+                commits += 1;
+                "tx_commit"
+            }
+            ProtoEvent::TxAbort { cause, .. } => {
+                aborts += 1;
+                if *cause == hyflow_dstm::AbortCause::QueueTimeout {
+                    timeouts += 1;
+                }
+                "tx_abort"
+            }
+            ProtoEvent::NestedOpen { .. } => "nested_open",
+            ProtoEvent::NestedCommit { .. } => "nested_commit",
+            ProtoEvent::NestedAbort { .. } => "nested_abort",
+            ProtoEvent::SchedDecision { verdict, .. } => {
+                if *verdict == Verdict::Enqueue {
+                    enq += 1;
+                }
+                "sched_decision"
+            }
+            ProtoEvent::QueueServed { .. } => "queue_served",
+            ProtoEvent::Migrate { .. } => "migrate",
+            ProtoEvent::RunSummary { .. } => "run_summary",
+        };
+        *by_kind.entry(kind).or_default() += 1;
+    }
+    let mut kinds: Vec<(&str, u64)> = by_kind.into_iter().collect();
+    kinds.sort();
+    let mut out = format!("{} records\n", log.records.len());
+    for (k, c) in kinds {
+        let _ = writeln!(out, "  {k:<16} {c}");
+    }
+    let _ = writeln!(
+        out,
+        "commits {commits}, aborts {aborts} ({timeouts} queue timeouts), enqueues {enq}"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dstm_sim::{SimDuration, SimTime};
+    use hyflow_dstm::{AbortCause, TraceRecord};
+    use rts_core::TxKind;
+
+    fn rec(at: u64, node: u32, ev: ProtoEvent) -> TraceRecord {
+        TraceRecord {
+            at: SimTime(at),
+            node,
+            ev,
+        }
+    }
+
+    fn commit(
+        at: u64,
+        tx: TxId,
+        reads: Vec<(ObjectId, u64)>,
+        writes: Vec<(ObjectId, u64, u64)>,
+    ) -> TraceRecord {
+        rec(
+            at,
+            tx.node,
+            ProtoEvent::TxCommit {
+                tx,
+                attempt: 0,
+                nested_committed: 0,
+                reads,
+                writes,
+            },
+        )
+    }
+
+    #[test]
+    fn clean_history_passes() {
+        let t1 = TxId::new(0, 1);
+        let t2 = TxId::new(1, 1);
+        let o = ObjectId(1);
+        let log = TraceLog {
+            records: vec![
+                commit(100, t1, vec![(o, 0)], vec![(o, 0, 1)]),
+                commit(200, t2, vec![(o, 1)], vec![(o, 1, 2)]),
+            ],
+        };
+        let report = audit(&log);
+        assert!(report.ok(), "{:?}", report.violations);
+        assert_eq!(report.commits_checked, 2);
+    }
+
+    #[test]
+    fn lost_update_is_flagged() {
+        let t1 = TxId::new(0, 1);
+        let t2 = TxId::new(1, 1);
+        let o = ObjectId(1);
+        // Both commits were built against version 0: the second one
+        // overwrites the first's update.
+        let log = TraceLog {
+            records: vec![
+                commit(100, t1, vec![(o, 0)], vec![(o, 0, 1)]),
+                commit(200, t2, vec![(o, 0)], vec![(o, 0, 2)]),
+            ],
+        };
+        let report = audit(&log);
+        assert!(!report.ok());
+        assert!(report.violations[0].contains("lost update"), "{report:?}");
+    }
+
+    #[test]
+    fn inconsistent_read_footprint_is_flagged() {
+        let (t1, t2, t3) = (TxId::new(0, 1), TxId::new(1, 1), TxId::new(2, 1));
+        let (a, b) = (ObjectId(1), ObjectId(2));
+        // a@1 dies at t=200 (a@2 installed); b@5 is born at t=300. A commit
+        // reading {a@1, b@5} observed two states that never coexisted.
+        let log = TraceLog {
+            records: vec![
+                commit(100, t1, vec![], vec![(a, 0, 1)]),
+                commit(200, t1, vec![], vec![(a, 1, 2)]),
+                commit(300, t2, vec![], vec![(b, 0, 5)]),
+                commit(400, t3, vec![(a, 1), (b, 5)], vec![]),
+            ],
+        };
+        let report = audit(&log);
+        assert!(!report.ok());
+        assert!(
+            report.violations[0].contains("inconsistent read footprint"),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn timeout_without_enqueue_is_flagged() {
+        let tx = TxId::new(1, 1);
+        let log = TraceLog {
+            records: vec![rec(
+                500,
+                1,
+                ProtoEvent::TxAbort {
+                    tx,
+                    attempt: 0,
+                    cause: AbortCause::QueueTimeout,
+                    nested_parent: 0,
+                    backoff: SimDuration::ZERO,
+                },
+            )],
+        };
+        let report = audit(&log);
+        assert!(!report.ok());
+        assert!(
+            report.violations[0].contains("no preceding enqueue"),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn paired_timeout_passes() {
+        let tx = TxId::new(1, 1);
+        let o = ObjectId(1);
+        let log = TraceLog {
+            records: vec![
+                rec(
+                    100,
+                    0,
+                    ProtoEvent::SchedDecision {
+                        oid: o,
+                        tx,
+                        attempt: 0,
+                        local_cl: 1,
+                        requester_cl: 0,
+                        window_requests: 1,
+                        executed: SimDuration::from_millis(10),
+                        remaining: SimDuration::from_millis(5),
+                        queue_depth: 1,
+                        bk: SimDuration::from_millis(5),
+                        threshold: Some(16),
+                        verdict: Verdict::Enqueue,
+                        backoff: SimDuration::from_millis(5),
+                    },
+                ),
+                rec(
+                    900,
+                    1,
+                    ProtoEvent::TxAbort {
+                        tx,
+                        attempt: 0,
+                        cause: AbortCause::QueueTimeout,
+                        nested_parent: 0,
+                        backoff: SimDuration::ZERO,
+                    },
+                ),
+            ],
+        };
+        let report = audit(&log);
+        assert!(report.ok(), "{:?}", report.violations);
+        assert_eq!(report.timeout_aborts_checked, 1);
+    }
+
+    #[test]
+    fn summary_mismatch_is_flagged() {
+        let tx = TxId::new(0, 1);
+        let log = TraceLog {
+            records: vec![
+                commit(100, tx, vec![], vec![]),
+                rec(
+                    200,
+                    0,
+                    ProtoEvent::RunSummary {
+                        commits: 2, // spans saw 1
+                        aborts: 0,
+                        nested_own: 0,
+                        nested_parent: 0,
+                        nested_commits: 0,
+                    },
+                ),
+            ],
+        };
+        let report = audit(&log);
+        assert!(report.summary_checked);
+        assert!(!report.ok());
+        assert!(
+            report.violations[0].contains("Table-I cross-check failed"),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn chrome_export_produces_valid_shape() {
+        let tx = TxId::new(0, 1);
+        let log = TraceLog {
+            records: vec![
+                rec(
+                    0,
+                    0,
+                    ProtoEvent::TxStart {
+                        tx,
+                        kind: TxKind(1),
+                        attempt: 0,
+                    },
+                ),
+                rec(
+                    1_000,
+                    0,
+                    ProtoEvent::NestedOpen {
+                        tx,
+                        attempt: 0,
+                        level: 1,
+                        kind: TxKind(2),
+                    },
+                ),
+                rec(
+                    2_000,
+                    0,
+                    ProtoEvent::NestedCommit {
+                        tx,
+                        attempt: 0,
+                        level: 1,
+                    },
+                ),
+                commit(3_000, tx, vec![(ObjectId(1), 0)], vec![(ObjectId(1), 0, 1)]),
+            ],
+        };
+        let chrome = to_chrome_trace(&log);
+        assert!(chrome.starts_with("{\"traceEvents\": ["));
+        assert!(chrome.contains("\"ph\":\"M\""), "process metadata present");
+        assert!(chrome.contains("child L1"), "nested span present");
+        assert!(chrome.contains("commit"), "attempt span present");
+        // Balanced braces/brackets as a cheap well-formedness check.
+        let balance =
+            |open: char, close: char| chrome.matches(open).count() == chrome.matches(close).count();
+        assert!(balance('{', '}') && balance('[', ']'));
+    }
+
+    #[test]
+    fn stats_census_counts_kinds() {
+        let tx = TxId::new(0, 1);
+        let log = TraceLog {
+            records: vec![
+                rec(
+                    0,
+                    0,
+                    ProtoEvent::TxStart {
+                        tx,
+                        kind: TxKind(1),
+                        attempt: 0,
+                    },
+                ),
+                commit(1_000, tx, vec![], vec![]),
+            ],
+        };
+        let s = trace_stats(&log);
+        assert!(s.contains("2 records"));
+        assert!(s.contains("tx_start"));
+        assert!(s.contains("commits 1"));
+    }
+}

@@ -1,0 +1,87 @@
+//! End-to-end: record real runs with protocol tracing, round-trip the
+//! JSONL, and audit the invariants offline — the same path the CI smoke
+//! job exercises through the `dstm-trace` binary.
+
+use dstm_benchmarks::Benchmark;
+use dstm_harness::experiments::scenarios::run_collision_traced;
+use dstm_harness::traceio::audit;
+use dstm_harness::{run_cell_traced, Cell};
+use hyflow_dstm::{ProtoEvent, TraceLog};
+use rts_core::SchedulerKind;
+
+fn audit_round_tripped(trace: &TraceLog) -> dstm_harness::AuditReport {
+    // Audit the parsed-back trace, not the in-memory one, so the JSONL
+    // encoding itself is under test.
+    let parsed = TraceLog::parse_jsonl(&trace.to_jsonl()).expect("trace must parse");
+    assert_eq!(parsed.records.len(), trace.records.len());
+    audit(&parsed)
+}
+
+#[test]
+fn fig3_scenario_trace_passes_audit() {
+    let (result, trace) = run_collision_traced(SchedulerKind::Rts, 6, 2);
+    assert!(result.all_done);
+    let report = audit_round_tripped(&trace);
+    assert!(report.ok(), "violations: {:?}", report.violations);
+    assert!(report.summary_checked, "RunSummary record missing");
+    assert!(report.commits_checked as u64 >= result.metrics.merged.commits);
+    // The RTS collision parks requesters, so enqueue decisions must appear.
+    assert!(trace
+        .records
+        .iter()
+        .any(|r| matches!(&r.ev, ProtoEvent::SchedDecision { .. })));
+}
+
+#[test]
+fn fig2_tfa_scenario_trace_passes_audit() {
+    let (result, trace) = run_collision_traced(SchedulerKind::Tfa, 6, 0);
+    assert!(result.all_done);
+    let report = audit_round_tripped(&trace);
+    assert!(report.ok(), "violations: {:?}", report.violations);
+    // Fig. 2 shows aborts; every one must appear as a span.
+    let aborts = trace
+        .records
+        .iter()
+        .filter(|r| matches!(&r.ev, ProtoEvent::TxAbort { .. }))
+        .count() as u64;
+    assert_eq!(aborts, result.metrics.merged.total_aborts());
+}
+
+#[test]
+fn benchmark_cell_traces_pass_audit_under_all_schedulers() {
+    for s in [
+        SchedulerKind::Tfa,
+        SchedulerKind::TfaBackoff,
+        SchedulerKind::Rts,
+    ] {
+        let mut cell = Cell::new(Benchmark::Bank, s, 4, 0.5).with_txns(4);
+        cell.params.objects_per_node = 4;
+        let (result, trace) = run_cell_traced(cell);
+        assert!(result.completed, "{s:?} cell stalled");
+        let report = audit_round_tripped(&trace);
+        assert!(report.ok(), "{s:?} violations: {:?}", report.violations);
+        assert!(report.summary_checked);
+        assert_eq!(report.commits_checked as u64, result.metrics.merged.commits);
+    }
+}
+
+#[test]
+fn tracing_does_not_perturb_the_simulation() {
+    // Determinism guard: recording events must not change any simulated
+    // outcome — identical commits, messages, and virtual elapsed time.
+    let mk = || {
+        let mut c = Cell::new(Benchmark::LinkedList, SchedulerKind::Rts, 4, 0.5).with_txns(4);
+        c.params.objects_per_node = 4;
+        c
+    };
+    let plain = dstm_harness::run_cell(mk());
+    let (traced, trace) = run_cell_traced(mk());
+    assert!(!trace.records.is_empty());
+    assert_eq!(plain.metrics.merged.commits, traced.metrics.merged.commits);
+    assert_eq!(
+        plain.metrics.merged.total_aborts(),
+        traced.metrics.merged.total_aborts()
+    );
+    assert_eq!(plain.metrics.messages, traced.metrics.messages);
+    assert_eq!(plain.metrics.elapsed, traced.metrics.elapsed);
+}

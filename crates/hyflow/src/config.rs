@@ -96,6 +96,10 @@ pub struct DstmConfig {
     pub nesting: NestingMode,
     /// Kernel pending-event-set implementation (see [`QueueBackend`]).
     pub queue_backend: QueueBackend,
+    /// Record typed protocol events ([`crate::trace`]) during the run.
+    /// Off by default: every instrumentation site is behind a one-branch
+    /// guard, so a disabled run allocates nothing for tracing.
+    pub trace_protocol: bool,
     /// Concurrent transactions each node keeps in flight.
     pub concurrency_per_node: usize,
     /// Top-level transactions each node runs in total (the workload size).
@@ -116,6 +120,7 @@ impl Default for DstmConfig {
             conflict_scope: ConflictScope::Child,
             nesting: NestingMode::Closed,
             queue_backend: QueueBackend::default(),
+            trace_protocol: false,
             concurrency_per_node: 4,
             txns_per_node: 50,
         }
@@ -145,6 +150,11 @@ impl DstmConfig {
 
     pub fn with_queue_backend(mut self, q: QueueBackend) -> Self {
         self.queue_backend = q;
+        self
+    }
+
+    pub fn with_protocol_trace(mut self, on: bool) -> Self {
+        self.trace_protocol = on;
         self
     }
 

@@ -48,14 +48,16 @@ pub mod object;
 pub mod program;
 pub mod small;
 pub mod system;
+pub mod trace;
 pub mod tx;
 
 pub use config::{ConflictScope, DstmConfig, NestingMode, QueueBackend};
 pub use message::{FetchResult, Msg, Timer};
-pub use metrics::{AbortCause, NestedAbortCause, NodeMetrics, RunMetrics};
+pub use metrics::{AbortCause, HistSummary, NestedAbortCause, NodeMetrics, RunMetrics};
 pub use node::Node;
 pub use object::{OwnedObject, Payload};
 pub use program::{AccessMode, BoxedProgram, StepInput, StepOutput, TxProgram, WithTrailer};
 pub use small::{ObjMap, ObjSet};
 pub use system::{NodeEvent, System, SystemBuilder, WorkloadSource};
+pub use trace::{ProtoEvent, ProtoTrace, TraceLog, TraceRecord, Verdict};
 pub use tx::{TxOutcome, TxRuntime};

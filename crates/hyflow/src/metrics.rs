@@ -5,7 +5,7 @@
 //! nested-abort cause split (Table I: *"nested transaction aborts due to
 //! parent transaction's abort / total nested transaction aborts"*).
 
-use dstm_sim::{OnlineStats, SimDuration, SimTime};
+use dstm_sim::{Histogram, OnlineStats, SimDuration, SimTime};
 
 /// Why a whole (parent) transaction attempt aborted.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -38,6 +38,11 @@ impl AbortCause {
             AbortCause::SchedulerAbort => "scheduler-abort",
             AbortCause::QueueTimeout => "queue-timeout",
         }
+    }
+
+    /// Inverse of [`AbortCause::label`], used when reading traces back.
+    pub fn from_label(s: &str) -> Option<Self> {
+        AbortCause::ALL.into_iter().find(|c| c.label() == s)
     }
 }
 
@@ -83,6 +88,36 @@ pub struct NodeMetrics {
     pub commit_latency: OnlineStats,
     /// Full transaction latency (first start → commit, across retries).
     pub total_latency: OnlineStats,
+    /// Latency-shape histograms (always on; a record is two array
+    /// increments). Units: nanoseconds, except `retries_per_commit` which
+    /// counts aborted attempts preceding each commit.
+    pub commit_latency_hist: Histogram,
+    pub queue_wait_hist: Histogram,
+    pub fetch_rtt_hist: Histogram,
+    pub retries_per_commit: Histogram,
+}
+
+/// p50/p95/p99 upper bounds plus count/mean for one histogram, as reported
+/// in sweep sidecars.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistSummary {
+    pub count: u64,
+    pub mean: f64,
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
+}
+
+impl HistSummary {
+    pub fn of(h: &Histogram) -> Self {
+        HistSummary {
+            count: h.count(),
+            mean: h.mean(),
+            p50: h.quantile_upper_bound(0.50),
+            p95: h.quantile_upper_bound(0.95),
+            p99: h.quantile_upper_bound(0.99),
+        }
+    }
 }
 
 impl NodeMetrics {
@@ -131,6 +166,26 @@ impl NodeMetrics {
         self.objects_received += other.objects_received;
         self.commit_latency.merge(&other.commit_latency);
         self.total_latency.merge(&other.total_latency);
+        self.commit_latency_hist.merge(&other.commit_latency_hist);
+        self.queue_wait_hist.merge(&other.queue_wait_hist);
+        self.fetch_rtt_hist.merge(&other.fetch_rtt_hist);
+        self.retries_per_commit.merge(&other.retries_per_commit);
+    }
+
+    /// The four latency-shape summaries, labelled for report emission.
+    pub fn hist_summaries(&self) -> [(&'static str, HistSummary); 4] {
+        [
+            (
+                "commit_latency_ns",
+                HistSummary::of(&self.commit_latency_hist),
+            ),
+            ("queue_wait_ns", HistSummary::of(&self.queue_wait_hist)),
+            ("fetch_rtt_ns", HistSummary::of(&self.fetch_rtt_hist)),
+            (
+                "retries_per_commit",
+                HistSummary::of(&self.retries_per_commit),
+            ),
+        ]
     }
 }
 
@@ -228,6 +283,32 @@ mod tests {
             ended_at: SimTime::ZERO,
         };
         assert!((run.throughput() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn abort_cause_labels_roundtrip() {
+        for cause in AbortCause::ALL {
+            assert_eq!(AbortCause::from_label(cause.label()), Some(cause));
+        }
+        assert_eq!(AbortCause::from_label("bogus"), None);
+    }
+
+    #[test]
+    fn hist_summaries_reflect_recorded_values() {
+        let mut m = NodeMetrics::default();
+        for v in [100, 200, 400, 800] {
+            m.queue_wait_hist.record(v);
+        }
+        let summaries = m.hist_summaries();
+        let (label, qw) = summaries[1];
+        assert_eq!(label, "queue_wait_ns");
+        assert_eq!(qw.count, 4);
+        assert!(qw.p50 >= 100 && qw.p99 >= qw.p50);
+
+        let mut other = NodeMetrics::default();
+        other.queue_wait_hist.record(1_000_000);
+        m.merge(&other);
+        assert_eq!(m.queue_wait_hist.count(), 5);
     }
 
     #[test]

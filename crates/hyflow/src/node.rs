@@ -20,12 +20,13 @@ use crate::message::{FetchResult, Msg, Timer};
 use crate::metrics::{AbortCause, NestedAbortCause, NodeMetrics};
 use crate::object::{OwnedObject, Payload};
 use crate::program::{AccessMode, BoxedProgram, StepInput, StepOutput};
+use crate::trace::{ProtoEvent, ProtoTrace, TraceRecord, Verdict};
 use crate::tx::{TxPhase, TxRuntime, ValidationResume};
 use dstm_net::Topology;
 use dstm_sim::{Actor, ActorId, Ctx, SimDuration, SimTime};
 use rts_core::{
-    ConflictCtx, ConflictPolicy, Decision, ObjectClWindow, ObjectId, Requester, SchedulingTable,
-    StatsTable, TxId,
+    explain_decision, ConflictCtx, ConflictPolicy, Decision, ObjectClWindow, ObjectId, Requester,
+    SchedulingTable, StatsTable, TxId,
 };
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -73,6 +74,9 @@ pub struct Node {
     active: usize,
     pub completed: usize,
     pub metrics: NodeMetrics,
+    /// Protocol-event sink (off unless `cfg.trace_protocol`; every caller
+    /// site checks `ptrace.on()` before building an event).
+    ptrace: ProtoTrace,
 }
 
 impl Node {
@@ -89,6 +93,10 @@ impl Node {
             .into_iter()
             .map(|(oid, p)| (oid, OwnedObject::new(p)))
             .collect();
+        let mut ptrace = ProtoTrace::disabled();
+        if cfg.trace_protocol {
+            ptrace.enable();
+        }
         Node {
             me,
             topo,
@@ -107,7 +115,13 @@ impl Node {
             active: 0,
             completed: 0,
             metrics: NodeMetrics::default(),
+            ptrace,
         }
+    }
+
+    /// Drain this node's protocol-event stream (end-of-run collection).
+    pub fn take_trace(&mut self) -> Vec<TraceRecord> {
+        self.ptrace.take()
     }
 
     pub fn id(&self) -> u32 {
@@ -228,6 +242,17 @@ impl Node {
             let expected = self.stats.expected_commit_time(kind, ctx.now());
             let tx = TxRuntime::new(id, program, ctx.now(), expected, self.clock);
             self.active += 1;
+            if self.ptrace.on() {
+                self.ptrace.push(
+                    ctx.now(),
+                    self.me,
+                    ProtoEvent::TxStart {
+                        tx: id,
+                        kind,
+                        attempt: 0,
+                    },
+                );
+            }
             let mut tx = tx;
             let finished = self.drive(ctx, &mut tx, DriveInput::Begin);
             if !finished {
@@ -271,6 +296,7 @@ impl Node {
                         reply_to: self.me,
                     };
                     self.send(ctx, owner, msg);
+                    tx.fetch_sent_at = ctx.now();
                     tx.phase = TxPhase::AwaitObject { oid, mode };
                     return false;
                 }
@@ -293,6 +319,18 @@ impl Node {
                     if self.cfg.nesting == crate::config::NestingMode::Closed {
                         let snapshot = tx.program.clone_box();
                         tx.open_nested(kind, snapshot, ctx.now());
+                        if self.ptrace.on() {
+                            self.ptrace.push(
+                                ctx.now(),
+                                self.me,
+                                ProtoEvent::NestedOpen {
+                                    tx: tx.id,
+                                    attempt: tx.attempt,
+                                    level: tx.top() as u32,
+                                    kind,
+                                },
+                            );
+                        }
                     }
                     // Flat nesting: the delimiter is inlined — no level, no
                     // independent rollback; the code simply becomes part of
@@ -301,7 +339,19 @@ impl Node {
                 }
                 StepOutput::CloseNested => {
                     if self.cfg.nesting == crate::config::NestingMode::Closed {
+                        if self.ptrace.on() {
+                            self.ptrace.push(
+                                ctx.now(),
+                                self.me,
+                                ProtoEvent::NestedCommit {
+                                    tx: tx.id,
+                                    attempt: tx.attempt,
+                                    level: tx.top() as u32,
+                                },
+                            );
+                        }
                         tx.close_nested();
+                        tx.nested_committed += 1;
                         self.metrics.nested_commits += 1;
                     }
                     input = DriveInput::Ack;
@@ -414,11 +464,17 @@ impl Node {
     fn publish_or_finalize(&mut self, ctx: &mut NodeCtx<'_>, tx: &mut TxRuntime) -> bool {
         let write_back = tx.write_back_set();
         if write_back.is_empty() {
+            if self.ptrace.on() {
+                self.record_commit_event(ctx.now(), tx, &write_back, 0);
+            }
             self.finalize_commit(ctx, tx);
             return true;
         }
         let new_version = self.clock.max(tx.wv) + 1;
         self.clock = new_version;
+        if self.ptrace.on() {
+            self.record_commit_event(ctx.now(), tx, &write_back, new_version);
+        }
         let mut pending = crate::small::ObjSet::new();
         for (oid, payload, _version, owner) in write_back {
             if owner == self.me {
@@ -445,6 +501,19 @@ impl Node {
                 );
                 self.owner_cache.remove(&oid);
                 self.metrics.objects_received += 1;
+                if self.ptrace.on() {
+                    self.ptrace.push(
+                        ctx.now(),
+                        self.me,
+                        ProtoEvent::Migrate {
+                            oid,
+                            tx: tx.id,
+                            from: owner,
+                            to: self.me,
+                            version: new_version,
+                        },
+                    );
+                }
                 pending.insert(oid);
                 let msg = Msg::Publish {
                     oid,
@@ -464,6 +533,39 @@ impl Node {
         false
     }
 
+    /// Record the [`ProtoEvent::TxCommit`] span end at the serialization
+    /// point: the full read footprint (object, version) and the write set
+    /// (object, expected version, published version). Caller has checked
+    /// `ptrace.on()`, so the `Vec` payloads only exist when tracing.
+    fn record_commit_event(
+        &mut self,
+        now: SimTime,
+        tx: &TxRuntime,
+        write_back: &[(ObjectId, Arc<Payload>, u64, u32)],
+        new_version: u64,
+    ) {
+        let reads = tx
+            .object_summary()
+            .into_iter()
+            .map(|(oid, version, _owner, _dirty, _mode)| (oid, version))
+            .collect();
+        let writes = write_back
+            .iter()
+            .map(|&(oid, _, expect, _)| (oid, expect, new_version))
+            .collect();
+        self.ptrace.push(
+            now,
+            self.me,
+            ProtoEvent::TxCommit {
+                tx: tx.id,
+                attempt: tx.attempt,
+                nested_committed: tx.nested_committed,
+                reads,
+                writes,
+            },
+        );
+    }
+
     /// Terminal commit bookkeeping. The caller must drop the transaction.
     fn finalize_commit(&mut self, ctx: &mut NodeCtx<'_>, tx: &mut TxRuntime) {
         let now = ctx.now();
@@ -478,6 +580,10 @@ impl Node {
         self.metrics
             .total_latency
             .push_duration(now.saturating_since(tx.first_started_at));
+        self.metrics.commit_latency_hist.record_duration(exec);
+        self.metrics
+            .retries_per_commit
+            .record(u64::from(tx.attempt));
         self.policy.on_commit(now);
         tx.phase = TxPhase::Done;
         self.active -= 1;
@@ -500,6 +606,19 @@ impl Node {
         self.metrics.record_abort(cause);
         self.metrics
             .record_nested_aborts(NestedAbortCause::ParentAbort, acc.nested_parent);
+        if self.ptrace.on() {
+            self.ptrace.push(
+                ctx.now(),
+                self.me,
+                ProtoEvent::TxAbort {
+                    tx: tx.id,
+                    attempt: tx.attempt,
+                    cause,
+                    nested_parent: acc.nested_parent,
+                    backoff,
+                },
+            );
+        }
         // Even "immediate" retries carry a randomized delay that escalates
         // with the transaction's abort count. Two reasons, both rooted in
         // §II's requirement that the contention manager avoid livelocks:
@@ -525,6 +644,17 @@ impl Node {
         let now = ctx.now();
         let expected = self.stats.expected_commit_time(tx.kind, now);
         tx.restart(now, expected, self.clock);
+        if self.ptrace.on() {
+            self.ptrace.push(
+                now,
+                self.me,
+                ProtoEvent::TxStart {
+                    tx: tx.id,
+                    kind: tx.kind,
+                    attempt: tx.attempt,
+                },
+            );
+        }
         // May commit synchronously (degenerate programs); `finalize_commit`
         // then leaves the phase at `Done` and callers drop the transaction.
         let _ = self.drive(ctx, tx, DriveInput::Begin);
@@ -548,6 +678,19 @@ impl Node {
             .record_nested_aborts(NestedAbortCause::Own, acc.nested_own);
         self.metrics
             .record_nested_aborts(NestedAbortCause::ParentAbort, acc.nested_parent);
+        if self.ptrace.on() {
+            self.ptrace.push(
+                ctx.now(),
+                self.me,
+                ProtoEvent::NestedAbort {
+                    tx: tx.id,
+                    attempt: tx.attempt,
+                    level: level as u32,
+                    own: acc.nested_own,
+                    parent: acc.nested_parent,
+                },
+            );
+        }
         // Replay the child: its snapshot was taken right after `OpenNested`,
         // so re-feeding the acknowledgement re-enters the child body. The
         // replay may even run to a synchronous commit if every object it
@@ -648,6 +791,37 @@ impl Node {
                 attempt,
             };
             let decision = self.policy.on_conflict(&cctx, &mut self.sched);
+            if self.ptrace.on() {
+                let explain = explain_decision(decision, self.policy.as_ref(), &self.sched, oid);
+                let (verdict, chosen_backoff) = match decision {
+                    Decision::Abort => (Verdict::Abort, SimDuration::ZERO),
+                    Decision::AbortBackoff(b) => (Verdict::AbortBackoff, b),
+                    Decision::Enqueue { backoff } => (Verdict::Enqueue, backoff),
+                };
+                let window_requests = self
+                    .cl_windows
+                    .get_mut(&oid)
+                    .map_or(0, |w| w.requests_in_window(now));
+                self.ptrace.push(
+                    now,
+                    self.me,
+                    ProtoEvent::SchedDecision {
+                        oid,
+                        tx: txid,
+                        attempt,
+                        local_cl,
+                        requester_cl: my_cl,
+                        window_requests,
+                        executed: ets.executed_so_far(),
+                        remaining: ets.expected_remaining(),
+                        queue_depth: explain.queue_depth as u64,
+                        bk: explain.bk,
+                        threshold: explain.threshold,
+                        verdict,
+                        backoff: chosen_backoff,
+                    },
+                );
+            }
             let result = match decision {
                 Decision::Abort => FetchResult::Conflict {
                     backoff: SimDuration::ZERO,
@@ -723,6 +897,20 @@ impl Node {
         let local_cl = self.local_cl(oid, now);
         for r in grants {
             self.metrics.queue_served += 1;
+            let wait = now.saturating_since(r.enqueued_at);
+            self.metrics.queue_wait_hist.record_duration(wait);
+            if self.ptrace.on() {
+                self.ptrace.push(
+                    now,
+                    self.me,
+                    ProtoEvent::QueueServed {
+                        oid,
+                        tx: r.tx,
+                        attempt: r.attempt,
+                        wait,
+                    },
+                );
+            }
             let msg = Msg::ObjResp {
                 oid,
                 tx: r.tx,
@@ -849,9 +1037,25 @@ impl Node {
             } => {
                 self.owner_cache.insert(oid, owner);
                 self.clock = self.clock.max(version);
+                self.metrics
+                    .fetch_rtt_hist
+                    .record_duration(ctx.now().saturating_since(tx.fetch_sent_at));
                 if version > tx.wv && !tx.object_summary().is_empty() {
                     // Transactional forwarding: early-validate before
                     // advancing the transaction's clock (TFA §II).
+                    if self.ptrace.on() {
+                        self.ptrace.push(
+                            ctx.now(),
+                            self.me,
+                            ProtoEvent::TxForward {
+                                tx: txid,
+                                attempt: tx.attempt,
+                                oid,
+                                wv_old: tx.wv,
+                                wv_new: version,
+                            },
+                        );
+                    }
                     self.begin_validation(
                         ctx,
                         &mut tx,
@@ -907,6 +1111,19 @@ impl Node {
                     self.metrics
                         .record_nested_aborts(NestedAbortCause::ParentAbort, acc.nested_parent);
                     self.metrics.child_conflict_retries += 1;
+                    if self.ptrace.on() {
+                        self.ptrace.push(
+                            ctx.now(),
+                            self.me,
+                            ProtoEvent::NestedAbort {
+                                tx: txid,
+                                attempt: tx.attempt,
+                                level: level as u32,
+                                own: acc.nested_own,
+                                parent: acc.nested_parent,
+                            },
+                        );
+                    }
                     // Same symmetry-breaking jitter as parent retries.
                     let jitter = SimDuration::from_micros(ctx.rng().below(2_000));
                     tx.phase = TxPhase::ChildBackedOff;

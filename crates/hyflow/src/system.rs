@@ -7,6 +7,7 @@ use crate::metrics::{NodeMetrics, RunMetrics};
 use crate::node::Node;
 use crate::object::Payload;
 use crate::program::BoxedProgram;
+use crate::trace::TraceLog;
 use dstm_net::Topology;
 use dstm_sim::{
     ActorId, BinaryHeapQueue, EventQueue, GenericWorld, KernelEvent, SimDuration, SimTime,
@@ -189,6 +190,19 @@ impl<Q: EventQueue<NodeEvent>> System<Q> {
     /// Virtual time now.
     pub fn now(&self) -> SimTime {
         self.world.now()
+    }
+
+    /// Drain every node's protocol-event stream into one time-ordered
+    /// [`TraceLog`] (empty unless the run was built with
+    /// `DstmConfig::trace_protocol`). Call after `run`.
+    pub fn take_trace(&mut self) -> TraceLog {
+        let streams = self
+            .world
+            .actors_mut()
+            .iter_mut()
+            .map(|n| n.take_trace())
+            .collect();
+        TraceLog::from_node_streams(streams)
     }
 }
 
@@ -374,6 +388,82 @@ mod tests {
         assert_eq!(heap.messages, cal.messages);
         assert_eq!(heap.ended_at, cal.ended_at);
         assert_eq!(heap_sys.object_state(), cal_sys.object_state());
+    }
+
+    #[test]
+    fn protocol_trace_spans_match_counters() {
+        // A contended nested workload with tracing on: every Table-I number
+        // recomputed from spans must equal the live counters exactly, and
+        // the JSONL round trip must be lossless.
+        use crate::trace::{ProtoEvent, TraceLog};
+
+        let oid = ObjectId(1);
+        let mut rng = SimRng::new(13);
+        let topo = Topology::uniform_random(3, 1, 10, &mut rng);
+        let cfg = DstmConfig::default()
+            .with_scheduler(SchedulerKind::Rts)
+            .with_concurrency(2)
+            .with_protocol_trace(true);
+        let programs: Vec<Vec<BoxedProgram>> = (0..3)
+            .map(|_| {
+                (0..4)
+                    .map(|_| {
+                        Box::new(nested_increments(TxKind(1), TxKind(2), &[oid, ObjectId(2)]))
+                            as BoxedProgram
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut sys = SystemBuilder::new(topo, cfg).seed(3).build(WorkloadSource {
+            objects: vec![(oid, Payload::Scalar(0)), (ObjectId(2), Payload::Scalar(0))],
+            programs,
+        });
+        let m = sys.run(5_000_000);
+        assert!(sys.all_done());
+        let trace = sys.take_trace();
+        assert!(!trace.records.is_empty(), "tracing was enabled");
+
+        let (mut commits, mut nested_commits) = (0u64, 0u64);
+        let (mut own, mut parent) = (0u64, 0u64);
+        for r in &trace.records {
+            match &r.ev {
+                ProtoEvent::TxCommit { .. } => commits += 1,
+                ProtoEvent::NestedCommit { .. } => nested_commits += 1,
+                ProtoEvent::NestedAbort {
+                    own: o, parent: p, ..
+                } => {
+                    own += o;
+                    parent += p;
+                }
+                ProtoEvent::TxAbort { nested_parent, .. } => parent += nested_parent,
+                _ => {}
+            }
+        }
+        assert_eq!(commits, m.merged.commits);
+        assert_eq!(nested_commits, m.merged.nested_commits);
+        assert_eq!(own, m.merged.nested_aborts_own, "Table I own split");
+        assert_eq!(
+            parent, m.merged.nested_aborts_parent,
+            "Table I parent split"
+        );
+
+        let back = TraceLog::parse_jsonl(&trace.to_jsonl()).expect("jsonl parses");
+        assert_eq!(back.records, trace.records);
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let p = ScriptProgram::new(
+            TxKind(1),
+            vec![
+                ScriptOp::Write(ObjectId(1)),
+                ScriptOp::AddScalar(ObjectId(1), 1),
+            ],
+        );
+        let mut sys =
+            single_node_system(vec![Box::new(p)], vec![(ObjectId(1), Payload::Scalar(0))]);
+        sys.run(100_000);
+        assert!(sys.take_trace().records.is_empty());
     }
 
     #[test]

@@ -148,6 +148,12 @@ pub struct TxRuntime {
     pub cl: ClAccounting,
     /// Set when the commit protocol starts (stats-table validation sample).
     pub validation_started_at: Option<SimTime>,
+    /// When the outstanding object fetch was sent (requester-side RTT
+    /// sample; transactions have at most one fetch in flight).
+    pub fetch_sent_at: SimTime,
+    /// Closed-nested children merged over this transaction's lifetime
+    /// (across attempts; mirrors the node-level `nested_commits` counter).
+    pub nested_committed: u64,
 }
 
 impl TxRuntime {
@@ -181,6 +187,8 @@ impl TxRuntime {
             wv,
             cl: ClAccounting::new(),
             validation_started_at: None,
+            fetch_sent_at: SimTime::ZERO,
+            nested_committed: 0,
         }
     }
 

@@ -247,17 +247,12 @@ impl<'a, M, T> Ctx<'a, M, T> {
         &mut self.core.rngs[self.me.index()]
     }
 
-    /// Emit a free-form trace annotation (no-op when tracing is disabled).
+    /// Emit a free-form trace annotation (no-op when tracing is disabled;
+    /// the closure only runs when a sink is attached).
     pub fn note(&mut self, text: impl FnOnce() -> String) {
-        if self.core.trace.enabled() {
-            let at = self.core.now;
-            let on = self.me;
-            self.core.trace.record(TraceEvent::Note {
-                at,
-                on,
-                text: text(),
-            });
-        }
+        let at = self.core.now;
+        let on = self.me;
+        self.core.trace.note_with(at, on, text);
     }
 }
 
@@ -330,6 +325,12 @@ impl<A: Actor, Q: EventQueue<KernelEvent<A::Msg, A::Timer>>> GenericWorld<A, Q> 
 
     pub fn actors(&self) -> &[A] {
         &self.actors
+    }
+
+    /// Mutable access to every actor (end-of-run collection: draining
+    /// per-actor trace buffers, resetting counters between phases).
+    pub fn actors_mut(&mut self) -> &mut [A] {
+        &mut self.actors
     }
 
     /// Total protocol messages delivered so far.

@@ -101,7 +101,7 @@ impl OnlineStats {
 
 /// Log-2-bucketed histogram of nanosecond durations; cheap to update, good
 /// enough for latency-shape reporting (p50/p99 within a factor of 2).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Histogram {
     buckets: [u64; 64],
     count: u64,

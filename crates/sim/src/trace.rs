@@ -87,6 +87,20 @@ impl TraceSink {
         }
     }
 
+    /// Record a [`TraceEvent::Note`] built lazily: the closure — and the
+    /// `String` allocation inside it — runs only when the sink is enabled,
+    /// so a disabled sink costs exactly one branch.
+    #[inline]
+    pub fn note_with(&mut self, at: SimTime, on: ActorId, text: impl FnOnce() -> String) {
+        if self.enabled() {
+            self.record(TraceEvent::Note {
+                at,
+                on,
+                text: text(),
+            });
+        }
+    }
+
     /// The recorded events (empty when disabled).
     pub fn events(&self) -> &[TraceEvent] {
         match self {
@@ -126,6 +140,26 @@ mod tests {
         assert_eq!(evs.len(), 3);
         assert_eq!(evs[0].at(), SimTime(2));
         assert_eq!(evs[2].at(), SimTime(4));
+    }
+
+    #[test]
+    fn note_with_skips_closure_when_disabled() {
+        let mut sink = TraceSink::Disabled;
+        let mut ran = false;
+        sink.note_with(SimTime(1), ActorId(0), || {
+            ran = true;
+            "expensive".to_string()
+        });
+        assert!(!ran, "closure must not run on the disabled path");
+
+        let mut sink = TraceSink::ring(4);
+        let mut ran = false;
+        sink.note_with(SimTime(2), ActorId(1), || {
+            ran = true;
+            "cheap now".to_string()
+        });
+        assert!(ran);
+        assert_eq!(sink.events().len(), 1);
     }
 
     #[test]
