@@ -55,7 +55,8 @@ pub fn generate(p: &WorkloadParams) -> WorkloadSource {
         let mut queue: Vec<BoxedProgram> = Vec::with_capacity(p.txns_per_node);
         for _ in 0..p.txns_per_node {
             let nested = p.sample_nested_ops(&mut rng);
-            let mut ops = Vec::new();
+            // Up to 10 ops per nested transfer plus the parent-level trailer.
+            let mut ops = Vec::with_capacity(nested * 10 + 3);
             if p.sample_read_only(&mut rng) {
                 for _ in 0..nested {
                     let a = account_oid(rng.below(accounts));

@@ -17,14 +17,25 @@
 
 use crate::ids::{ObjectId, TxId};
 use dstm_sim::{SimDuration, SimTime};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Owner-side sliding window of requests for one object.
+///
+/// The distinct-transaction count (the local CL itself) is maintained
+/// incrementally: each record/prune adjusts a per-transaction occurrence
+/// count, so `local_cl` is O(evictions) instead of the O(w²) pairwise scan
+/// a naive distinct count costs — `record` + `local_cl` run on **every**
+/// object request, so the window is protocol-hot-path.
 #[derive(Clone, Debug)]
 pub struct ObjectClWindow {
     window: SimDuration,
     /// (request time, requester) pairs, oldest first.
     requests: VecDeque<(SimTime, TxId)>,
+    /// Occurrence count per transaction still inside the window; entries are
+    /// removed when their count hits zero, so `counts.len()` *is* the
+    /// distinct count. Linear storage: the distinct set is small and the
+    /// vec is reused, keeping the hot path allocation-free at steady state.
+    counts: Vec<(TxId, u32)>,
 }
 
 impl ObjectClWindow {
@@ -32,14 +43,24 @@ impl ObjectClWindow {
         ObjectClWindow {
             window,
             requests: VecDeque::new(),
+            counts: Vec::new(),
         }
     }
 
     fn prune(&mut self, now: SimTime) {
         let cutoff = SimTime(now.0.saturating_sub(self.window.0));
-        while let Some(&(t, _)) = self.requests.front() {
+        while let Some(&(t, tx)) = self.requests.front() {
             if t < cutoff {
                 self.requests.pop_front();
+                let i = self
+                    .counts
+                    .iter()
+                    .position(|&(c, _)| c == tx)
+                    .expect("window entry without a count");
+                self.counts[i].1 -= 1;
+                if self.counts[i].1 == 0 {
+                    self.counts.swap_remove(i);
+                }
             } else {
                 break;
             }
@@ -50,21 +71,17 @@ impl ObjectClWindow {
     pub fn record(&mut self, now: SimTime, tx: TxId) {
         self.prune(now);
         self.requests.push_back((now, tx));
+        match self.counts.iter_mut().find(|&&mut (c, _)| c == tx) {
+            Some((_, n)) => *n += 1,
+            None => self.counts.push((tx, 1)),
+        }
     }
 
     /// Local CL: distinct transactions that requested the object within the
     /// window ending at `now`. Retries of the same transaction count once.
     pub fn local_cl(&mut self, now: SimTime) -> u32 {
         self.prune(now);
-        // Windows are small (tens of entries); an O(n²) distinct count keeps
-        // the structure allocation-free.
-        let mut distinct = 0u32;
-        for (i, &(_, tx)) in self.requests.iter().enumerate() {
-            if !self.requests.iter().take(i).any(|&(_, t)| t == tx) {
-                distinct += 1;
-            }
-        }
-        distinct
+        self.counts.len() as u32
     }
 
     pub fn is_empty(&self) -> bool {
@@ -81,9 +98,13 @@ impl ObjectClWindow {
 }
 
 /// Requester-side accounting of the CLs of currently held objects.
+///
+/// Vec-backed: a transaction holds a handful of objects and the only
+/// aggregate query is a sum, so linear storage beats a hash map and keeps
+/// the per-transaction footprint a single (reusable) allocation.
 #[derive(Clone, Debug, Default)]
 pub struct ClAccounting {
-    held: HashMap<ObjectId, u32>,
+    held: Vec<(ObjectId, u32)>,
 }
 
 impl ClAccounting {
@@ -93,17 +114,22 @@ impl ClAccounting {
 
     /// An object was received, with its local CL as reported by the owner.
     pub fn object_received(&mut self, oid: ObjectId, reported_cl: u32) {
-        self.held.insert(oid, reported_cl);
+        match self.held.iter_mut().find(|(o, _)| *o == oid) {
+            Some((_, cl)) => *cl = reported_cl,
+            None => self.held.push((oid, reported_cl)),
+        }
     }
 
     /// The object was released (commit or abort).
     pub fn object_released(&mut self, oid: ObjectId) {
-        self.held.remove(&oid);
+        if let Some(i) = self.held.iter().position(|(o, _)| *o == oid) {
+            self.held.swap_remove(i);
+        }
     }
 
     /// `myCL`: total demand for what this transaction is holding.
     pub fn my_cl(&self) -> u32 {
-        self.held.values().sum()
+        self.held.iter().map(|(_, cl)| cl).sum()
     }
 
     pub fn clear(&mut self) {

@@ -16,6 +16,8 @@
 //!   object over a recent window) and remote CL (carried as `myCL`);
 //! * [`sched`] — the **scheduling table** of Algorithm 1: per-object
 //!   requester queues with duplicate elimination and contention totals;
+//! * [`fx`] — the in-tree FxHash-style hasher backing every protocol-layer
+//!   map (small fixed-size id keys make SipHash pure overhead);
 //! * [`policy`] — the conflict decision logic of Algorithms 2–4 behind the
 //!   [`policy::ConflictPolicy`] trait, with the three schedulers evaluated in
 //!   the paper: `TfaPolicy`, `BackoffPolicy`, and `RtsPolicy`;
@@ -29,6 +31,7 @@ pub mod bloom;
 pub mod cl;
 pub mod ets;
 pub mod extensions;
+pub mod fx;
 pub mod ids;
 pub mod policy;
 pub mod sched;
@@ -39,6 +42,7 @@ pub use bloom::BloomFilter;
 pub use cl::{ClAccounting, ObjectClWindow};
 pub use ets::Ets;
 pub use extensions::{AtsPolicy, QueueAllPolicy};
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{ObjectId, TxId, TxKind};
 pub use policy::{
     build_policy, explain_decision, BackoffPolicy, ConflictCtx, ConflictPolicy, Decision,

@@ -7,9 +7,10 @@
 //! whenever a transaction is enqueued"*). `scheduling_List` maps object ids
 //! to those lists.
 
+use crate::fx::FxHashMap;
 use crate::ids::{ObjectId, TxId};
 use dstm_sim::{SimDuration, SimTime};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// One enqueued requester (Algorithm 1's `Requester`: address + txid; we
 /// also keep the access mode for the read fan-out of §III-B and the enqueue
@@ -105,6 +106,13 @@ impl RequesterList {
     /// the read transactions"*).
     pub fn pop_servable(&mut self) -> Vec<Requester> {
         let mut out = Vec::new();
+        self.pop_servable_into(&mut out);
+        out
+    }
+
+    /// Allocation-free form of [`RequesterList::pop_servable`]: appends the
+    /// servable prefix to `out` (callers keep a reusable scratch buffer).
+    pub fn pop_servable_into(&mut self, out: &mut Vec<Requester>) {
         match self.front() {
             None => {}
             Some(r) if !r.read_only => {
@@ -116,7 +124,6 @@ impl RequesterList {
                 }
             }
         }
-        out
     }
 
     pub fn iter(&self) -> impl Iterator<Item = &Requester> {
@@ -137,7 +144,7 @@ impl RequesterList {
 /// `scheduling_List`: object id → requester list.
 #[derive(Clone, Debug, Default)]
 pub struct SchedulingTable {
-    map: HashMap<ObjectId, RequesterList>,
+    map: FxHashMap<ObjectId, RequesterList>,
 }
 
 impl SchedulingTable {

@@ -20,9 +20,9 @@
 //! The substitution is documented in `DESIGN.md` §4.5.
 
 use crate::bloom::BloomFilter;
+use crate::fx::FxHashMap;
 use crate::ids::TxKind;
 use dstm_sim::{SimDuration, SimTime};
-use std::collections::HashMap;
 
 /// Quantization bucket for commit times entering the Bloom sketch.
 const SKETCH_BUCKET_NANOS: u64 = 100_000; // 100 µs
@@ -56,7 +56,7 @@ impl KindStats {
 /// Per-node table of expected execution/validation times by transaction kind.
 #[derive(Clone, Debug)]
 pub struct StatsTable {
-    entries: HashMap<TxKind, KindStats>,
+    entries: FxHashMap<TxKind, KindStats>,
     /// Estimate handed out before any commit of a kind has been observed.
     default_exec: SimDuration,
 }
@@ -66,7 +66,7 @@ impl StatsTable {
     /// couple of round-trips is a sensible prior in the harness).
     pub fn new(default_exec: SimDuration) -> Self {
         StatsTable {
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             default_exec,
         }
     }

@@ -1,0 +1,104 @@
+//! Heap-allocation counting for kernel benchmarks.
+//!
+//! Behind the `bench-alloc` feature this module installs a counting
+//! [`GlobalAlloc`] that wraps the system allocator with three relaxed
+//! atomics: total allocation count, current live bytes, and peak live
+//! bytes. `dstm-sweep kernel` resets the counters around each timed trial
+//! and records allocations-per-event plus peak bytes into
+//! `BENCH_kernel.json`, turning "steady-state event handling allocates
+//! (almost) nothing" from a claim into a tracked number.
+//!
+//! With the feature off every probe compiles to zeros and no allocator is
+//! installed, so the default build's timings are untouched.
+
+#[cfg(feature = "bench-alloc")]
+mod imp {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static CURRENT: AtomicUsize = AtomicUsize::new(0);
+    static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+    /// System allocator wrapped with relaxed counters.
+    pub struct CountingAlloc;
+
+    // SAFETY: defers all allocation to `System`; only adds atomic counting.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Relaxed);
+            let live = CURRENT.fetch_add(layout.size(), Relaxed) + layout.size();
+            PEAK.fetch_max(live, Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            CURRENT.fetch_sub(layout.size(), Relaxed);
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Relaxed);
+            if new_size >= layout.size() {
+                let live =
+                    CURRENT.fetch_add(new_size - layout.size(), Relaxed) + new_size - layout.size();
+                PEAK.fetch_max(live, Relaxed);
+            } else {
+                CURRENT.fetch_sub(layout.size() - new_size, Relaxed);
+            }
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+
+    pub fn reset() {
+        ALLOCS.store(0, Relaxed);
+        // Live bytes persist across resets (objects allocated before the
+        // reset are still live); the peak restarts from the current level.
+        PEAK.store(CURRENT.load(Relaxed), Relaxed);
+    }
+
+    pub fn allocs() -> u64 {
+        ALLOCS.load(Relaxed)
+    }
+
+    pub fn peak_bytes() -> usize {
+        PEAK.load(Relaxed)
+    }
+}
+
+/// Whether the counting allocator is compiled in.
+pub fn enabled() -> bool {
+    cfg!(feature = "bench-alloc")
+}
+
+/// Zero the allocation count and restart peak tracking from the current
+/// live size. No-op without `bench-alloc`.
+pub fn reset() {
+    #[cfg(feature = "bench-alloc")]
+    imp::reset();
+}
+
+/// Counters since the last [`reset`]: `(allocations, peak_live_bytes)`.
+/// Zeros without `bench-alloc`.
+pub fn snapshot() -> (u64, usize) {
+    #[cfg(feature = "bench-alloc")]
+    return (imp::allocs(), imp::peak_bytes());
+    #[cfg(not(feature = "bench-alloc"))]
+    (0, 0)
+}
+
+#[cfg(all(test, feature = "bench-alloc"))]
+mod tests {
+    #[test]
+    fn counts_vec_growth() {
+        super::reset();
+        let v: Vec<u64> = (0..10_000).collect();
+        let (allocs, peak) = super::snapshot();
+        assert!(allocs > 0, "Vec growth not counted");
+        assert!(peak >= v.len() * 8, "peak {peak} below live size");
+        drop(v);
+    }
+}

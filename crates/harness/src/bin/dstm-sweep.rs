@@ -3,14 +3,16 @@
 //! ```text
 //! dstm-sweep [nodes] [txns_per_node] [benchmark] [--hist-out out.json]
 //! dstm-sweep scenario [rts|tfa|tfa-backoff] [writers] [readers]
-//! dstm-sweep kernel [out.json]
+//! dstm-sweep kernel [out.json] [--scale S] [--trials N] [--baseline old.json]
+//! dstm-sweep large-smoke [nodes]
 //! ```
 //!
 //! All modes accept `--trace <path>` / `--trace-format jsonl|chrome` (or the
 //! `DSTM_TRACE` / `DSTM_TRACE_FORMAT` environment variables) to record
-//! protocol events: `scenario` traces the whole scripted run, the default
-//! sweep traces its first RTS low-contention cell as a representative
-//! sample, and `kernel` ignores tracing (it measures the disabled path).
+//! protocol events: `scenario` and `large-smoke` trace their whole run, the
+//! default sweep traces its first RTS low-contention cell as a
+//! representative sample, and `kernel` ignores tracing flags (its `"on"`
+//! rows measure the enabled path without writing the log anywhere).
 //!
 //! The default mode prints throughput, nested-abort rate, and speedups for
 //! every (benchmark, contention, scheduler) cell and writes the latency
@@ -23,17 +25,32 @@
 //!
 //! `kernel` mode times the host wall-clock of every Fig. 4 sweep cell under
 //! both event-queue backends (the simulated results are bit-identical, so
-//! this isolates kernel cost) and writes a machine-readable JSON report,
-//! by default `BENCH_kernel.json`. Each cell carries a `"trace"` field:
-//! `"off"` rows are the production path (tracing compiled in, disabled) and
-//! `"on"` rows rerun the bank benchmark with event recording enabled, so
-//! the sidecar documents both the zero-cost claim and the enabled-path
-//! price. Scale via `DSTM_SCALE=smoke|quick|full`.
+//! this isolates kernel cost) and writes a machine-readable JSON report, by
+//! default `BENCH_kernel.json`. Each cell runs one untimed warm-up plus
+//! `--trials` timed repeats (default 5, env `DSTM_TRIALS`) and reports the
+//! **median** wall clock; built with `--features bench-alloc` the final
+//! trial also reports heap allocations per event and peak live bytes. Each
+//! cell carries a `"trace"` field: `"off"` rows are the production path
+//! (tracing compiled in, disabled) and `"on"` rows rerun the bank benchmark
+//! with event recording enabled, so the sidecar documents both the
+//! zero-cost claim and the enabled-path price. `--scale large` (or
+//! `DSTM_SCALE=large`) switches to the 80/160/320-node sweep on the
+//! O(1)-memory hashed topology, fanned out over the worker pool, with the
+//! sweep-wide peak-allocation counter recorded at the top level.
+//!
+//! `--baseline old.json` compares the fresh trace-off rows against a
+//! previously committed report and exits non-zero if the median ns/event
+//! ratio regresses beyond 20% (override with `DSTM_BENCH_TOLERANCE=0.30`).
+//!
+//! `large-smoke` is the CI entry point for the large-scale path: one
+//! 160-node (or `[nodes]`) Bank/RTS cell on the hashed topology with
+//! protocol tracing on, whose `--trace` output feeds `dstm-trace audit`.
 
 use dstm_benchmarks::Benchmark;
+use dstm_harness::alloc_counter;
 use dstm_harness::experiments::scenarios::{render, run_collision_traced};
 use dstm_harness::experiments::Scale;
-use dstm_harness::runner::{run_cell, run_cell_traced, Cell};
+use dstm_harness::runner::{run_cell, run_cell_traced, run_cells, Cell, TopologySpec};
 use dstm_harness::traceio::to_chrome_trace;
 use hyflow_dstm::{HistSummary, QueueBackend, TraceLog};
 use rts_core::SchedulerKind;
@@ -74,19 +91,37 @@ impl TraceOpts {
     }
 }
 
-/// Pull `--trace`, `--trace-format`, and `--hist-out` (with `DSTM_TRACE*`
-/// env fallbacks) out of the argument list; the rest stay positional.
-fn split_flags(args: &[String]) -> (Vec<String>, TraceOpts, Option<String>) {
+struct Flags {
+    positional: Vec<String>,
+    topts: TraceOpts,
+    hist_out: Option<String>,
+    /// `--scale` overrides `DSTM_SCALE`; `None` falls through to the env.
+    scale: Option<String>,
+    /// `--trials` overrides `DSTM_TRIALS`; `None` falls through to the env.
+    trials: Option<usize>,
+    /// Committed kernel report to regression-check against.
+    baseline: Option<String>,
+}
+
+/// Pull the `--flag value` pairs (with `DSTM_*` env fallbacks) out of the
+/// argument list; the rest stay positional.
+fn split_flags(args: &[String]) -> Flags {
     let mut positional = Vec::new();
     let mut trace_path = std::env::var("DSTM_TRACE").ok().filter(|s| !s.is_empty());
     let mut format_arg = std::env::var("DSTM_TRACE_FORMAT").ok();
     let mut hist_out = None;
+    let mut scale = None;
+    let mut trials = None;
+    let mut baseline = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--trace" => trace_path = it.next().cloned(),
             "--trace-format" => format_arg = it.next().cloned(),
             "--hist-out" => hist_out = it.next().cloned(),
+            "--scale" => scale = it.next().cloned(),
+            "--trials" => trials = it.next().and_then(|s| s.parse().ok()),
+            "--baseline" => baseline = it.next().cloned(),
             _ => positional.push(a.clone()),
         }
     }
@@ -97,14 +132,17 @@ fn split_flags(args: &[String]) -> (Vec<String>, TraceOpts, Option<String>) {
             TraceFormat::Jsonl
         }),
     };
-    (
+    Flags {
         positional,
-        TraceOpts {
+        topts: TraceOpts {
             path: trace_path,
             format,
         },
         hist_out,
-    )
+        scale,
+        trials,
+        baseline,
+    }
 }
 
 fn scheduler_from_name(s: &str) -> Option<SchedulerKind> {
@@ -116,92 +154,420 @@ fn scheduler_from_name(s: &str) -> Option<SchedulerKind> {
     }
 }
 
-/// Wall-clock every Fig. 4 cell (six benchmarks × node counts × three
-/// schedulers at 90% reads) under each queue backend, sequentially so the
-/// timings are not polluted by sibling cells. Bank cells are rerun with
-/// protocol tracing enabled (`"trace": "on"` rows) to record the
-/// enabled-path overhead next to the disabled-path baseline.
-fn kernel_report(out_path: &str) {
-    let scale = Scale::from_env();
-    let schedulers = [
-        SchedulerKind::Rts,
-        SchedulerKind::Tfa,
-        SchedulerKind::TfaBackoff,
-    ];
-    let mut rows = Vec::new();
-    let mut time_cell = |cell: Cell, trace: bool| {
-        let (b, nodes, s, backend) = (
-            cell.benchmark,
-            cell.params.nodes,
-            cell.scheduler,
-            cell.dstm.queue_backend,
+const KERNEL_SCHEDULERS: [SchedulerKind; 3] = [
+    SchedulerKind::Rts,
+    SchedulerKind::Tfa,
+    SchedulerKind::TfaBackoff,
+];
+
+/// One measured kernel cell, ready for printing and the JSON sidecar.
+struct KernelRow {
+    benchmark: Benchmark,
+    nodes: usize,
+    scheduler: SchedulerKind,
+    backend: QueueBackend,
+    topology: &'static str,
+    trace: bool,
+    trials: usize,
+    /// Wall clock of the median trial, nanoseconds.
+    wall_ns: u64,
+    /// Thread-CPU time of the median trial, nanoseconds. ns/event keys off
+    /// this: on shared hosts wall clock inflates whenever the bench thread
+    /// is preempted, while consumed CPU stays put.
+    cpu_ns: u64,
+    events: u64,
+    commits: u64,
+    /// Allocations per event on the final timed trial (0 without
+    /// `bench-alloc`, or in pooled large mode where trials overlap).
+    allocs_per_event: f64,
+    /// Peak live heap bytes on the final timed trial (same caveats).
+    peak_alloc_bytes: usize,
+}
+
+impl KernelRow {
+    fn ns_per_event(&self) -> f64 {
+        self.cpu_ns as f64 / self.events.max(1) as f64
+    }
+
+    fn print(&self) {
+        let mut line = format!(
+            "{:<12} n={:<3} {:<12} {:<9} {:<8} trace={:<3} {:>9.1} ms  {:>7.0} ns/event",
+            self.benchmark.label(),
+            self.nodes,
+            self.scheduler.label(),
+            self.backend.label(),
+            self.topology,
+            if self.trace { "on" } else { "off" },
+            self.cpu_ns as f64 / 1e6,
+            self.ns_per_event(),
         );
-        let t0 = std::time::Instant::now();
-        let r = if trace {
-            run_cell_traced(cell).0
-        } else {
-            run_cell(cell)
-        };
-        let wall = t0.elapsed();
-        assert!(r.completed, "{} under {s:?} stalled", b.label());
-        let wall_ns = wall.as_nanos() as u64;
-        let events = r.metrics.messages;
-        println!(
-            "{:<12} n={:<3} {:<12} {:<9} trace={:<3} {:>9.1} ms  {:>7.0} ns/event",
-            b.label(),
-            nodes,
-            s.label(),
-            backend.label(),
-            if trace { "on" } else { "off" },
-            wall_ns as f64 / 1e6,
-            wall_ns as f64 / events.max(1) as f64,
-        );
-        rows.push((b, nodes, s, backend, trace, wall_ns, events, r));
-    };
+        if alloc_counter::enabled() && self.allocs_per_event > 0.0 {
+            let _ = write!(
+                line,
+                "  {:>6.2} allocs/event  peak {} KiB",
+                self.allocs_per_event,
+                self.peak_alloc_bytes / 1024
+            );
+        }
+        println!("{line}");
+    }
+}
+
+/// Run one cell `trials` times after an untimed warm-up; return the row
+/// with the **median** wall clock. The final trial is bracketed by the
+/// allocation counters (a no-op without `bench-alloc`).
+/// The sequential kernel grid: every benchmark × node count × scheduler
+/// under both queue backends (trace off), plus Bank rerun with tracing on.
+/// Sequential so timings are not polluted by sibling cells.
+///
+/// Trials are interleaved **grid-major**: after one untimed warm-up pass,
+/// trial `t` runs every cell once before trial `t+1` starts. Back-to-back
+/// trials of one cell complete within milliseconds, so a host-contention
+/// burst (seconds on shared machines) used to poison all of a cell's
+/// trials at once; spread over full grid passes, a burst lands in at most
+/// one or two trials of any given cell and the per-cell median rejects it.
+fn kernel_grid(scale: &Scale, trials: usize) -> Vec<KernelRow> {
+    let mut specs: Vec<(Cell, bool)> = Vec::new();
     for b in Benchmark::ALL {
         for &nodes in &scale.node_counts {
-            for s in schedulers {
+            for s in KERNEL_SCHEDULERS {
                 for backend in [QueueBackend::BinaryHeap, QueueBackend::Calendar] {
                     let cell = Cell::new(b, s, nodes, 0.9)
                         .with_txns(scale.txns_per_node)
                         .with_queue_backend(backend);
-                    time_cell(cell, false);
+                    specs.push((cell, false));
                 }
             }
         }
     }
     // Enabled-path rows: bank only, binary heap, every node count.
     for &nodes in &scale.node_counts {
-        for s in schedulers {
+        for s in KERNEL_SCHEDULERS {
             let cell = Cell::new(Benchmark::Bank, s, nodes, 0.9).with_txns(scale.txns_per_node);
-            time_cell(cell, true);
+            specs.push((cell, true));
         }
     }
 
-    let mut json = String::from("{\n  \"unit\": \"ns\",\n  \"cells\": [\n");
-    for (i, (b, nodes, s, backend, trace, wall_ns, events, r)) in rows.iter().enumerate() {
+    let run = |c: &Cell, trace: bool| {
+        if trace {
+            run_cell_traced(c.clone()).0
+        } else {
+            run_cell(c.clone())
+        }
+    };
+    for (cell, trace) in &specs {
+        let _warmup = run(cell, *trace);
+    }
+    let mut timings: Vec<Vec<(u64, u64)>> = vec![Vec::with_capacity(trials); specs.len()];
+    let mut counts = vec![(0u64, 0u64); specs.len()]; // (events, commits)
+    let mut allocs = vec![(0u64, 0usize); specs.len()]; // (allocs, peak bytes)
+    for t in 0..trials {
+        let counted = t + 1 == trials;
+        for (i, (cell, trace)) in specs.iter().enumerate() {
+            if counted {
+                alloc_counter::reset();
+            }
+            let r = run(cell, *trace);
+            if counted {
+                allocs[i] = alloc_counter::snapshot();
+            }
+            assert!(
+                r.completed,
+                "{} under {:?} stalled",
+                cell.benchmark.label(),
+                cell.scheduler
+            );
+            timings[i].push((r.cpu_ns, r.wall_ns));
+            counts[i] = (r.metrics.messages, r.metrics.merged.commits);
+        }
+    }
+
+    let mut rows = Vec::new();
+    for (i, (cell, trace)) in specs.iter().enumerate() {
+        timings[i].sort_unstable();
+        let (cpu_ns, wall_ns) = timings[i][timings[i].len() / 2];
+        let (events, commits) = counts[i];
+        let (cell_allocs, peak) = allocs[i];
+        let row = KernelRow {
+            benchmark: cell.benchmark,
+            nodes: cell.params.nodes,
+            scheduler: cell.scheduler,
+            backend: cell.dstm.queue_backend,
+            topology: cell.topology.label(),
+            trace: *trace,
+            trials,
+            wall_ns,
+            cpu_ns,
+            events,
+            commits,
+            allocs_per_event: cell_allocs as f64 / events.max(1) as f64,
+            peak_alloc_bytes: peak,
+        };
+        row.print();
+        rows.push(row);
+    }
+    rows
+}
+
+/// The `--scale large` grid: Bank/Vacation/DHT × 80–320 nodes × three
+/// schedulers on the hashed O(1)-memory topology, fanned out over the
+/// worker pool (per-cell wall clocks come from the runner, so pooling does
+/// not skew ns/event). Trials stay at 1 per cell: the pool overlaps cells,
+/// so repeat medians would measure scheduling noise, and the cells are big
+/// enough that one run is stable.
+fn kernel_grid_large(scale: &Scale) -> (Vec<KernelRow>, u64, usize) {
+    let benches = [Benchmark::Bank, Benchmark::Vacation, Benchmark::Dht];
+    let mut cells = Vec::new();
+    for b in benches {
+        for &nodes in &scale.node_counts {
+            for s in KERNEL_SCHEDULERS {
+                cells.push(
+                    Cell::new(b, s, nodes, 0.9)
+                        .with_txns(scale.txns_per_node)
+                        .with_topology(TopologySpec::HashedRandom {
+                            min_ms: 1,
+                            max_ms: 50,
+                        }),
+                );
+            }
+        }
+    }
+    alloc_counter::reset();
+    let results = run_cells(cells, None);
+    let (sweep_allocs, sweep_peak) = alloc_counter::snapshot();
+    let mut rows = Vec::new();
+    for r in results {
+        assert!(
+            r.completed,
+            "{} under {:?} stalled at n={}",
+            r.cell.benchmark.label(),
+            r.cell.scheduler,
+            r.cell.params.nodes
+        );
+        let row = KernelRow {
+            benchmark: r.cell.benchmark,
+            nodes: r.cell.params.nodes,
+            scheduler: r.cell.scheduler,
+            backend: r.cell.dstm.queue_backend,
+            topology: r.cell.topology.label(),
+            trace: false,
+            trials: 1,
+            wall_ns: r.wall_ns,
+            cpu_ns: r.cpu_ns,
+            events: r.metrics.messages,
+            commits: r.metrics.merged.commits,
+            // Cells overlap on the pool, so per-cell allocation numbers
+            // would be cross-talk; the sweep-wide totals go at the top level.
+            allocs_per_event: 0.0,
+            peak_alloc_bytes: 0,
+        };
+        row.print();
+        rows.push(row);
+    }
+    (rows, sweep_allocs, sweep_peak)
+}
+
+fn kernel_json(
+    rows: &[KernelRow],
+    scale_name: &str,
+    sweep_allocs: u64,
+    sweep_peak: usize,
+) -> String {
+    let total_events: u64 = rows.iter().map(|r| r.events).sum();
+    let mut json = String::from("{\n  \"unit\": \"ns\",\n  \"clock\": \"thread_cpu\",\n");
+    let _ = writeln!(json, "  \"scale\": \"{scale_name}\",");
+    let _ = writeln!(json, "  \"alloc_counter\": {},", alloc_counter::enabled());
+    let _ = writeln!(
+        json,
+        "  \"sweep_allocs_per_event\": {:.2},",
+        sweep_allocs as f64 / total_events.max(1) as f64
+    );
+    let _ = writeln!(json, "  \"sweep_peak_alloc_bytes\": {sweep_peak},");
+    json.push_str("  \"cells\": [\n");
+    for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
             json,
             "    {{\"benchmark\": \"{}\", \"nodes\": {}, \"scheduler\": \"{}\", \
-             \"backend\": \"{}\", \"trace\": \"{}\", \"wall_ns\": {}, \"events\": {}, \
-             \"ns_per_event\": {:.1}, \"commits\": {}}}{}",
-            b.label(),
-            nodes,
-            s.label(),
-            backend.label(),
-            if *trace { "on" } else { "off" },
-            wall_ns,
-            events,
-            *wall_ns as f64 / (*events).max(1) as f64,
-            r.metrics.merged.commits,
+             \"backend\": \"{}\", \"topology\": \"{}\", \"trace\": \"{}\", \
+             \"trials\": {}, \"wall_ns\": {}, \"cpu_ns\": {}, \"events\": {}, \
+             \"ns_per_event\": {:.1}, \"commits\": {}, \
+             \"allocs_per_event\": {:.2}, \"peak_alloc_bytes\": {}}}{}",
+            r.benchmark.label(),
+            r.nodes,
+            r.scheduler.label(),
+            r.backend.label(),
+            r.topology,
+            if r.trace { "on" } else { "off" },
+            r.trials,
+            r.wall_ns,
+            r.cpu_ns,
+            r.events,
+            r.ns_per_event(),
+            r.commits,
+            r.allocs_per_event,
+            r.peak_alloc_bytes,
             if i + 1 == rows.len() { "" } else { "," }
         );
     }
     json.push_str("  ]\n}\n");
+    json
+}
+
+/// Extract a `"key": "string"` field from one JSON row line.
+fn json_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Extract a `"key": number` field from one JSON row line.
+fn json_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Parse the `cells` rows of a kernel report into
+/// `(benchmark/nodes/scheduler/backend/trace, ns_per_event)` pairs. The
+/// writer emits one row per line, so a line-oriented scan is exact.
+fn parse_kernel_rows(text: &str) -> Vec<(String, f64)> {
+    text.lines()
+        .filter_map(|line| {
+            let b = json_str(line, "benchmark")?;
+            let nodes = json_num(line, "nodes")?;
+            let s = json_str(line, "scheduler")?;
+            let backend = json_str(line, "backend")?;
+            let trace = json_str(line, "trace")?;
+            let nspe = json_num(line, "ns_per_event")?;
+            Some((format!("{b}/{nodes}/{s}/{backend}/{trace}"), nspe))
+        })
+        .collect()
+}
+
+/// Compare fresh trace-off rows against a committed report: the median
+/// new/old ns-per-event ratio across matching rows must stay within the
+/// tolerance (default +20%, env `DSTM_BENCH_TOLERANCE`). Returns `false`
+/// on regression so `main` can exit non-zero.
+fn baseline_guard(rows: &[KernelRow], baseline_path: &str) -> bool {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("could not read baseline {baseline_path}: {e}");
+            return false;
+        }
+    };
+    let old: std::collections::HashMap<String, f64> =
+        parse_kernel_rows(&text).into_iter().collect();
+    let mut ratios: Vec<f64> = rows
+        .iter()
+        .filter(|r| !r.trace)
+        .filter_map(|r| {
+            let key = format!(
+                "{}/{}/{}/{}/off",
+                r.benchmark.label(),
+                r.nodes,
+                r.scheduler.label(),
+                r.backend.label()
+            );
+            let old_nspe = *old.get(&key)?;
+            (old_nspe > 0.0).then(|| r.ns_per_event() / old_nspe)
+        })
+        .collect();
+    if ratios.is_empty() {
+        eprintln!("baseline {baseline_path}: no matching trace-off rows");
+        return false;
+    }
+    ratios.sort_unstable_by(|a, b| a.total_cmp(b));
+    let median = ratios[ratios.len() / 2];
+    let tolerance: f64 = std::env::var("DSTM_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.20);
+    println!(
+        "\n[baseline {baseline_path}: {} matching rows, median ns/event ratio {median:.3} \
+         (tolerance {:.2})]",
+        ratios.len(),
+        1.0 + tolerance
+    );
+    if median > 1.0 + tolerance {
+        eprintln!(
+            "BENCH REGRESSION: median ns/event is {:.1}% over the baseline \
+             (allowed {:.0}%)",
+            (median - 1.0) * 100.0,
+            tolerance * 100.0
+        );
+        return false;
+    }
+    true
+}
+
+/// Wall-clock the kernel grid and write the JSON report; `true` on success
+/// (including the optional baseline check).
+fn kernel_report(out_path: &str, flags: &Flags) -> bool {
+    let scale_name = flags
+        .scale
+        .clone()
+        .or_else(|| std::env::var("DSTM_SCALE").ok())
+        .unwrap_or_else(|| "full".into());
+    let Some(scale) = Scale::from_name(&scale_name) else {
+        eprintln!("unknown scale {scale_name:?} (expected smoke|quick|full|large)");
+        return false;
+    };
+    let trials = flags
+        .trials
+        .or_else(|| {
+            std::env::var("DSTM_TRIALS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+        })
+        .unwrap_or(5)
+        .max(1);
+    let (rows, sweep_allocs, sweep_peak) = if scale_name == "large" {
+        kernel_grid_large(&scale)
+    } else {
+        alloc_counter::reset();
+        let rows = kernel_grid(&scale, trials);
+        let (a, p) = alloc_counter::snapshot();
+        (rows, a, p)
+    };
+    let json = kernel_json(&rows, &scale_name, sweep_allocs, sweep_peak);
     match std::fs::write(out_path, &json) {
         Ok(()) => println!("\n[written to {out_path}]"),
         Err(e) => eprintln!("could not write {out_path}: {e}"),
     }
+    match &flags.baseline {
+        Some(b) => baseline_guard(&rows, b),
+        None => true,
+    }
+}
+
+/// One large-scale cell with tracing on, for CI smoke + `dstm-trace audit`.
+fn large_smoke(positional: &[String], topts: &TraceOpts) {
+    let nodes: usize = positional
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(160);
+    let cell = Cell::new(Benchmark::Bank, SchedulerKind::Rts, nodes, 0.9)
+        .with_txns(Scale::large().txns_per_node)
+        .with_topology(TopologySpec::HashedRandom {
+            min_ms: 1,
+            max_ms: 50,
+        });
+    let (r, trace) = run_cell_traced(cell);
+    assert!(r.completed, "large-smoke cell stalled at n={nodes}");
+    println!(
+        "large-smoke: Bank/RTS n={nodes} hashed topology  commits={}  events={}  \
+         {:.1} ms wall  {:.0} ns/event  {} trace records",
+        r.metrics.merged.commits,
+        r.metrics.messages,
+        r.wall_ns as f64 / 1e6,
+        r.cpu_ns as f64 / r.metrics.messages.max(1) as f64,
+        trace.records.len(),
+    );
+    topts.write(&trace);
 }
 
 /// Replay the Fig. 2/3 collision under one scheduler with tracing on.
@@ -268,18 +634,25 @@ fn hist_sidecar(out_path: &str, rows: &[HistRow]) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (positional, topts, hist_out) = split_flags(&args);
+    let flags = split_flags(&args);
+    let positional = &flags.positional;
     match positional.first().map(String::as_str) {
         Some("kernel") => {
             let out = positional
                 .get(1)
                 .map(String::as_str)
                 .unwrap_or("BENCH_kernel.json");
-            kernel_report(out);
+            if !kernel_report(out, &flags) {
+                std::process::exit(1);
+            }
+            return;
+        }
+        Some("large-smoke") => {
+            large_smoke(&positional[1..], &flags.topts);
             return;
         }
         Some("scenario") => {
-            scenario_mode(&positional[1..], &topts);
+            scenario_mode(&positional[1..], &flags.topts);
             return;
         }
         _ => {}
@@ -293,7 +666,7 @@ fn main() {
 
     println!("dstm-sweep: {nodes} nodes, {txns} txns/node, delays 1-50 ms\n");
     let mut hist_rows = Vec::new();
-    let mut trace_opts = Some(&topts); // first RTS low-contention cell only
+    let mut trace_opts = Some(&flags.topts); // first RTS low-contention cell only
     for b in Benchmark::ALL {
         if only.is_some_and(|o| o != b) {
             continue;
@@ -339,7 +712,7 @@ fn main() {
         }
     }
     hist_sidecar(
-        hist_out.as_deref().unwrap_or("BENCH_trace.json"),
+        flags.hist_out.as_deref().unwrap_or("BENCH_trace.json"),
         &hist_rows,
     );
 }

@@ -54,18 +54,46 @@ impl Scale {
         }
     }
 
+    /// A fast sanity-run configuration (a strict subset of the paper's
+    /// node counts).
+    pub fn quick() -> Self {
+        Scale {
+            node_counts: vec![10, 20, 40],
+            table1_nodes: 20,
+            txns_per_node: 10,
+        }
+    }
+
+    /// Production-scale sweeps *past* the paper's 80-node ceiling. These
+    /// rows extend (never replace) the 10–80-node figures; they pair with
+    /// the O(1)-memory hashed topology in the runner.
+    pub fn large() -> Self {
+        Scale {
+            node_counts: vec![80, 160, 320],
+            table1_nodes: 160,
+            txns_per_node: 10,
+        }
+    }
+
+    /// Parse a scale name (`smoke`, `quick`, `full`, `large`).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "smoke" => Some(Scale::smoke()),
+            "quick" => Some(Scale::quick()),
+            "full" => Some(Scale::default()),
+            "large" => Some(Scale::large()),
+            _ => None,
+        }
+    }
+
     /// Scale selected by the `DSTM_SCALE` environment variable:
     /// `quick` (fast sanity run), `full` (the paper's 10–80 node sweep,
-    /// default), or `smoke`.
+    /// default), `smoke`, or `large` (80–320 nodes, hashed topology).
     pub fn from_env() -> Self {
-        match std::env::var("DSTM_SCALE").as_deref() {
-            Ok("smoke") => Scale::smoke(),
-            Ok("quick") => Scale {
-                node_counts: vec![10, 20, 40],
-                table1_nodes: 20,
-                txns_per_node: 10,
-            },
-            _ => Scale::default(),
-        }
+        std::env::var("DSTM_SCALE")
+            .ok()
+            .as_deref()
+            .and_then(Scale::from_name)
+            .unwrap_or_default()
     }
 }

@@ -24,11 +24,12 @@
 //! [`runner::run_cell_traced`]) are exported and audited by [`traceio`];
 //! the `dstm-trace` binary wraps those audits for the command line.
 
+pub mod alloc_counter;
 pub mod experiments;
 pub mod runner;
 pub mod table;
 pub mod traceio;
 
-pub use runner::{run_cell, run_cell_traced, run_cells, Cell, CellResult};
+pub use runner::{run_cell, run_cell_traced, run_cells, Cell, CellResult, TopologySpec};
 pub use table::{SeriesTable, TextTable};
 pub use traceio::{audit, to_chrome_trace, trace_stats, AuditReport};

@@ -13,6 +13,26 @@ use hyflow_dstm::{
 };
 use rts_core::SchedulerKind;
 
+/// How a cell builds its network topology.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// The paper's setup: a dense matrix of sequentially drawn uniform
+    /// delays. O(n²) memory; byte-identical to every historical run.
+    UniformRandom { min_ms: u64, max_ms: u64 },
+    /// Hash-derived uniform delays computed on demand: O(1) memory, for
+    /// `--scale large` sweeps past the paper's 80 nodes.
+    HashedRandom { min_ms: u64, max_ms: u64 },
+}
+
+impl TopologySpec {
+    pub fn label(&self) -> &'static str {
+        match self {
+            TopologySpec::UniformRandom { .. } => "uniform",
+            TopologySpec::HashedRandom { .. } => "hashed",
+        }
+    }
+}
+
 /// One point of an experiment sweep.
 #[derive(Clone, Debug)]
 pub struct Cell {
@@ -23,6 +43,8 @@ pub struct Cell {
     /// Simulation seed (topology + event jitter); the workload seed lives in
     /// `params.seed`.
     pub sim_seed: u64,
+    /// Network model (defaults to the paper's 1–50 ms uniform matrix).
+    pub topology: TopologySpec,
 }
 
 impl Cell {
@@ -49,7 +71,16 @@ impl Cell {
             params,
             dstm,
             sim_seed: 0xD57A,
+            topology: TopologySpec::UniformRandom {
+                min_ms: 1,
+                max_ms: 50,
+            },
         }
+    }
+
+    pub fn with_topology(mut self, topology: TopologySpec) -> Self {
+        self.topology = topology;
+        self
     }
 
     pub fn with_txns(mut self, txns: usize) -> Self {
@@ -86,6 +117,47 @@ pub struct CellResult {
     pub cell: Cell,
     pub metrics: RunMetrics,
     pub completed: bool,
+    /// Host wall-clock for build + run of this cell, in nanoseconds
+    /// (per-cell even when cells run on the worker pool).
+    pub wall_ns: u64,
+    /// Thread-CPU time for build + run of this cell, in nanoseconds. A cell
+    /// runs entirely on one thread, so this is the preemption-immune
+    /// cost — on shared/noisy hosts wall clock inflates under contention
+    /// while this stays put. Benchmarks key ns/event off this.
+    pub cpu_ns: u64,
+}
+
+/// Current thread's consumed CPU time in nanoseconds (Linux
+/// `CLOCK_THREAD_CPUTIME_ID`; wall-clock fallback elsewhere). Differences
+/// of two readings on the same thread time a computation without counting
+/// time the thread spent preempted.
+pub fn thread_cpu_ns() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        #[repr(C)]
+        struct Timespec {
+            tv_sec: i64,
+            tv_nsec: i64,
+        }
+        extern "C" {
+            fn clock_gettime(clk: i32, tp: *mut Timespec) -> i32;
+        }
+        const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+        let mut ts = Timespec {
+            tv_sec: 0,
+            tv_nsec: 0,
+        };
+        // SAFETY: clock_gettime only writes the timespec it is handed.
+        if unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) } == 0 {
+            return ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64;
+        }
+    }
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+    EPOCH
+        .get_or_init(std::time::Instant::now)
+        .elapsed()
+        .as_nanos() as u64
 }
 
 impl CellResult {
@@ -100,9 +172,17 @@ impl CellResult {
 
 /// Build the system for a cell on an explicit event-queue backend.
 pub fn build_system_with_queue<Q: EventQueue<NodeEvent>>(cell: &Cell, queue: Q) -> System<Q> {
-    // The paper's static network: 1–50 ms uniform delays (§IV-A).
-    let mut rng = SimRng::new(cell.sim_seed);
-    let topo = Topology::uniform_random(cell.params.nodes, 1, 50, &mut rng);
+    // The paper's static network: 1–50 ms uniform delays (§IV-A), or the
+    // O(1)-memory hashed equivalent for large-scale sweeps.
+    let topo = match cell.topology {
+        TopologySpec::UniformRandom { min_ms, max_ms } => {
+            let mut rng = SimRng::new(cell.sim_seed);
+            Topology::uniform_random(cell.params.nodes, min_ms, max_ms, &mut rng)
+        }
+        TopologySpec::HashedRandom { min_ms, max_ms } => {
+            Topology::hashed_random(cell.params.nodes, min_ms, max_ms, cell.sim_seed)
+        }
+    };
     let mut dstm = cell.dstm.clone();
     dstm.scheduler = cell.scheduler;
     dstm.txns_per_node = cell.params.txns_per_node;
@@ -124,13 +204,17 @@ fn finish_cell<Q: EventQueue<NodeEvent>>(cell: Cell, mut system: System<Q>) -> C
         completed: system.all_done(),
         cell,
         metrics,
+        wall_ns: 0,
+        cpu_ns: 0,
     }
 }
 
 /// Run a single cell to completion on the backend its config selects. The
 /// backend changes host wall-clock only — metrics are bit-identical.
 pub fn run_cell(cell: Cell) -> CellResult {
-    match cell.dstm.queue_backend {
+    let t0 = std::time::Instant::now();
+    let c0 = thread_cpu_ns();
+    let mut r = match cell.dstm.queue_backend {
         QueueBackend::BinaryHeap => {
             let system = build_system(&cell);
             finish_cell(cell, system)
@@ -139,7 +223,10 @@ pub fn run_cell(cell: Cell) -> CellResult {
             let system = build_system_with_queue(&cell, CalendarQueue::new());
             finish_cell(cell, system)
         }
-    }
+    };
+    r.cpu_ns = thread_cpu_ns() - c0;
+    r.wall_ns = t0.elapsed().as_nanos() as u64;
+    r
 }
 
 /// Run a cell with protocol tracing forced on and return the merged,
@@ -159,12 +246,16 @@ pub fn run_cell_traced(mut cell: Cell) -> (CellResult, TraceLog) {
                 completed,
                 cell,
                 metrics,
+                wall_ns: 0,
+                cpu_ns: 0,
             },
             trace,
         )
     }
 
-    match cell.dstm.queue_backend {
+    let t0 = std::time::Instant::now();
+    let c0 = thread_cpu_ns();
+    let (mut r, trace) = match cell.dstm.queue_backend {
         QueueBackend::BinaryHeap => {
             let system = build_system(&cell);
             go(cell, system)
@@ -173,7 +264,10 @@ pub fn run_cell_traced(mut cell: Cell) -> (CellResult, TraceLog) {
             let system = build_system_with_queue(&cell, CalendarQueue::new());
             go(cell, system)
         }
-    }
+    };
+    r.cpu_ns = thread_cpu_ns() - c0;
+    r.wall_ns = t0.elapsed().as_nanos() as u64;
+    (r, trace)
 }
 
 /// Run many cells on `workers` threads (defaults to the parallelism the OS

@@ -25,10 +25,10 @@ use crate::tx::{TxPhase, TxRuntime, ValidationResume};
 use dstm_net::Topology;
 use dstm_sim::{Actor, ActorId, Ctx, SimDuration, SimTime};
 use rts_core::{
-    explain_decision, ConflictCtx, ConflictPolicy, Decision, ObjectClWindow, ObjectId, Requester,
-    SchedulingTable, StatsTable, TxId,
+    explain_decision, ConflictCtx, ConflictPolicy, Decision, FxHashMap, ObjectClWindow, ObjectId,
+    Requester, SchedulingTable, StatsTable, TxId,
 };
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Minimum local hop latency, so that node-local protocol messages always
@@ -37,6 +37,85 @@ use std::sync::Arc;
 const LOCAL_HOP: SimDuration = SimDuration::from_micros(30);
 
 type NodeCtx<'a> = Ctx<'a, Msg, Timer>;
+
+/// All owner-side per-object state, consolidated in one slot.
+///
+/// The node used to keep four separate `HashMap<ObjectId, _>`s (`store`,
+/// `tombstones`, `owner_cache`, `cl_windows`); a single fetch-conflict
+/// handler would hash the same oid up to five times. One slot per object
+/// behind one interned index turns that into a single lookup.
+struct ObjSlot {
+    oid: ObjectId,
+    /// The authoritative copy, if owned here.
+    owned: Option<OwnedObject>,
+    /// Where the object went when we published it away (ownership chain).
+    tombstone: Option<u32>,
+    /// Last known owner of a remote object (healed by responses).
+    cached_owner: Option<u32>,
+    /// Owner-side local-CL window (created on first request).
+    cl_window: Option<ObjectClWindow>,
+}
+
+impl ObjSlot {
+    fn new(oid: ObjectId) -> Self {
+        ObjSlot {
+            oid,
+            owned: None,
+            tombstone: None,
+            cached_owner: None,
+            cl_window: None,
+        }
+    }
+}
+
+/// Dense id-indexed per-object state: an interner mapping each `ObjectId`
+/// this node has ever touched to a slot index, plus the slot slab. Slots
+/// are never freed (the universe of objects a node touches is bounded by
+/// the benchmark's object space); "removal" is `owned.take()` etc.
+#[derive(Default)]
+struct ObjTable {
+    index: FxHashMap<ObjectId, u32>,
+    slots: Vec<ObjSlot>,
+}
+
+impl ObjTable {
+    /// Pre-sized table: interning grows the slot slab one push at a time, so
+    /// without a reserve the early doublings realloc-and-memcpy the (fat)
+    /// `ObjSlot` vec several times per node while the working set warms up.
+    fn with_capacity(cap: usize) -> Self {
+        ObjTable {
+            index: FxHashMap::with_capacity_and_hasher(cap, Default::default()),
+            slots: Vec::with_capacity(cap),
+        }
+    }
+
+    #[inline]
+    fn get(&self, oid: ObjectId) -> Option<&ObjSlot> {
+        self.index.get(&oid).map(|&i| &self.slots[i as usize])
+    }
+
+    #[inline]
+    fn get_mut(&mut self, oid: ObjectId) -> Option<&mut ObjSlot> {
+        match self.index.get(&oid) {
+            Some(&i) => Some(&mut self.slots[i as usize]),
+            None => None,
+        }
+    }
+
+    /// Slot for `oid`, interning it on first touch.
+    fn ensure(&mut self, oid: ObjectId) -> &mut ObjSlot {
+        let slots = &mut self.slots;
+        let i = *self.index.entry(oid).or_insert_with(|| {
+            slots.push(ObjSlot::new(oid));
+            (slots.len() - 1) as u32
+        });
+        &mut self.slots[i as usize]
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &ObjSlot> {
+        self.slots.iter()
+    }
+}
 
 /// Input fed to the executor when (re)entering a program.
 enum DriveInput {
@@ -52,22 +131,19 @@ pub struct Node {
     cfg: Arc<DstmConfig>,
     /// TFA node-local clock.
     clock: u64,
-    /// Objects owned here.
-    store: HashMap<ObjectId, OwnedObject>,
-    /// Where objects we used to own went (ownership chain).
-    tombstones: HashMap<ObjectId, u32>,
-    /// Last known owner of remote objects (healed by responses).
-    owner_cache: HashMap<ObjectId, u32>,
+    /// Per-object owner-side state (store, tombstones, owner cache, CL
+    /// windows), slab-backed behind one interned index.
+    objs: ObjTable,
     /// Owner-side conflict policy (the scheduler under evaluation).
     policy: Box<dyn ConflictPolicy>,
     /// Owner-side requester queues (Algorithm 1).
     sched: SchedulingTable,
-    /// Owner-side local-CL windows per object.
-    cl_windows: HashMap<ObjectId, ObjectClWindow>,
     /// Requester-side commit-time statistics (backoff estimation).
     stats: StatsTable,
-    /// Live transactions invoked at this node.
-    txs: HashMap<TxId, TxRuntime>,
+    /// Live transactions invoked here, indexed by `seq - 1` (sequence
+    /// numbers are minted densely at start, so the Vec never has holes
+    /// except where a transaction finished; `None` = finished/absent).
+    txs: Vec<Option<TxRuntime>>,
     /// Workload not yet started.
     pending: VecDeque<BoxedProgram>,
     next_seq: u64,
@@ -77,6 +153,12 @@ pub struct Node {
     /// Protocol-event sink (off unless `cfg.trace_protocol`; every caller
     /// site checks `ptrace.on()` before building an event).
     ptrace: ProtoTrace,
+    /// Scratch buffers reused across event handlers so steady-state
+    /// summary/write-back/grant processing allocates nothing. Taken with
+    /// `mem::take` for the duration of a handler and put back after.
+    summary_buf: Vec<(ObjectId, u64, u32, bool, AccessMode)>,
+    wbs_buf: Vec<(ObjectId, Arc<Payload>, u64, u32)>,
+    grants_buf: Vec<Requester>,
 }
 
 impl Node {
@@ -89,10 +171,11 @@ impl Node {
         workload: Vec<BoxedProgram>,
     ) -> Self {
         let stats = StatsTable::new(cfg.default_exec_estimate);
-        let store = initial_objects
-            .into_iter()
-            .map(|(oid, p)| (oid, OwnedObject::new(p)))
-            .collect();
+        // Home objects plus headroom for remotely fetched/cached entries.
+        let mut objs = ObjTable::with_capacity(initial_objects.len() * 2 + 16);
+        for (oid, p) in initial_objects {
+            objs.ensure(oid).owned = Some(OwnedObject::new(p));
+        }
         let mut ptrace = ProtoTrace::disabled();
         if cfg.trace_protocol {
             ptrace.enable();
@@ -102,20 +185,20 @@ impl Node {
             topo,
             cfg,
             clock: 0,
-            store,
-            tombstones: HashMap::new(),
-            owner_cache: HashMap::new(),
+            objs,
             policy,
             sched: SchedulingTable::new(),
-            cl_windows: HashMap::new(),
             stats,
-            txs: HashMap::new(),
+            txs: Vec::new(),
             pending: workload.into(),
             next_seq: 0,
             active: 0,
             completed: 0,
             metrics: NodeMetrics::default(),
             ptrace,
+            summary_buf: Vec::new(),
+            wbs_buf: Vec::new(),
+            grants_buf: Vec::new(),
         }
     }
 
@@ -141,18 +224,21 @@ impl Node {
     /// A read-only peek at an owned object (for test assertions and
     /// end-of-run invariant checks).
     pub fn owned_object(&self, oid: ObjectId) -> Option<&OwnedObject> {
-        self.store.get(&oid)
+        self.objs.get(oid).and_then(|s| s.owned.as_ref())
     }
 
     pub fn owned_objects(&self) -> impl Iterator<Item = (&ObjectId, &OwnedObject)> {
-        self.store.iter()
+        self.objs
+            .iter()
+            .filter_map(|s| s.owned.as_ref().map(|o| (&s.oid, o)))
     }
 
     /// Debug report of live transactions and queue state (stall diagnosis).
     pub fn stuck_report(&self) -> Vec<String> {
         let mut out: Vec<String> = self
             .txs
-            .values()
+            .iter()
+            .flatten()
             .map(|tx| {
                 format!(
                     "node {} tx {:?} attempt {} levels {} phase {:?}",
@@ -164,12 +250,14 @@ impl Node {
                 )
             })
             .collect();
-        for (oid, o) in &self.store {
-            if o.is_locked() {
-                out.push(format!(
-                    "node {} object {oid:?} locked by {:?}",
-                    self.me, o.lock
-                ));
+        for s in self.objs.iter() {
+            if let Some(o) = &s.owned {
+                if o.is_locked() {
+                    out.push(format!(
+                        "node {} object {:?} locked by {:?}",
+                        self.me, s.oid, o.lock
+                    ));
+                }
             }
         }
         if self.sched.total_queued() > 0 {
@@ -204,28 +292,52 @@ impl Node {
     }
 
     fn owner_guess(&self, oid: ObjectId) -> u32 {
-        if self.store.contains_key(&oid) {
-            return self.me;
+        match self.objs.get(oid) {
+            Some(s) if s.owned.is_some() => self.me,
+            Some(s) => s.cached_owner.unwrap_or_else(|| oid.home(self.topo.n())),
+            None => oid.home(self.topo.n()),
         }
-        *self
-            .owner_cache
-            .get(&oid)
-            .unwrap_or(&oid.home(self.topo.n()))
     }
 
     fn local_cl(&mut self, oid: ObjectId, now: SimTime) -> u32 {
-        match self.cl_windows.get_mut(&oid) {
+        match self.objs.get_mut(oid).and_then(|s| s.cl_window.as_mut()) {
             Some(w) => w.local_cl(now),
             None => 0,
         }
     }
 
-    fn record_request(&mut self, oid: ObjectId, now: SimTime, tx: TxId) {
+    /// Record a request and return the object's local CL, in one table
+    /// lookup — the pair runs back-to-back on every served object request,
+    /// and separate calls paid the `ObjectId` hash twice.
+    fn record_and_local_cl(&mut self, oid: ObjectId, now: SimTime, tx: TxId) -> u32 {
         let window = self.cfg.cl_window;
-        self.cl_windows
-            .entry(oid)
-            .or_insert_with(|| ObjectClWindow::new(window))
-            .record(now, tx);
+        let w = self
+            .objs
+            .ensure(oid)
+            .cl_window
+            .get_or_insert_with(|| ObjectClWindow::new(window));
+        w.record(now, tx);
+        w.local_cl(now)
+    }
+
+    // -- tx table ----------------------------------------------------------
+
+    /// Remove and return the live runtime of `id`, if any. Foreign or
+    /// unknown ids (stale messages after completion) yield `None`.
+    #[inline]
+    fn tx_take(&mut self, id: TxId) -> Option<TxRuntime> {
+        if id.node != self.me {
+            return None;
+        }
+        let i = (id.seq as usize).checked_sub(1)?;
+        self.txs.get_mut(i)?.take()
+    }
+
+    /// Put a runtime taken via [`Node::tx_take`] back into its slot.
+    #[inline]
+    fn tx_put(&mut self, tx: TxRuntime) {
+        let i = (tx.id.seq - 1) as usize;
+        self.txs[i] = Some(tx);
     }
 
     // -- workload ----------------------------------------------------------
@@ -255,9 +367,10 @@ impl Node {
             }
             let mut tx = tx;
             let finished = self.drive(ctx, &mut tx, DriveInput::Begin);
-            if !finished {
-                self.txs.insert(id, tx);
-            }
+            // Every minted seq gets a slot (None when already finished) so
+            // slot index stays `seq - 1`.
+            debug_assert_eq!(self.txs.len() as u64 + 1, self.next_seq);
+            self.txs.push(if finished { None } else { Some(tx) });
         }
     }
 
@@ -373,8 +486,12 @@ impl Node {
             tx.id
         );
         tx.validation_started_at = Some(ctx.now());
-        let write_back = tx.write_back_set();
+        let mut summary = std::mem::take(&mut self.summary_buf);
+        let mut write_back = std::mem::take(&mut self.wbs_buf);
+        tx.write_back_set_into(&mut summary, &mut write_back);
+        self.summary_buf = summary;
         if write_back.is_empty() {
+            self.wbs_buf = write_back;
             // Read-only: validate the read set, then finalize.
             return self.begin_validation(ctx, tx, ValidationResume::Commit);
         }
@@ -390,6 +507,8 @@ impl Node {
             };
             self.send(ctx, *owner, msg);
         }
+        write_back.clear();
+        self.wbs_buf = write_back;
         tx.phase = TxPhase::AwaitLocks {
             pending,
             granted: Vec::new(),
@@ -409,7 +528,9 @@ impl Node {
     ) -> bool {
         let commit_mode = matches!(resume, ValidationResume::Commit);
         let mut pending = crate::small::ObjSet::new();
-        for (oid, version, owner, dirty, _mode) in tx.object_summary() {
+        let mut summary = std::mem::take(&mut self.summary_buf);
+        tx.object_summary_into(&mut summary);
+        for &(oid, version, owner, dirty, _mode) in &summary {
             if commit_mode && dirty {
                 continue;
             }
@@ -423,6 +544,7 @@ impl Node {
             };
             self.send(ctx, owner, msg);
         }
+        self.summary_buf = summary;
         if pending.is_empty() {
             return self.validation_succeeded(ctx, tx, resume);
         }
@@ -462,11 +584,15 @@ impl Node {
     /// versions, transferring ownership to this node. Returns `true` on
     /// synchronous commit.
     fn publish_or_finalize(&mut self, ctx: &mut NodeCtx<'_>, tx: &mut TxRuntime) -> bool {
-        let write_back = tx.write_back_set();
+        let mut summary = std::mem::take(&mut self.summary_buf);
+        let mut write_back = std::mem::take(&mut self.wbs_buf);
+        tx.write_back_set_into(&mut summary, &mut write_back);
+        self.summary_buf = summary;
         if write_back.is_empty() {
             if self.ptrace.on() {
                 self.record_commit_event(ctx.now(), tx, &write_back, 0);
             }
+            self.wbs_buf = write_back;
             self.finalize_commit(ctx, tx);
             return true;
         }
@@ -476,12 +602,13 @@ impl Node {
             self.record_commit_event(ctx.now(), tx, &write_back, new_version);
         }
         let mut pending = crate::small::ObjSet::new();
-        for (oid, payload, _version, owner) in write_back {
+        for (oid, payload, _version, owner) in write_back.drain(..) {
             if owner == self.me {
                 // Local object: update in place and release.
                 let o = self
-                    .store
-                    .get_mut(&oid)
+                    .objs
+                    .get_mut(oid)
+                    .and_then(|s| s.owned.as_mut())
                     .expect("locked local object present");
                 debug_assert_eq!(o.lock, Some(tx.id));
                 o.payload = payload;
@@ -491,15 +618,13 @@ impl Node {
             } else {
                 // Install the new authoritative copy here (the commit point);
                 // the old owner will tombstone-forward future requests.
-                self.store.insert(
-                    oid,
-                    OwnedObject {
-                        payload: Arc::clone(&payload),
-                        version: new_version,
-                        lock: None,
-                    },
-                );
-                self.owner_cache.remove(&oid);
+                let slot = self.objs.ensure(oid);
+                slot.owned = Some(OwnedObject {
+                    payload: Arc::clone(&payload),
+                    version: new_version,
+                    lock: None,
+                });
+                slot.cached_owner = None;
                 self.metrics.objects_received += 1;
                 if self.ptrace.on() {
                     self.ptrace.push(
@@ -525,6 +650,7 @@ impl Node {
                 self.send(ctx, owner, msg);
             }
         }
+        self.wbs_buf = write_back;
         if pending.is_empty() {
             self.finalize_commit(ctx, tx);
             return true;
@@ -713,47 +839,44 @@ impl Node {
         nested: bool,
         reply_to: u32,
     ) {
-        if !self.store.contains_key(&oid) {
-            // Not (any longer) the owner: forward along the ownership chain.
-            if let Some(&next) = self.tombstones.get(&oid) {
-                let msg = Msg::ObjReq {
-                    oid,
-                    tx: txid,
-                    attempt,
-                    mode,
-                    ets,
-                    my_cl,
-                    nested,
-                    reply_to,
-                };
-                self.send(ctx, next, msg);
-            } else {
-                // Misrouted (should be unreachable: caches start at the home
-                // node, which always leaves tombstones). Recover via home.
+        let (owned_here, tombstone) = match self.objs.get(oid) {
+            Some(s) => (s.owned.is_some(), s.tombstone),
+            None => (false, None),
+        };
+        if !owned_here {
+            // Not (any longer) the owner: forward along the ownership chain,
+            // or — misrouted, which should be unreachable since caches start
+            // at the home node and publishes always leave tombstones —
+            // recover via home.
+            let next = tombstone.unwrap_or_else(|| {
                 debug_assert!(
                     oid.home(self.topo.n()) != self.me,
                     "home node lost object {oid:?} without a tombstone"
                 );
-                let home = oid.home(self.topo.n());
-                let msg = Msg::ObjReq {
-                    oid,
-                    tx: txid,
-                    attempt,
-                    mode,
-                    ets,
-                    my_cl,
-                    nested,
-                    reply_to,
-                };
-                self.send(ctx, home, msg);
-            }
+                oid.home(self.topo.n())
+            });
+            let msg = Msg::ObjReq {
+                oid,
+                tx: txid,
+                attempt,
+                mode,
+                ets,
+                my_cl,
+                nested,
+                reply_to,
+            };
+            self.send(ctx, next, msg);
             return;
         }
 
-        self.record_request(oid, ctx.now(), txid);
         let now = ctx.now();
-        let local_cl = self.local_cl(oid, now);
-        let locked = self.store.get(&oid).expect("checked").is_locked();
+        let local_cl = self.record_and_local_cl(oid, now, txid);
+        let locked = self
+            .objs
+            .get(oid)
+            .and_then(|s| s.owned.as_ref())
+            .expect("checked")
+            .is_locked();
 
         if locked {
             self.metrics.fetch_conflicts += 1;
@@ -799,8 +922,9 @@ impl Node {
                     Decision::Enqueue { backoff } => (Verdict::Enqueue, backoff),
                 };
                 let window_requests = self
-                    .cl_windows
-                    .get_mut(&oid)
+                    .objs
+                    .get_mut(oid)
+                    .and_then(|s| s.cl_window.as_mut())
                     .map_or(0, |w| w.requests_in_window(now));
                 self.ptrace.push(
                     now,
@@ -857,7 +981,11 @@ impl Node {
         self.sched.list_mut(oid).remove_duplicate(txid);
         self.sched.gc(oid);
         self.metrics.fetches_served += 1;
-        let o = self.store.get(&oid).expect("checked");
+        let o = self
+            .objs
+            .get(oid)
+            .and_then(|s| s.owned.as_ref())
+            .expect("checked");
         let msg = Msg::ObjResp {
             oid,
             tx: txid,
@@ -877,25 +1005,28 @@ impl Node {
     /// (readers take no lock, so a trailing writer would otherwise only be
     /// woken by its own deadline).
     fn serve_queue(&mut self, ctx: &mut NodeCtx<'_>, oid: ObjectId) {
-        let Some(o) = self.store.get(&oid) else {
+        let Some(o) = self.objs.get(oid).and_then(|s| s.owned.as_ref()) else {
             return;
         };
         if o.is_locked() {
             return;
         }
         let (payload, version) = (Arc::clone(&o.payload), o.version);
+        let mut grants = std::mem::take(&mut self.grants_buf);
+        grants.clear();
         let list = self.sched.list_mut(oid);
-        let mut grants = list.pop_servable();
+        list.pop_servable_into(&mut grants);
         if grants.first().is_some_and(|r| r.read_only) {
-            grants.extend(list.pop_servable());
+            list.pop_servable_into(&mut grants);
         }
         self.sched.gc(oid);
         if grants.is_empty() {
+            self.grants_buf = grants;
             return;
         }
         let now = ctx.now();
         let local_cl = self.local_cl(oid, now);
-        for r in grants {
+        for r in grants.drain(..) {
             self.metrics.queue_served += 1;
             let wait = now.saturating_since(r.enqueued_at);
             self.metrics.queue_wait_hist.record_duration(wait);
@@ -924,6 +1055,7 @@ impl Node {
             };
             self.send(ctx, r.node, msg);
         }
+        self.grants_buf = grants;
     }
 
     // -- owner side: commit participation -------------------------------------
@@ -937,7 +1069,7 @@ impl Node {
         expect_version: u64,
         reply_to: u32,
     ) {
-        let granted = match self.store.get_mut(&oid) {
+        let granted = match self.objs.get_mut(oid).and_then(|s| s.owned.as_mut()) {
             None => false,
             Some(o) => o.version == expect_version && o.try_lock(txid),
         };
@@ -958,7 +1090,7 @@ impl Node {
     }
 
     fn handle_unlock(&mut self, ctx: &mut NodeCtx<'_>, oid: ObjectId, txid: TxId) {
-        if let Some(o) = self.store.get_mut(&oid) {
+        if let Some(o) = self.objs.get_mut(oid).and_then(|s| s.owned.as_mut()) {
             if o.unlock(txid) {
                 self.serve_queue(ctx, oid);
             }
@@ -973,16 +1105,20 @@ impl Node {
         txid: TxId,
         new_owner: u32,
     ) {
-        let o = self
-            .store
-            .remove(&oid)
+        let slot = self
+            .objs
+            .get_mut(oid)
+            .expect("publish must reach the locked owner");
+        let o = slot
+            .owned
+            .take()
             .expect("publish must reach the locked owner");
         debug_assert_eq!(o.lock, Some(txid), "publish from a non-lock-holder");
-        self.tombstones.insert(oid, new_owner);
-        self.owner_cache.insert(oid, new_owner);
+        slot.tombstone = Some(new_owner);
+        slot.cached_owner = Some(new_owner);
+        slot.cl_window = None;
         let queue = self.sched.list_mut(oid).drain_all();
         self.sched.gc(oid);
-        self.cl_windows.remove(&oid);
         let msg = Msg::PublishAck {
             oid,
             tx: txid,
@@ -1001,13 +1137,13 @@ impl Node {
         attempt: u32,
         result: FetchResult,
     ) {
-        let Some(mut tx) = self.txs.remove(&txid) else {
+        let Some(mut tx) = self.tx_take(txid) else {
             self.decline_if_granted(ctx, oid, txid, &result);
             return;
         };
         if tx.attempt != attempt {
             self.decline_if_granted(ctx, oid, txid, &result);
-            self.txs.insert(txid, tx);
+            self.tx_put(tx);
             return;
         }
         let wanted = match &tx.phase {
@@ -1021,7 +1157,7 @@ impl Node {
         };
         let Some((mode, timer)) = wanted else {
             self.decline_if_granted(ctx, oid, txid, &result);
-            self.txs.insert(txid, tx);
+            self.tx_put(tx);
             return;
         };
         if let Some(t) = timer {
@@ -1035,12 +1171,12 @@ impl Node {
                 local_cl,
                 owner,
             } => {
-                self.owner_cache.insert(oid, owner);
+                self.objs.ensure(oid).cached_owner = Some(owner);
                 self.clock = self.clock.max(version);
                 self.metrics
                     .fetch_rtt_hist
                     .record_duration(ctx.now().saturating_since(tx.fetch_sent_at));
-                if version > tx.wv && !tx.object_summary().is_empty() {
+                if version > tx.wv && tx.has_objects() {
                     // Transactional forwarding: early-validate before
                     // advancing the transaction's clock (TFA §II).
                     if self.ptrace.on() {
@@ -1143,7 +1279,7 @@ impl Node {
             }
         };
         if !finished && !matches!(tx.phase, TxPhase::Done) {
-            self.txs.insert(txid, tx);
+            self.tx_put(tx);
         }
         self.pump(ctx);
     }
@@ -1169,11 +1305,11 @@ impl Node {
         attempt: u32,
         ok: bool,
     ) {
-        let Some(mut tx) = self.txs.remove(&txid) else {
+        let Some(mut tx) = self.tx_take(txid) else {
             return;
         };
         if tx.attempt != attempt {
-            self.txs.insert(txid, tx);
+            self.tx_put(tx);
             return;
         }
         let round_done = match &mut tx.phase {
@@ -1185,7 +1321,7 @@ impl Node {
                 pending.is_empty()
             }
             _ => {
-                self.txs.insert(txid, tx);
+                self.tx_put(tx);
                 return;
             }
         };
@@ -1226,7 +1362,7 @@ impl Node {
             false
         };
         if !finished && !matches!(tx.phase, TxPhase::Done) {
-            self.txs.insert(txid, tx);
+            self.tx_put(tx);
         }
         self.pump(ctx);
     }
@@ -1240,7 +1376,7 @@ impl Node {
         attempt: u32,
         granted: bool,
     ) {
-        let Some(mut tx) = self.txs.remove(&txid) else {
+        let Some(mut tx) = self.tx_take(txid) else {
             if granted {
                 let msg = Msg::Unlock { oid, tx: txid };
                 self.send(ctx, from.0, msg);
@@ -1252,7 +1388,7 @@ impl Node {
                 let msg = Msg::Unlock { oid, tx: txid };
                 self.send(ctx, from.0, msg);
             }
-            self.txs.insert(txid, tx);
+            self.tx_put(tx);
             return;
         }
         let round_done = {
@@ -1311,7 +1447,7 @@ impl Node {
             false
         };
         if !finished && !matches!(tx.phase, TxPhase::Done) {
-            self.txs.insert(txid, tx);
+            self.tx_put(tx);
         }
         self.pump(ctx);
     }
@@ -1334,7 +1470,7 @@ impl Node {
         }
         self.serve_queue(ctx, oid);
 
-        let Some(mut tx) = self.txs.remove(&txid) else {
+        let Some(mut tx) = self.tx_take(txid) else {
             return;
         };
         let round_done = match &mut tx.phase {
@@ -1343,14 +1479,14 @@ impl Node {
                 pending.is_empty()
             }
             _ => {
-                self.txs.insert(txid, tx);
+                self.tx_put(tx);
                 return;
             }
         };
         if round_done {
             self.finalize_commit(ctx, &mut tx);
         } else {
-            self.txs.insert(txid, tx);
+            self.tx_put(tx);
         }
         self.pump(ctx);
     }
@@ -1413,7 +1549,7 @@ impl Actor for Node {
                 // Stale if the version moved, the object migrated away, or it
                 // is mid-validation by someone else ("transactions that
                 // request an object being validated must abort").
-                let ok = match self.store.get(&oid) {
+                let ok = match self.objs.get(oid).and_then(|s| s.owned.as_ref()) {
                     None => false,
                     Some(o) => {
                         o.version == expect_version && (o.lock.is_none() || o.lock == Some(tx))
@@ -1439,16 +1575,16 @@ impl Actor for Node {
     fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: Timer) {
         match timer {
             Timer::ComputeDone { tx: txid, attempt } => {
-                let Some(mut tx) = self.txs.remove(&txid) else {
+                let Some(mut tx) = self.tx_take(txid) else {
                     return;
                 };
                 if tx.attempt != attempt || !matches!(tx.phase, TxPhase::Computing) {
-                    self.txs.insert(txid, tx);
+                    self.tx_put(tx);
                     return;
                 }
                 let finished = self.drive(ctx, &mut tx, DriveInput::Ack);
                 if !finished && !matches!(tx.phase, TxPhase::Done) {
-                    self.txs.insert(txid, tx);
+                    self.tx_put(tx);
                 }
                 self.pump(ctx);
             }
@@ -1457,7 +1593,7 @@ impl Actor for Node {
                 attempt,
                 oid,
             } => {
-                let Some(mut tx) = self.txs.remove(&txid) else {
+                let Some(mut tx) = self.tx_take(txid) else {
                     return;
                 };
                 let waiting = matches!(
@@ -1470,16 +1606,16 @@ impl Actor for Node {
                     self.abort_parent(ctx, &mut tx, AbortCause::QueueTimeout, SimDuration::ZERO);
                 }
                 if !matches!(tx.phase, TxPhase::Done) {
-                    self.txs.insert(txid, tx);
+                    self.tx_put(tx);
                 }
                 self.pump(ctx);
             }
             Timer::RetryBackoff { tx: txid, attempt } => {
-                let Some(mut tx) = self.txs.remove(&txid) else {
+                let Some(mut tx) = self.tx_take(txid) else {
                     return;
                 };
                 if tx.attempt != attempt {
-                    self.txs.insert(txid, tx);
+                    self.tx_put(tx);
                     return;
                 }
                 match tx.phase {
@@ -1491,7 +1627,7 @@ impl Actor for Node {
                     _ => {}
                 }
                 if !matches!(tx.phase, TxPhase::Done) {
-                    self.txs.insert(txid, tx);
+                    self.tx_put(tx);
                 }
                 self.pump(ctx);
             }

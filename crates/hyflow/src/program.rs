@@ -107,10 +107,16 @@ pub enum ScriptOp {
 /// A transaction that replays a fixed list of operations — data-independent,
 /// which is exactly what the scripted scenario reproductions (Figs. 2–3) and
 /// many unit tests need.
+///
+/// The op list is immutable after construction and shared behind an `Arc`:
+/// `clone_box` runs on every nested `OpenNested` (level snapshot) and every
+/// whole-transaction retry, so a deep `Vec<ScriptOp>` clone there was a
+/// measurable slice of protocol-layer time for the script-driven benchmarks
+/// (Bank, Vacation). Only the cursor (`pc`) and scalar register are per-copy.
 #[derive(Clone, Debug)]
 pub struct ScriptProgram {
     kind: TxKind,
-    ops: Vec<ScriptOp>,
+    ops: std::sync::Arc<[ScriptOp]>,
     pc: usize,
     /// Last value read (used by `AddScalar`).
     last_scalar: i64,
@@ -120,7 +126,7 @@ impl ScriptProgram {
     pub fn new(kind: TxKind, ops: Vec<ScriptOp>) -> Self {
         ScriptProgram {
             kind,
-            ops,
+            ops: ops.into(),
             pc: 0,
             last_scalar: 0,
         }

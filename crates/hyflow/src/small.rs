@@ -68,6 +68,13 @@ impl<V> ObjMap<V> {
         self.entries.clear();
     }
 
+    /// Drain all entries in insertion order, keeping the allocation (unlike
+    /// `into_iter`, which consumes the map) — lets spent nesting levels be
+    /// recycled with their capacity.
+    pub fn drain(&mut self) -> impl Iterator<Item = (ObjectId, V)> + '_ {
+        self.entries.drain(..)
+    }
+
     /// Iterate in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (&ObjectId, &V)> {
         self.entries.iter().map(|(k, v)| (k, v))

@@ -154,6 +154,11 @@ pub struct TxRuntime {
     /// Closed-nested children merged over this transaction's lifetime
     /// (across attempts; mirrors the node-level `nested_commits` counter).
     pub nested_committed: u64,
+    /// Spent [`NestingLevel`]s kept for reuse. `OpenNested`/`CloseNested`
+    /// cycles are protocol-hot (several per commit in the nested
+    /// benchmarks); recycling levels keeps their `copies` capacity, so the
+    /// steady-state open/close path stops growing fresh vecs.
+    spare_levels: Vec<NestingLevel>,
 }
 
 impl TxRuntime {
@@ -189,7 +194,36 @@ impl TxRuntime {
             validation_started_at: None,
             fetch_sent_at: SimTime::ZERO,
             nested_committed: 0,
+            spare_levels: Vec::new(),
         }
+    }
+
+    /// A level for `push`ing onto the nesting stack: recycles a spare when
+    /// one exists (keeping its `copies` capacity), else builds one fresh.
+    fn make_level(&mut self, kind: TxKind, snapshot: BoxedProgram, now: SimTime) -> NestingLevel {
+        match self.spare_levels.pop() {
+            Some(mut l) => {
+                debug_assert!(l.copies.is_empty(), "spare level not cleared");
+                l.kind = kind;
+                l.snapshot = snapshot;
+                l.committed_children = 0;
+                l.opened_at = now;
+                l
+            }
+            None => NestingLevel {
+                kind,
+                copies: ObjMap::new(),
+                snapshot,
+                committed_children: 0,
+                opened_at: now,
+            },
+        }
+    }
+
+    /// Return a dead level to the spare pool, clearing its working set.
+    fn retire_level(&mut self, mut level: NestingLevel) {
+        level.copies.clear();
+        self.spare_levels.push(level);
     }
 
     /// ETS timestamps for a request issued at `now` (Algorithm 2).
@@ -294,7 +328,14 @@ impl TxRuntime {
         );
         let top = self.top();
         let copy = self.levels[top].copies.get_mut(&oid).expect("shadowed");
-        copy.payload = Arc::new(payload);
+        // Overwrite in place when this copy is the sole owner (the common
+        // case after the first write): saves an Arc allocation per
+        // `WriteLocal`. Shared payloads (fresh fetches, shadows of an
+        // ancestor's copy) still get a fresh Arc, preserving copy-on-write.
+        match Arc::get_mut(&mut copy.payload) {
+            Some(p) => *p = payload,
+            None => copy.payload = Arc::new(payload),
+        }
         copy.dirty = true;
         copy.mode = AccessMode::Write;
     }
@@ -302,13 +343,8 @@ impl TxRuntime {
     /// Enter a closed-nested child. `snapshot` must be the program state
     /// *after* emitting `OpenNested` (re-feeding `Ack` replays the child).
     pub fn open_nested(&mut self, kind: TxKind, snapshot: BoxedProgram, now: SimTime) {
-        self.levels.push(NestingLevel {
-            kind,
-            copies: ObjMap::new(),
-            snapshot,
-            committed_children: 0,
-            opened_at: now,
-        });
+        let level = self.make_level(kind, snapshot, now);
+        self.levels.push(level);
     }
 
     /// Commit the innermost child into its parent (closed nesting): its
@@ -322,9 +358,9 @@ impl TxRuntime {
             "CloseNested at top level in {:?}",
             self.id
         );
-        let child = self.levels.pop().expect("len > 1");
+        let mut child = self.levels.pop().expect("len > 1");
         let parent = self.levels.last_mut().expect("parent exists");
-        for (oid, copy) in child.copies {
+        for (oid, copy) in child.copies.drain() {
             match parent.copies.get_mut(&oid) {
                 Some(existing) => {
                     // The child's view is newer; mode/dirtiness accumulate.
@@ -342,6 +378,7 @@ impl TxRuntime {
             }
         }
         parent.committed_children += 1 + child.committed_children;
+        self.retire_level(child);
     }
 
     /// Roll back levels `level..`, restoring the program snapshot of
@@ -381,7 +418,10 @@ impl TxRuntime {
                 }
             }
         }
-        self.levels.truncate(level + 1);
+        while self.levels.len() > level + 1 {
+            let dead = self.levels.pop().expect("level stack shrinking");
+            self.retire_level(dead);
+        }
         let retained = &mut self.levels[level];
         retained.copies.clear();
         retained.committed_children = 0;
@@ -404,14 +444,11 @@ impl TxRuntime {
         self.attempt += 1;
         self.program = self.pristine.clone_box();
         let snapshot = self.pristine.clone_box();
-        self.levels.clear();
-        self.levels.push(NestingLevel {
-            kind: self.kind,
-            copies: ObjMap::new(),
-            snapshot,
-            committed_children: 0,
-            opened_at: now,
-        });
+        while let Some(dead) = self.levels.pop() {
+            self.retire_level(dead);
+        }
+        let level = self.make_level(self.kind, snapshot, now);
+        self.levels.push(level);
         self.phase = TxPhase::Running;
         self.attempt_started_at = now;
         self.expected_commit = expected_commit;
@@ -420,40 +457,70 @@ impl TxRuntime {
         self.validation_started_at = None;
     }
 
+    /// Does the transaction hold any object at any level? Allocation-free
+    /// equivalent of `!object_summary().is_empty()`.
+    #[inline]
+    pub fn has_objects(&self) -> bool {
+        self.levels.iter().any(|l| !l.copies.is_empty())
+    }
+
     /// Distinct objects across all levels with their outermost fetch info:
     /// `(oid, version, owner, dirty_anywhere, mode_anywhere)`.
     pub fn object_summary(&self) -> Vec<(ObjectId, u64, u32, bool, AccessMode)> {
-        let mut out: Vec<(ObjectId, u64, u32, bool, AccessMode)> = Vec::new();
-        let mut seen = ObjSet::new();
+        let mut out = Vec::new();
+        self.object_summary_into(&mut out);
+        out
+    }
+
+    /// [`TxRuntime::object_summary`] into a caller-provided buffer, so hot
+    /// paths reuse one allocation per node. Clears `out` first. The
+    /// membership test scans `out` itself (it holds exactly the oids seen so
+    /// far), replacing the old side `ObjSet`; working sets are a handful of
+    /// objects, so the scan beats any auxiliary structure.
+    pub fn object_summary_into(&self, out: &mut Vec<(ObjectId, u64, u32, bool, AccessMode)>) {
+        out.clear();
         for l in &self.levels {
             for (oid, c) in &l.copies {
-                if seen.insert(*oid) {
-                    out.push((*oid, c.version, c.owner, c.dirty, c.mode));
-                } else {
-                    let entry = out.iter_mut().find(|e| e.0 == *oid).expect("seen");
-                    entry.3 = entry.3 || c.dirty;
-                    if c.mode == AccessMode::Write {
-                        entry.4 = AccessMode::Write;
+                match out.iter_mut().find(|e| e.0 == *oid) {
+                    None => out.push((*oid, c.version, c.owner, c.dirty, c.mode)),
+                    Some(entry) => {
+                        entry.3 = entry.3 || c.dirty;
+                        if c.mode == AccessMode::Write {
+                            entry.4 = AccessMode::Write;
+                        }
                     }
                 }
             }
         }
-        out.sort_by_key(|e| e.0);
-        out
+        // Keys are distinct, so unstable sorting is deterministic.
+        out.sort_unstable_by_key(|e| e.0);
     }
 
     /// The publish set: objects dirtied anywhere in the (merged) transaction
     /// with the payload of the innermost copy (shared, not deep-cloned).
     pub fn write_back_set(&self) -> Vec<(ObjectId, Arc<Payload>, u64, u32)> {
+        let mut summary = Vec::new();
         let mut out = Vec::new();
-        for (oid, version, owner, dirty, _mode) in self.object_summary() {
+        self.write_back_set_into(&mut summary, &mut out);
+        out
+    }
+
+    /// [`TxRuntime::write_back_set`] into caller-provided buffers (`summary`
+    /// is scratch for the object summary). Clears both first.
+    pub fn write_back_set_into(
+        &self,
+        summary: &mut Vec<(ObjectId, u64, u32, bool, AccessMode)>,
+        out: &mut Vec<(ObjectId, Arc<Payload>, u64, u32)>,
+    ) {
+        out.clear();
+        self.object_summary_into(summary);
+        for &(oid, version, owner, dirty, _mode) in summary.iter() {
             if dirty {
                 let payload =
                     Arc::clone(&self.lookup(oid).expect("summarized object present").payload);
                 out.push((oid, payload, version, owner));
             }
         }
-        out
     }
 
     /// Report on the total nested-transaction population of this attempt so

@@ -1,6 +1,24 @@
-//! Static delay matrices and their generators.
+//! Network topologies: per-pair one-way delays behind a single [`Topology`]
+//! API, with per-kind storage.
+//!
+//! A topology used to always materialize the full O(n²) delay matrix. That
+//! caps the node counts a sweep can reach (memory and generation time both
+//! scale quadratically), so storage is now per-representation:
+//!
+//! * **Dense matrix** — only for [`Topology::uniform_random`], whose delays
+//!   are drawn from a *sequential* rejection-sampling RNG stream and
+//!   therefore cannot be recomputed pair-by-pair. Kept byte-identical to the
+//!   original generator so every existing seed reproduces the same network.
+//! * **On-demand** — every other kind stores O(n) coordinates (plane) or
+//!   O(1) parameters (ring / clustered / complete) and computes `delay(a,b)`
+//!   when asked, producing exactly the values the old matrices held.
+//! * **Hashed** — a new O(1)-memory uniform-random kind for large-scale
+//!   sweeps: each pair's delay is a stateless [`mix64`] of
+//!   `(seed, a, b)`, so a 100k-node topology costs nothing to "build".
+//!   Statistically equivalent to `uniform_random` but a different stream —
+//!   use it for new large-scale experiments, not to reproduce old runs.
 
-use dstm_sim::{ActorId, SimDuration, SimRng};
+use dstm_sim::{mix64, ActorId, SimDuration, SimRng};
 
 /// How a topology was generated (kept for reporting).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -16,27 +34,62 @@ pub enum TopologyKind {
     Clustered,
     /// Constant delay between every distinct pair.
     Complete,
+    /// Symmetric i.i.d. delays computed on demand by hashing the pair —
+    /// O(1) memory, for production-scale node counts.
+    HashedRandom,
 }
 
-/// A static, symmetric `n × n` delay matrix.
+/// Per-kind delay storage (see the module docs).
+#[derive(Clone, Debug)]
+enum Repr {
+    /// Row-major delays; `delays[a * n + b]`, symmetric, zero diagonal.
+    Dense(Vec<SimDuration>),
+    /// Point coordinates in ms; delay = Euclidean distance + fixed offset.
+    Plane {
+        pts: Vec<(f64, f64)>,
+        min_ms: u64,
+    },
+    Ring {
+        hop_ms: u64,
+    },
+    Clustered {
+        clusters: usize,
+        intra_ms: u64,
+        inter_ms: u64,
+    },
+    Complete {
+        d: SimDuration,
+    },
+    Hashed {
+        seed: u64,
+        min_ms: u64,
+        max_ms: u64,
+    },
+}
+
+/// A static, symmetric delay function over `n` nodes.
 #[derive(Clone, Debug)]
 pub struct Topology {
     n: usize,
-    /// Row-major delays; `delays[a * n + b]`, symmetric, zero diagonal.
-    delays: Vec<SimDuration>,
+    repr: Repr,
     kind: TopologyKind,
 }
 
 impl Topology {
     fn from_matrix(n: usize, delays: Vec<SimDuration>, kind: TopologyKind) -> Self {
         debug_assert_eq!(delays.len(), n * n);
-        Topology { n, delays, kind }
+        Topology {
+            n,
+            repr: Repr::Dense(delays),
+            kind,
+        }
     }
 
     /// The paper's setup: every distinct pair gets an independent uniform
     /// delay in `[min_ms, max_ms]` milliseconds (defaults 1–50 in the
     /// harness). Symmetric; the matrix is fixed for the whole run ("static
-    /// network").
+    /// network"). Dense storage: the sequential RNG stream cannot be
+    /// replayed per pair, and existing seeds must keep their exact network.
     pub fn uniform_random(n: usize, min_ms: u64, max_ms: u64, rng: &mut SimRng) -> Self {
         assert!(n > 0 && min_ms <= max_ms);
         let mut delays = vec![SimDuration::ZERO; n * n];
@@ -50,81 +103,93 @@ impl Topology {
         Topology::from_matrix(n, delays, TopologyKind::UniformRandom)
     }
 
+    /// Like [`Topology::uniform_random`] but with O(1) memory: each pair's
+    /// delay is a stateless hash of `(seed, a, b)`, computed on demand.
+    /// Same distribution, different stream — the large-scale sweep setup.
+    pub fn hashed_random(n: usize, min_ms: u64, max_ms: u64, seed: u64) -> Self {
+        assert!(n > 0 && min_ms <= max_ms);
+        Topology {
+            n,
+            repr: Repr::Hashed {
+                seed,
+                min_ms,
+                max_ms,
+            },
+            kind: TopologyKind::HashedRandom,
+        }
+    }
+
     /// Uniform points in a `side_ms × side_ms` square; delay is the Euclidean
     /// distance in milliseconds **plus** a `min_ms` per-hop offset. The
     /// additive offset models fixed link overhead and — unlike clamping —
     /// preserves the triangle inequality, so this is a true metric space,
-    /// used to validate the §III-D analysis.
+    /// used to validate the §III-D analysis. Stores only the n coordinates;
+    /// delays are computed on demand (bit-identical to the old matrix).
     pub fn metric_plane(n: usize, side_ms: f64, min_ms: u64, rng: &mut SimRng) -> Self {
         assert!(n > 0 && side_ms > 0.0);
         let pts: Vec<(f64, f64)> = (0..n)
             .map(|_| (rng.unit_f64() * side_ms, rng.unit_f64() * side_ms))
             .collect();
-        let mut delays = vec![SimDuration::ZERO; n * n];
-        for a in 0..n {
-            for b in (a + 1)..n {
-                let dx = pts[a].0 - pts[b].0;
-                let dy = pts[a].1 - pts[b].1;
-                let ms = (dx * dx + dy * dy).sqrt();
-                let d = SimDuration::from_nanos((ms * 1e6) as u64 + min_ms * 1_000_000);
-                delays[a * n + b] = d;
-                delays[b * n + a] = d;
-            }
+        Topology {
+            n,
+            repr: Repr::Plane { pts, min_ms },
+            kind: TopologyKind::MetricPlane,
         }
-        Topology::from_matrix(n, delays, TopologyKind::MetricPlane)
     }
 
     /// Ring of `n` nodes; delay between `a` and `b` is `hop_ms` times the
-    /// shorter hop count around the ring. Also a metric.
+    /// shorter hop count around the ring. Also a metric. O(1) storage.
     pub fn ring(n: usize, hop_ms: u64) -> Self {
         assert!(n > 0);
-        let mut delays = vec![SimDuration::ZERO; n * n];
-        for a in 0..n {
-            for b in (a + 1)..n {
-                let fwd = b - a;
-                let hops = fwd.min(n - fwd) as u64;
-                let d = SimDuration::from_millis(hops * hop_ms);
-                delays[a * n + b] = d;
-                delays[b * n + a] = d;
-            }
+        Topology {
+            n,
+            repr: Repr::Ring { hop_ms },
+            kind: TopologyKind::Ring,
         }
-        Topology::from_matrix(n, delays, TopologyKind::Ring)
     }
 
     /// `clusters` equal groups; `intra_ms` within a group, `inter_ms`
-    /// between groups (inter > intra keeps it metric).
+    /// between groups (inter > intra keeps it metric). O(1) storage.
     pub fn clustered(n: usize, clusters: usize, intra_ms: u64, inter_ms: u64) -> Self {
         assert!(n > 0 && clusters > 0);
         assert!(
             inter_ms >= intra_ms,
             "inter-cluster delay must dominate for metricity"
         );
-        let mut delays = vec![SimDuration::ZERO; n * n];
-        for a in 0..n {
-            for b in (a + 1)..n {
-                let same = (a % clusters) == (b % clusters);
-                let ms = if same { intra_ms } else { inter_ms };
-                let d = SimDuration::from_millis(ms);
-                delays[a * n + b] = d;
-                delays[b * n + a] = d;
-            }
+        Topology {
+            n,
+            repr: Repr::Clustered {
+                clusters,
+                intra_ms,
+                inter_ms,
+            },
+            kind: TopologyKind::Clustered,
         }
-        Topology::from_matrix(n, delays, TopologyKind::Clustered)
     }
 
-    /// Constant delay `d_ms` between every distinct pair.
+    /// Constant delay `d_ms` between every distinct pair. O(1) storage.
     pub fn complete(n: usize, d_ms: u64) -> Self {
         assert!(n > 0);
-        let mut delays = vec![SimDuration::ZERO; n * n];
-        let d = SimDuration::from_millis(d_ms);
-        for a in 0..n {
-            for b in 0..n {
-                if a != b {
-                    delays[a * n + b] = d;
-                }
+        Topology {
+            n,
+            repr: Repr::Complete {
+                d: SimDuration::from_millis(d_ms),
+            },
+            kind: TopologyKind::Complete,
+        }
+    }
+
+    /// Materialize this topology into a dense matrix (same kind, same
+    /// delays). Differential tests compare on-demand representations
+    /// against their materialized form; not useful in production paths.
+    pub fn to_dense(&self) -> Topology {
+        let mut delays = vec![SimDuration::ZERO; self.n * self.n];
+        for a in 0..self.n {
+            for b in 0..self.n {
+                delays[a * self.n + b] = self.d(a, b);
             }
         }
-        Topology::from_matrix(n, delays, TopologyKind::Complete)
+        Topology::from_matrix(self.n, delays, self.kind)
     }
 
     /// Number of nodes.
@@ -137,10 +202,52 @@ impl Topology {
         self.kind
     }
 
+    /// Index-based delay lookup (internal form of [`Topology::delay`]).
+    #[inline]
+    fn d(&self, a: usize, b: usize) -> SimDuration {
+        match &self.repr {
+            Repr::Dense(delays) => delays[a * self.n + b],
+            _ if a == b => SimDuration::ZERO,
+            Repr::Plane { pts, min_ms } => {
+                let dx = pts[a].0 - pts[b].0;
+                let dy = pts[a].1 - pts[b].1;
+                let ms = (dx * dx + dy * dy).sqrt();
+                SimDuration::from_nanos((ms * 1e6) as u64 + min_ms * 1_000_000)
+            }
+            Repr::Ring { hop_ms } => {
+                let fwd = (b + self.n - a) % self.n;
+                let hops = fwd.min(self.n - fwd) as u64;
+                SimDuration::from_millis(hops * hop_ms)
+            }
+            Repr::Clustered {
+                clusters,
+                intra_ms,
+                inter_ms,
+            } => {
+                let same = (a % clusters) == (b % clusters);
+                SimDuration::from_millis(if same { *intra_ms } else { *inter_ms })
+            }
+            Repr::Complete { d } => *d,
+            Repr::Hashed {
+                seed,
+                min_ms,
+                max_ms,
+            } => {
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                let h = mix64(seed ^ mix64(((lo as u64) << 32) | hi as u64));
+                let span = max_ms - min_ms + 1;
+                // Multiply-shift maps the hash uniformly onto the range
+                // without the modulo bias of `h % span`.
+                let ms = min_ms + ((u128::from(h) * u128::from(span)) >> 64) as u64;
+                SimDuration::from_millis(ms)
+            }
+        }
+    }
+
     /// One-way message delay between two nodes. Zero for `a == b`.
     #[inline]
     pub fn delay(&self, a: ActorId, b: ActorId) -> SimDuration {
-        self.delays[a.index() * self.n + b.index()]
+        self.d(a.index(), b.index())
     }
 
     /// Round-trip delay `2 × d(a, b)` — the cost of one remote object fetch
@@ -159,7 +266,7 @@ impl Topology {
         for a in 0..self.n {
             for b in 0..self.n {
                 if a != b {
-                    sum += self.delays[a * self.n + b].as_nanos() as u128;
+                    sum += self.d(a, b).as_nanos() as u128;
                 }
             }
         }
@@ -172,7 +279,7 @@ impl Topology {
     pub fn sum_delays_from(&self, from: ActorId) -> SimDuration {
         let mut sum = SimDuration::ZERO;
         for b in 0..self.n {
-            sum += self.delays[from.index() * self.n + b];
+            sum += self.d(from.index(), b);
         }
         sum
     }
@@ -200,7 +307,7 @@ impl Topology {
             let mut best: Option<(usize, SimDuration)> = None;
             for (b, seen) in visited.iter().enumerate() {
                 if !seen {
-                    let d = self.delays[cur.index() * self.n + b];
+                    let d = self.d(cur.index(), b);
                     if best.is_none_or(|(_, bd)| d < bd) {
                         best = Some((b, d));
                     }
@@ -214,16 +321,15 @@ impl Topology {
         tour
     }
 
-    /// Does the matrix satisfy the triangle inequality (within exact integer
-    /// arithmetic)? `UniformRandom` topologies generally do not; plane/ring/
-    /// clustered/complete ones do.
+    /// Does the topology satisfy the triangle inequality (within exact
+    /// integer arithmetic)? `UniformRandom`/`HashedRandom` topologies
+    /// generally do not; plane/ring/clustered/complete ones do.
     pub fn is_metric(&self) -> bool {
         for a in 0..self.n {
             for b in 0..self.n {
-                let dab = self.delays[a * self.n + b].as_nanos();
+                let dab = self.d(a, b).as_nanos();
                 for c in 0..self.n {
-                    let via = self.delays[a * self.n + c].as_nanos() as u128
-                        + self.delays[c * self.n + b].as_nanos() as u128;
+                    let via = self.d(a, c).as_nanos() as u128 + self.d(c, b).as_nanos() as u128;
                     if (dab as u128) > via {
                         return false;
                     }
@@ -233,15 +339,15 @@ impl Topology {
         true
     }
 
-    /// Is the matrix symmetric with a zero diagonal? (Invariant check used
-    /// by property tests.)
+    /// Is the delay function symmetric with a zero diagonal? (Invariant
+    /// check used by property tests.)
     pub fn is_well_formed(&self) -> bool {
         for a in 0..self.n {
-            if !self.delays[a * self.n + a].is_zero() {
+            if !self.d(a, a).is_zero() {
                 return false;
             }
             for b in 0..self.n {
-                if self.delays[a * self.n + b] != self.delays[b * self.n + a] {
+                if self.d(a, b) != self.d(b, a) {
                     return false;
                 }
             }
@@ -273,10 +379,73 @@ mod tests {
     }
 
     #[test]
+    fn hashed_random_in_range_and_well_formed() {
+        let t = Topology::hashed_random(64, 1, 50, 99);
+        assert_eq!(t.kind(), TopologyKind::HashedRandom);
+        assert!(t.is_well_formed());
+        let mut seen = std::collections::BTreeSet::new();
+        for a in 0..64 {
+            for b in 0..64 {
+                if a != b {
+                    let ms = t.delay(ActorId(a), ActorId(b)).as_millis();
+                    assert!((1..=50).contains(&ms), "delay {ms}ms out of range");
+                    seen.insert(ms);
+                }
+            }
+        }
+        assert!(seen.len() > 40, "hashed delays barely vary: {}", seen.len());
+    }
+
+    #[test]
+    fn hashed_random_is_deterministic_and_seed_sensitive() {
+        let a = Topology::hashed_random(30, 1, 50, 5);
+        let b = Topology::hashed_random(30, 1, 50, 5);
+        let c = Topology::hashed_random(30, 1, 50, 6);
+        let mut differs = false;
+        for x in 0..30 {
+            for y in 0..30 {
+                assert_eq!(
+                    a.delay(ActorId(x), ActorId(y)),
+                    b.delay(ActorId(x), ActorId(y))
+                );
+                differs |= a.delay(ActorId(x), ActorId(y)) != c.delay(ActorId(x), ActorId(y));
+            }
+        }
+        assert!(differs, "seed does not influence hashed delays");
+    }
+
+    #[test]
     fn metric_plane_is_metric() {
         let t = Topology::metric_plane(15, 50.0, 1, &mut rng());
         assert!(t.is_well_formed());
         assert!(t.is_metric());
+    }
+
+    #[test]
+    fn on_demand_reprs_match_materialized_dense() {
+        // Every on-demand representation must agree with its own dense
+        // materialization at every pair (and stay well-formed).
+        let tops = [
+            Topology::metric_plane(17, 40.0, 2, &mut rng()),
+            Topology::ring(17, 7),
+            Topology::clustered(17, 4, 2, 20),
+            Topology::complete(17, 9),
+            Topology::hashed_random(17, 1, 50, 77),
+        ];
+        for t in tops {
+            let dense = t.to_dense();
+            assert_eq!(dense.kind(), t.kind());
+            for a in 0..17 {
+                for b in 0..17 {
+                    assert_eq!(
+                        t.delay(ActorId(a), ActorId(b)),
+                        dense.delay(ActorId(a), ActorId(b)),
+                        "{:?} diverges from its dense form at ({a},{b})",
+                        t.kind()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -184,6 +184,16 @@ fn schedule<M, T>(
     queue.push(Sequenced::new(at, core.seq, payload));
 }
 
+/// What one pass over the event queue did.
+enum StepOutcome {
+    /// Queue empty — nothing left to run.
+    Drained,
+    /// A cancelled timer was discarded; no handler ran.
+    Skipped,
+    /// This actor's handler ran.
+    Ran(ActorId),
+}
+
 /// The per-callback view of the engine handed to actor code.
 ///
 /// Independent of the queue backend (`Q`) by design: the queue is borrowed as
@@ -373,11 +383,52 @@ impl<A: Actor, Q: EventQueue<KernelEvent<A::Msg, A::Timer>>> GenericWorld<A, Q> 
         f(&mut self.actors[actor.index()], &mut ctx)
     }
 
+    /// Run until `done(actor)` holds for every actor or the event budget
+    /// is exhausted; returns the number of events processed. `done` must be
+    /// **monotonic** (once true for an actor it stays true) and may only
+    /// flip inside that actor's own handlers — both hold for protocol
+    /// nodes, whose doneness depends only on their local state. Under
+    /// those rules only the actor each event touched needs re-examining,
+    /// so the check is O(1) per event where a `run_while` full scan is
+    /// O(n); the stop point — and therefore every simulated outcome — is
+    /// identical.
+    pub fn run_until_all_done(&mut self, budget: u64, done: impl Fn(&A) -> bool) -> u64 {
+        let mut is_done = vec![false; self.actors.len()];
+        let mut remaining = 0usize;
+        for (flag, a) in is_done.iter_mut().zip(&self.actors) {
+            *flag = done(a);
+            remaining += usize::from(!*flag);
+        }
+        let mut steps = 0;
+        while remaining > 0 && steps < budget {
+            match self.step_touched() {
+                StepOutcome::Drained => break,
+                StepOutcome::Skipped => steps += 1,
+                StepOutcome::Ran(id) => {
+                    steps += 1;
+                    let flag = &mut is_done[id.index()];
+                    if !*flag && done(&self.actors[id.index()]) {
+                        *flag = true;
+                        remaining -= 1;
+                    }
+                }
+            }
+        }
+        steps
+    }
+
     /// Process one event. Returns `false` when the queue is exhausted.
     pub fn step(&mut self) -> bool {
+        !matches!(self.step_touched(), StepOutcome::Drained)
+    }
+
+    /// Process one event, reporting which actor's handler ran (if any) so
+    /// callers can re-examine just that actor instead of scanning all of
+    /// them after every event.
+    fn step_touched(&mut self) -> StepOutcome {
         let ev = match self.queue.pop() {
             Some(ev) => ev,
-            None => return false,
+            None => return StepOutcome::Drained,
         };
         debug_assert!(ev.key.time >= self.core.now, "time went backwards");
         self.core.now = ev.key.time;
@@ -398,10 +449,11 @@ impl<A: Actor, Q: EventQueue<KernelEvent<A::Msg, A::Timer>>> GenericWorld<A, Q> 
                     me: to,
                 };
                 self.actors[to.index()].on_message(&mut ctx, from, msg);
+                StepOutcome::Ran(to)
             }
             KernelEvent::Timer { on, token, timer } => {
                 if !self.core.timer_retire(token) {
-                    return true; // cancelled; skip
+                    return StepOutcome::Skipped; // cancelled
                 }
                 self.core.timers_fired += 1;
                 if self.core.trace.enabled() {
@@ -417,9 +469,9 @@ impl<A: Actor, Q: EventQueue<KernelEvent<A::Msg, A::Timer>>> GenericWorld<A, Q> 
                     me: on,
                 };
                 self.actors[on.index()].on_timer(&mut ctx, timer);
+                StepOutcome::Ran(on)
             }
         }
-        true
     }
 
     /// Run until the event queue drains.

@@ -55,7 +55,7 @@ pub mod trace;
 pub use engine::{Actor, ActorId, Ctx, GenericWorld, KernelEvent, TimerToken, World};
 pub use event::{EventKey, Sequenced};
 pub use queue::{BinaryHeapQueue, CalendarQueue, EventQueue};
-pub use rng::SimRng;
+pub use rng::{mix64, SimRng};
 pub use stats::{Histogram, OnlineStats};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, TraceSink};

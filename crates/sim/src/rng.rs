@@ -24,6 +24,20 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Stateless splitmix64-style finalizer: maps any `u64` to a well-mixed
+/// `u64`, deterministically and without carrying stream state.
+///
+/// This is the building block for *random-access* randomness: where a
+/// sequential [`SimRng`] stream would force materializing all draws up
+/// front (e.g. the O(n²) per-pair link delays of a network topology), a
+/// keyed `mix64` lets the consumer recompute any single draw on demand in
+/// O(1) with O(1) memory.
+#[inline]
+pub fn mix64(x: u64) -> u64 {
+    let mut state = x;
+    splitmix64(&mut state)
+}
+
 /// A deterministic xoshiro256++ stream.
 #[derive(Clone, Debug)]
 pub struct SimRng {

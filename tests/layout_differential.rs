@@ -1,0 +1,186 @@
+//! Differential tests for the protocol-layer data-layout overhaul.
+//!
+//! The dense id-indexed node state (slab object store, seq-indexed tx
+//! table), the FxHash-backed protocol maps, the pooled scratch buffers, and
+//! the on-demand topology representations are all pure performance knobs:
+//! none of them may perturb a single simulated outcome. Two layers of proof:
+//!
+//! 1. **Golden digests** — a grid of small cells (benchmark × scheduler ×
+//!    queue backend) was run *before* the refactor and its full outcome
+//!    (metrics + the complete protocol trace) hashed into the constants
+//!    below. The refactored layouts must reproduce every digest bit-for-bit.
+//! 2. **Property tests** — on-demand topology representations must agree
+//!    with a materialized dense matrix at every pair, and whole runs driven
+//!    through either representation must be trajectory-identical.
+
+use closed_nesting_dstm::harness::runner::{run_cell_traced, Cell, TopologySpec};
+use closed_nesting_dstm::prelude::*;
+use dstm_net::Topology;
+use dstm_sim::{ActorId, SimRng};
+use proptest::prelude::*;
+use rts_core::SchedulerKind;
+
+const SCHEDULERS: [SchedulerKind; 3] = [
+    SchedulerKind::Rts,
+    SchedulerKind::Tfa,
+    SchedulerKind::TfaBackoff,
+];
+
+/// FNV-1a over a byte string (stable, dependency-free).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn golden_cells() -> Vec<(&'static str, Cell)> {
+    let mut out = Vec::new();
+    for (b, blabel) in [(Benchmark::Bank, "bank"), (Benchmark::Vacation, "vacation")] {
+        for s in SCHEDULERS {
+            for (q, qlabel) in [
+                (hyflow_dstm::QueueBackend::BinaryHeap, "heap"),
+                (hyflow_dstm::QueueBackend::Calendar, "calendar"),
+            ] {
+                let mut cell = Cell::new(b, s, 6, 0.5)
+                    .with_txns(6)
+                    .with_seed(7)
+                    .with_queue_backend(q);
+                cell.params.objects_per_node = 4;
+                let name: &'static str =
+                    Box::leak(format!("{blabel}/{}/{qlabel}", s.label()).into_boxed_str());
+                out.push((name, cell));
+            }
+        }
+    }
+    out
+}
+
+/// One line per cell: every observable outcome of the run, including a hash
+/// of the full protocol trace (lossless JSONL form).
+fn digest(cell: Cell) -> String {
+    let (r, trace) = run_cell_traced(cell);
+    assert!(r.completed, "golden cell stalled");
+    let m = &r.metrics;
+    format!(
+        "commits={} aborts={} nested_commits={} nested_own={} nested_parent={} \
+         messages={} elapsed={} ended_at={} trace_records={} trace_fnv={:016x}",
+        m.merged.commits,
+        m.merged.total_aborts(),
+        m.merged.nested_commits,
+        m.merged.nested_aborts_own,
+        m.merged.nested_aborts_parent,
+        m.messages,
+        m.elapsed.as_nanos(),
+        m.ended_at.as_nanos(),
+        trace.records.len(),
+        fnv1a(trace.to_jsonl().as_bytes()),
+    )
+}
+
+/// Captured from the pre-refactor layouts (HashMap-backed node state, dense
+/// delay matrix) — see the module docs. Regenerate with
+/// `cargo test --release print_layout_digests -- --ignored --nocapture`
+/// ONLY for a change that is *meant* to alter simulated behaviour.
+const GOLDEN: &[(&str, &str)] = &[
+    ("bank/RTS/heap", "commits=36 aborts=84 nested_commits=375 nested_own=218 nested_parent=281 messages=2551 elapsed=3415709000 ended_at=3415709000 trace_records=1397 trace_fnv=98d3c54d63b6e537"),
+    ("bank/RTS/calendar", "commits=36 aborts=84 nested_commits=375 nested_own=218 nested_parent=281 messages=2551 elapsed=3415709000 ended_at=3415709000 trace_records=1397 trace_fnv=98d3c54d63b6e537"),
+    ("bank/TFA/heap", "commits=36 aborts=76 nested_commits=357 nested_own=305 nested_parent=259 messages=2650 elapsed=3686089000 ended_at=3686089000 trace_records=1412 trace_fnv=f796916f3f46656d"),
+    ("bank/TFA/calendar", "commits=36 aborts=76 nested_commits=357 nested_own=305 nested_parent=259 messages=2650 elapsed=3686089000 ended_at=3686089000 trace_records=1412 trace_fnv=f796916f3f46656d"),
+    ("bank/TFA+Backoff/heap", "commits=36 aborts=81 nested_commits=354 nested_own=371 nested_parent=258 messages=2645 elapsed=3418078000 ended_at=3418078000 trace_records=1480 trace_fnv=0019732346f92c82"),
+    ("bank/TFA+Backoff/calendar", "commits=36 aborts=81 nested_commits=354 nested_own=371 nested_parent=258 messages=2645 elapsed=3418078000 ended_at=3418078000 trace_records=1480 trace_fnv=0019732346f92c82"),
+    ("vacation/RTS/heap", "commits=36 aborts=39 nested_commits=147 nested_own=138 nested_parent=80 messages=1272 elapsed=2002658000 ended_at=2002658000 trace_records=671 trace_fnv=be31f9a35834e792"),
+    ("vacation/RTS/calendar", "commits=36 aborts=39 nested_commits=147 nested_own=138 nested_parent=80 messages=1272 elapsed=2002658000 ended_at=2002658000 trace_records=671 trace_fnv=be31f9a35834e792"),
+    ("vacation/TFA/heap", "commits=36 aborts=47 nested_commits=169 nested_own=77 nested_parent=104 messages=1260 elapsed=2577996000 ended_at=2577996000 trace_records=668 trace_fnv=28271d22dc824910"),
+    ("vacation/TFA/calendar", "commits=36 aborts=47 nested_commits=169 nested_own=77 nested_parent=104 messages=1260 elapsed=2577996000 ended_at=2577996000 trace_records=668 trace_fnv=28271d22dc824910"),
+    ("vacation/TFA+Backoff/heap", "commits=36 aborts=47 nested_commits=169 nested_own=70 nested_parent=104 messages=1243 elapsed=2488553000 ended_at=2488553000 trace_records=660 trace_fnv=cc5ffa5d45a8d9b3"),
+    ("vacation/TFA+Backoff/calendar", "commits=36 aborts=47 nested_commits=169 nested_own=70 nested_parent=104 messages=1243 elapsed=2488553000 ended_at=2488553000 trace_records=660 trace_fnv=cc5ffa5d45a8d9b3"),
+];
+
+#[test]
+#[ignore = "generator for the GOLDEN table"]
+fn print_layout_digests() {
+    for (name, cell) in golden_cells() {
+        println!("    (\"{name}\", \"{}\"),", digest(cell));
+    }
+}
+
+#[test]
+fn refactored_layouts_match_pre_refactor_goldens() {
+    let cells = golden_cells();
+    assert_eq!(cells.len(), GOLDEN.len(), "golden table out of date");
+    for ((name, cell), (gname, want)) in cells.into_iter().zip(GOLDEN) {
+        assert_eq!(name, *gname, "golden table order changed");
+        let got = digest(cell);
+        assert_eq!(got, *want, "layout changed simulated behaviour in {name}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    /// Same cell, run twice: the dense layouts must be deterministic (no
+    /// map-iteration-order leakage into protocol behaviour).
+    #[test]
+    fn runs_are_reproducible_across_layout(seed in 1u64..10_000, sched in 0usize..3) {
+        let mk = || {
+            let mut c = Cell::new(Benchmark::Bank, SCHEDULERS[sched], 5, 0.5)
+                .with_txns(4)
+                .with_seed(seed);
+            c.params.objects_per_node = 3;
+            c
+        };
+        prop_assert_eq!(digest(mk()), digest(mk()));
+    }
+
+    /// Every on-demand topology representation must agree with its own
+    /// materialized dense matrix at every pair — the O(n)-memory layouts
+    /// are pure storage changes.
+    #[test]
+    fn on_demand_topology_matches_dense(n in 2usize..24, seed in 1u64..1_000) {
+        let mut rng = SimRng::new(seed);
+        for t in [
+            Topology::ring(n, 3),
+            Topology::clustered(n, 3, 1, 9),
+            Topology::complete(n, 5),
+            Topology::metric_plane(n, 40.0, 1, &mut rng),
+            Topology::hashed_random(n, 1, 50, seed),
+        ] {
+            let dense = t.to_dense();
+            for a in 0..n as u32 {
+                for b in 0..n as u32 {
+                    prop_assert_eq!(
+                        t.delay(ActorId(a), ActorId(b)),
+                        dense.delay(ActorId(a), ActorId(b)),
+                        "{:?} pair ({a},{b})", t.kind()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Whole runs on the hashed O(1)-memory topology: deterministic, and
+    /// bit-identical across both event-queue backends (the same proof the
+    /// goldens give the dense-matrix path, extended to `--scale large`'s
+    /// network model).
+    #[test]
+    fn hashed_topology_runs_bit_identical_across_backends(
+        seed in 1u64..10_000, sched in 0usize..3,
+    ) {
+        let mk = |q| {
+            let mut c = Cell::new(Benchmark::Bank, SCHEDULERS[sched], 5, 0.5)
+                .with_txns(4)
+                .with_seed(seed)
+                .with_queue_backend(q)
+                .with_topology(TopologySpec::HashedRandom { min_ms: 1, max_ms: 50 });
+            c.params.objects_per_node = 3;
+            c
+        };
+        let heap = digest(mk(hyflow_dstm::QueueBackend::BinaryHeap));
+        let calendar = digest(mk(hyflow_dstm::QueueBackend::Calendar));
+        prop_assert_eq!(&heap, &calendar);
+        prop_assert_eq!(heap, digest(mk(hyflow_dstm::QueueBackend::BinaryHeap)));
+    }
+}
