@@ -23,11 +23,23 @@ pub fn results_dir() -> PathBuf {
 }
 
 /// Print a regenerated artifact and persist it for EXPERIMENTS.md.
+///
+/// Every file gets a one-line provenance header recording the worker-pool
+/// width and shard count that produced it, so numbers in `paper_results/`
+/// are attributable to a host configuration. Simulated results are
+/// identical at any `workers`/`shards` setting — only wall clocks move.
 pub fn emit(name: &str, contents: &str) {
     println!("{contents}");
     let path = results_dir().join(format!("{name}.txt"));
+    let header = format!(
+        "# workers={} shards={} (host-parallelism knobs; simulated results are \
+         independent of both)\n",
+        effective_workers(),
+        shards()
+    );
     match std::fs::File::create(&path) {
         Ok(mut f) => {
+            let _ = f.write_all(header.as_bytes());
             let _ = f.write_all(contents.as_bytes());
             println!("[written to {}]", path.display());
         }
@@ -40,4 +52,24 @@ pub fn workers() -> Option<usize> {
     std::env::var("DSTM_WORKERS")
         .ok()
         .and_then(|v| v.parse().ok())
+}
+
+/// The worker-pool width the sweeps actually run with: `DSTM_WORKERS` if
+/// set, else the parallelism the OS reports (the `run_cells` default).
+pub fn effective_workers() -> usize {
+    workers().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Shards for the time-windowed parallel executor (`DSTM_SHARDS`
+/// override); 1 (serial) when unset.
+pub fn shards() -> usize {
+    std::env::var("DSTM_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1)
 }

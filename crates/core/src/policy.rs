@@ -117,7 +117,11 @@ pub fn explain_decision(
 }
 
 /// Owner-side conflict resolution strategy.
-pub trait ConflictPolicy {
+///
+/// `Send` because a policy lives inside a simulated node, and whole nodes
+/// migrate between threads under the sharded executor
+/// (`GenericWorld::run_sharded`) and the cell worker pool.
+pub trait ConflictPolicy: Send {
     fn kind(&self) -> SchedulerKind;
 
     /// Decide the fate of a request that found `ctx.oid` locked. The policy

@@ -76,6 +76,16 @@ pub fn enabled() -> bool {
 
 /// Zero the allocation count and restart peak tracking from the current
 /// live size. No-op without `bench-alloc`.
+///
+/// Counters are process-global and exact under concurrency: every
+/// allocation on every thread — worker-pool cells, shard threads — is an
+/// atomic increment, and live-byte accounting never drifts because
+/// `CURRENT` is monotone with respect to alloc/dealloc pairs (it is never
+/// zeroed, so a cross-reset free subtracts exactly what its allocation
+/// added). The one sharp edge is *attribution*: resetting while other
+/// threads are mid-run credits their in-flight allocations to the new
+/// window. Bracket whole pooled sweeps (as `dstm-sweep --scale large`
+/// does), or individual cells only on a quiesced pool.
 pub fn reset() {
     #[cfg(feature = "bench-alloc")]
     imp::reset();
@@ -100,5 +110,53 @@ mod tests {
         assert!(allocs > 0, "Vec growth not counted");
         assert!(peak >= v.len() * 8, "peak {peak} below live size");
         drop(v);
+    }
+
+    /// Counters must stay exact when allocations come from many threads at
+    /// once (the worker pool and the sharded executor both do this): no
+    /// lost increments, and the peak must see the simultaneously-live sum.
+    #[test]
+    fn multithreaded_counts_are_exact() {
+        use std::sync::{Arc, Barrier};
+
+        const THREADS: usize = 4;
+        const PER_THREAD: usize = 256;
+        const BLOCK: usize = 64 * 1024;
+
+        super::reset();
+        let (base_allocs, _) = super::snapshot();
+        let all_live = Arc::new(Barrier::new(THREADS));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let all_live = Arc::clone(&all_live);
+                std::thread::spawn(move || {
+                    // Churn: every iteration is one counted allocation.
+                    for i in 0..PER_THREAD - 1 {
+                        let v = vec![0u8; 1 + i % 13];
+                        std::hint::black_box(&v);
+                    }
+                    // Hold one big block while every thread is live, so the
+                    // true peak is at least THREADS * BLOCK.
+                    let big = vec![0u8; BLOCK];
+                    all_live.wait();
+                    std::hint::black_box(&big);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (allocs, peak) = super::snapshot();
+        assert!(
+            allocs - base_allocs >= (THREADS * PER_THREAD) as u64,
+            "lost increments: {} counted, {} known allocations",
+            allocs - base_allocs,
+            THREADS * PER_THREAD
+        );
+        assert!(
+            peak >= THREADS * BLOCK,
+            "peak {peak} below the {} bytes simultaneously live",
+            THREADS * BLOCK
+        );
     }
 }

@@ -4,8 +4,17 @@
 //! dstm-sweep [nodes] [txns_per_node] [benchmark] [--hist-out out.json]
 //! dstm-sweep scenario [rts|tfa|tfa-backoff] [writers] [readers]
 //! dstm-sweep kernel [out.json] [--scale S] [--trials N] [--baseline old.json]
-//! dstm-sweep large-smoke [nodes]
+//! dstm-sweep large-smoke [nodes] [--shards S]
 //! ```
+//!
+//! All simulation modes accept `--shards S` (env `DSTM_SHARDS`) to run each
+//! cell on the conservative time-windowed parallel executor
+//! (`GenericWorld::run_sharded`). Results are bit-identical to `--shards 1`
+//! — the flag changes host wall-clock only — which is what the CI
+//! shard-determinism job byte-diffs. `kernel` mode additionally appends a
+//! fixed sharded block (160-node Bank/RTS at 1/2/4/8 shards plus
+//! saturated-load rows at `concurrency_per_node = 32`) to every report,
+//! regardless of `--shards`.
 //!
 //! All modes accept `--trace <path>` / `--trace-format jsonl|chrome` (or the
 //! `DSTM_TRACE` / `DSTM_TRACE_FORMAT` environment variables) to record
@@ -101,6 +110,8 @@ struct Flags {
     trials: Option<usize>,
     /// Committed kernel report to regression-check against.
     baseline: Option<String>,
+    /// `--shards` overrides `DSTM_SHARDS`; 1 (serial) when absent.
+    shards: usize,
 }
 
 /// Pull the `--flag value` pairs (with `DSTM_*` env fallbacks) out of the
@@ -113,6 +124,7 @@ fn split_flags(args: &[String]) -> Flags {
     let mut scale = None;
     let mut trials = None;
     let mut baseline = None;
+    let mut shards = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -122,9 +134,18 @@ fn split_flags(args: &[String]) -> Flags {
             "--scale" => scale = it.next().cloned(),
             "--trials" => trials = it.next().and_then(|s| s.parse().ok()),
             "--baseline" => baseline = it.next().cloned(),
+            "--shards" => shards = it.next().and_then(|s| s.parse().ok()),
             _ => positional.push(a.clone()),
         }
     }
+    let shards = shards
+        .or_else(|| {
+            std::env::var("DSTM_SHARDS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+        })
+        .unwrap_or(1)
+        .max(1);
     let format = match format_arg.as_deref() {
         None => TraceFormat::Jsonl,
         Some(s) => TraceFormat::parse(s).unwrap_or_else(|| {
@@ -142,7 +163,22 @@ fn split_flags(args: &[String]) -> Flags {
         scale,
         trials,
         baseline,
+        shards,
     }
+}
+
+/// Worker threads the cell pool will use: `DSTM_WORKERS` if set, else the
+/// parallelism the OS reports. Recorded in every report header so numbers
+/// are attributable to the host configuration that produced them.
+fn effective_workers() -> usize {
+    std::env::var("DSTM_WORKERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
 }
 
 fn scheduler_from_name(s: &str) -> Option<SchedulerKind> {
@@ -169,6 +205,11 @@ struct KernelRow {
     topology: &'static str,
     trace: bool,
     trials: usize,
+    /// Shards of the time-windowed parallel executor (1 = serial loop).
+    shards: usize,
+    /// `concurrency_per_node` of the cell (default 4; saturated-load rows
+    /// raise it to 32+).
+    concurrency: usize,
     /// Wall clock of the median trial, nanoseconds.
     wall_ns: u64,
     /// Thread-CPU time of the median trial, nanoseconds. ns/event keys off
@@ -201,6 +242,15 @@ impl KernelRow {
             self.cpu_ns as f64 / 1e6,
             self.ns_per_event(),
         );
+        if self.shards > 1 || self.concurrency != 4 {
+            let _ = write!(
+                line,
+                "  shards={} conc={} wall {:.1} ms",
+                self.shards,
+                self.concurrency,
+                self.wall_ns as f64 / 1e6
+            );
+        }
         if alloc_counter::enabled() && self.allocs_per_event > 0.0 {
             let _ = write!(
                 line,
@@ -232,9 +282,13 @@ fn kernel_grid(scale: &Scale, trials: usize) -> Vec<KernelRow> {
         for &nodes in &scale.node_counts {
             for s in KERNEL_SCHEDULERS {
                 for backend in [QueueBackend::BinaryHeap, QueueBackend::Calendar] {
+                    // Pinned serial even under DSTM_SHARDS: these rows are
+                    // the baseline-gated kernel-cost measurements, and the
+                    // sharded block below covers the parallel executor.
                     let cell = Cell::new(b, s, nodes, 0.9)
                         .with_txns(scale.txns_per_node)
-                        .with_queue_backend(backend);
+                        .with_queue_backend(backend)
+                        .with_shards(1);
                     specs.push((cell, false));
                 }
             }
@@ -243,7 +297,9 @@ fn kernel_grid(scale: &Scale, trials: usize) -> Vec<KernelRow> {
     // Enabled-path rows: bank only, binary heap, every node count.
     for &nodes in &scale.node_counts {
         for s in KERNEL_SCHEDULERS {
-            let cell = Cell::new(Benchmark::Bank, s, nodes, 0.9).with_txns(scale.txns_per_node);
+            let cell = Cell::new(Benchmark::Bank, s, nodes, 0.9)
+                .with_txns(scale.txns_per_node)
+                .with_shards(1);
             specs.push((cell, true));
         }
     }
@@ -296,6 +352,8 @@ fn kernel_grid(scale: &Scale, trials: usize) -> Vec<KernelRow> {
             topology: cell.topology.label(),
             trace: *trace,
             trials,
+            shards: cell.shards,
+            concurrency: cell.dstm.concurrency_per_node,
             wall_ns,
             cpu_ns,
             events,
@@ -315,7 +373,7 @@ fn kernel_grid(scale: &Scale, trials: usize) -> Vec<KernelRow> {
 /// not skew ns/event). Trials stay at 1 per cell: the pool overlaps cells,
 /// so repeat medians would measure scheduling noise, and the cells are big
 /// enough that one run is stable.
-fn kernel_grid_large(scale: &Scale) -> (Vec<KernelRow>, u64, usize) {
+fn kernel_grid_large(scale: &Scale, shards: usize) -> (Vec<KernelRow>, u64, usize) {
     let benches = [Benchmark::Bank, Benchmark::Vacation, Benchmark::Dht];
     let mut cells = Vec::new();
     for b in benches {
@@ -327,7 +385,8 @@ fn kernel_grid_large(scale: &Scale) -> (Vec<KernelRow>, u64, usize) {
                         .with_topology(TopologySpec::HashedRandom {
                             min_ms: 1,
                             max_ms: 50,
-                        }),
+                        })
+                        .with_shards(shards),
                 );
             }
         }
@@ -352,6 +411,8 @@ fn kernel_grid_large(scale: &Scale) -> (Vec<KernelRow>, u64, usize) {
             topology: r.cell.topology.label(),
             trace: false,
             trials: 1,
+            shards: r.cell.shards,
+            concurrency: r.cell.dstm.concurrency_per_node,
             wall_ns: r.wall_ns,
             cpu_ns: r.cpu_ns,
             events: r.metrics.messages,
@@ -367,6 +428,108 @@ fn kernel_grid_large(scale: &Scale) -> (Vec<KernelRow>, u64, usize) {
     (rows, sweep_allocs, sweep_peak)
 }
 
+/// The fixed sharded block appended to every kernel report: a 160-node
+/// Bank/RTS and RTS/Vacation cell on the hashed topology at 1/2/4/8 shards,
+/// plus saturated-load rows (`concurrency_per_node = 32`) at 1 and 4
+/// shards. Simulated results are bit-identical across the whole block (the
+/// differential suite proves it), so row-to-row deltas isolate the host
+/// cost/benefit of the time-windowed parallel executor. Speedup claims must
+/// key off `wall_ns`: the thread-CPU clock only sees the coordinating
+/// thread once worker shards exist.
+///
+/// Sequential and grid-major like `kernel_grid`, for the same
+/// burst-rejection reason; trials are capped at 3 because each 160-node
+/// cell is ~10^3 heavier than the small-grid cells.
+fn kernel_grid_sharded(trials: usize) -> Vec<KernelRow> {
+    let trials = trials.min(3);
+    let mk = |b, conc: usize, shards: usize| {
+        let mut cell = Cell::new(b, SchedulerKind::Rts, 160, 0.9)
+            .with_txns(Scale::large().txns_per_node)
+            .with_topology(TopologySpec::HashedRandom {
+                min_ms: 1,
+                max_ms: 50,
+            })
+            .with_shards(shards);
+        cell.dstm.concurrency_per_node = conc;
+        cell
+    };
+    let mut specs: Vec<Cell> = Vec::new();
+    for b in [Benchmark::Bank, Benchmark::Vacation] {
+        for shards in [1usize, 2, 4, 8] {
+            specs.push(mk(b, 4, shards));
+        }
+    }
+    // Saturated-load rows: enough in-flight transactions per node that the
+    // pending-event population dwarfs the shard count.
+    for shards in [1usize, 4] {
+        specs.push(mk(Benchmark::Bank, 32, shards));
+    }
+
+    for cell in &specs {
+        let _warmup = run_cell(cell.clone());
+    }
+    let mut timings: Vec<Vec<(u64, u64)>> = vec![Vec::with_capacity(trials); specs.len()];
+    let mut counts = vec![(0u64, 0u64); specs.len()];
+    for _ in 0..trials {
+        for (i, cell) in specs.iter().enumerate() {
+            let r = run_cell(cell.clone());
+            assert!(
+                r.completed,
+                "sharded block {} stalled at {} shards",
+                cell.benchmark.label(),
+                cell.shards
+            );
+            // Median by wall clock: that is the axis sharding moves.
+            timings[i].push((r.wall_ns, r.cpu_ns));
+            counts[i] = (r.metrics.messages, r.metrics.merged.commits);
+        }
+    }
+
+    let mut rows = Vec::new();
+    for (i, cell) in specs.iter().enumerate() {
+        timings[i].sort_unstable();
+        let (wall_ns, cpu_ns) = timings[i][timings[i].len() / 2];
+        let (events, commits) = counts[i];
+        let row = KernelRow {
+            benchmark: cell.benchmark,
+            nodes: cell.params.nodes,
+            scheduler: cell.scheduler,
+            backend: cell.dstm.queue_backend,
+            topology: cell.topology.label(),
+            trace: false,
+            trials,
+            shards: cell.shards,
+            concurrency: cell.dstm.concurrency_per_node,
+            wall_ns,
+            cpu_ns,
+            events,
+            commits,
+            allocs_per_event: 0.0,
+            peak_alloc_bytes: 0,
+        };
+        row.print();
+        rows.push(row);
+    }
+    for b in [Benchmark::Bank, Benchmark::Vacation] {
+        let base = rows
+            .iter()
+            .find(|r| r.benchmark == b && r.shards == 1 && r.concurrency == 4);
+        let best = rows
+            .iter()
+            .filter(|r| r.benchmark == b && r.shards > 1 && r.concurrency == 4)
+            .min_by_key(|r| r.wall_ns);
+        if let (Some(base), Some(best)) = (base, best) {
+            println!(
+                "[sharded {}: best wall-clock {:.2}x at {} shards vs serial]",
+                b.label(),
+                base.wall_ns as f64 / best.wall_ns.max(1) as f64,
+                best.shards
+            );
+        }
+    }
+    rows
+}
+
 fn kernel_json(
     rows: &[KernelRow],
     scale_name: &str,
@@ -376,6 +539,14 @@ fn kernel_json(
     let total_events: u64 = rows.iter().map(|r| r.events).sum();
     let mut json = String::from("{\n  \"unit\": \"ns\",\n  \"clock\": \"thread_cpu\",\n");
     let _ = writeln!(json, "  \"scale\": \"{scale_name}\",");
+    let _ = writeln!(json, "  \"workers\": {},", effective_workers());
+    let _ = writeln!(
+        json,
+        "  \"host_cores\": {},",
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    );
     let _ = writeln!(json, "  \"alloc_counter\": {},", alloc_counter::enabled());
     let _ = writeln!(
         json,
@@ -389,7 +560,8 @@ fn kernel_json(
             json,
             "    {{\"benchmark\": \"{}\", \"nodes\": {}, \"scheduler\": \"{}\", \
              \"backend\": \"{}\", \"topology\": \"{}\", \"trace\": \"{}\", \
-             \"trials\": {}, \"wall_ns\": {}, \"cpu_ns\": {}, \"events\": {}, \
+             \"trials\": {}, \"shards\": {}, \"concurrency\": {}, \
+             \"wall_ns\": {}, \"cpu_ns\": {}, \"events\": {}, \
              \"ns_per_event\": {:.1}, \"commits\": {}, \
              \"allocs_per_event\": {:.2}, \"peak_alloc_bytes\": {}}}{}",
             r.benchmark.label(),
@@ -399,6 +571,8 @@ fn kernel_json(
             r.topology,
             if r.trace { "on" } else { "off" },
             r.trials,
+            r.shards,
+            r.concurrency,
             r.wall_ns,
             r.cpu_ns,
             r.events,
@@ -433,6 +607,12 @@ fn json_num(line: &str, key: &str) -> Option<f64> {
 /// Parse the `cells` rows of a kernel report into
 /// `(benchmark/nodes/scheduler/backend/trace, ns_per_event)` pairs. The
 /// writer emits one row per line, so a line-oriented scan is exact.
+///
+/// Rows from the sharded block (`shards > 1` or a non-default
+/// `concurrency`) are skipped: their ns/event reflects host parallelism
+/// and saturation, not kernel cost, and reports written before those
+/// fields existed (which omit them — hence the defaults here) could never
+/// match them anyway.
 fn parse_kernel_rows(text: &str) -> Vec<(String, f64)> {
     text.lines()
         .filter_map(|line| {
@@ -442,6 +622,11 @@ fn parse_kernel_rows(text: &str) -> Vec<(String, f64)> {
             let backend = json_str(line, "backend")?;
             let trace = json_str(line, "trace")?;
             let nspe = json_num(line, "ns_per_event")?;
+            let shards = json_num(line, "shards").unwrap_or(1.0);
+            let concurrency = json_num(line, "concurrency").unwrap_or(4.0);
+            if shards != 1.0 || concurrency != 4.0 {
+                return None;
+            }
             Some((format!("{b}/{nodes}/{s}/{backend}/{trace}"), nspe))
         })
         .collect()
@@ -463,7 +648,9 @@ fn baseline_guard(rows: &[KernelRow], baseline_path: &str) -> bool {
         parse_kernel_rows(&text).into_iter().collect();
     let mut ratios: Vec<f64> = rows
         .iter()
-        .filter(|r| !r.trace)
+        // Serial, default-concurrency, trace-off rows only: the sharded
+        // block's numbers depend on host core count, so they never gate.
+        .filter(|r| !r.trace && r.shards == 1 && r.concurrency == 4)
         .filter_map(|r| {
             let key = format!(
                 "{}/{}/{}/{}/off",
@@ -525,14 +712,23 @@ fn kernel_report(out_path: &str, flags: &Flags) -> bool {
         })
         .unwrap_or(5)
         .max(1);
-    let (rows, sweep_allocs, sweep_peak) = if scale_name == "large" {
-        kernel_grid_large(&scale)
+    println!(
+        "[workers={} host_cores={}]",
+        effective_workers(),
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    );
+    let (mut rows, sweep_allocs, sweep_peak) = if scale_name == "large" {
+        kernel_grid_large(&scale, flags.shards)
     } else {
         alloc_counter::reset();
         let rows = kernel_grid(&scale, trials);
         let (a, p) = alloc_counter::snapshot();
         (rows, a, p)
     };
+    println!("\n[sharded block: 160-node hashed cells, wall-clock medians]");
+    rows.extend(kernel_grid_sharded(trials));
     let json = kernel_json(&rows, &scale_name, sweep_allocs, sweep_peak);
     match std::fs::write(out_path, &json) {
         Ok(()) => println!("\n[written to {out_path}]"),
@@ -545,7 +741,9 @@ fn kernel_report(out_path: &str, flags: &Flags) -> bool {
 }
 
 /// One large-scale cell with tracing on, for CI smoke + `dstm-trace audit`.
-fn large_smoke(positional: &[String], topts: &TraceOpts) {
+/// With `--shards S` the cell runs on the parallel executor; CI runs it at
+/// 1 and 4 shards and byte-diffs the two traces.
+fn large_smoke(positional: &[String], flags: &Flags) {
     let nodes: usize = positional
         .first()
         .and_then(|s| s.parse().ok())
@@ -555,19 +753,21 @@ fn large_smoke(positional: &[String], topts: &TraceOpts) {
         .with_topology(TopologySpec::HashedRandom {
             min_ms: 1,
             max_ms: 50,
-        });
+        })
+        .with_shards(flags.shards);
     let (r, trace) = run_cell_traced(cell);
     assert!(r.completed, "large-smoke cell stalled at n={nodes}");
     println!(
-        "large-smoke: Bank/RTS n={nodes} hashed topology  commits={}  events={}  \
+        "large-smoke: Bank/RTS n={nodes} hashed topology shards={}  commits={}  events={}  \
          {:.1} ms wall  {:.0} ns/event  {} trace records",
+        flags.shards,
         r.metrics.merged.commits,
         r.metrics.messages,
         r.wall_ns as f64 / 1e6,
         r.cpu_ns as f64 / r.metrics.messages.max(1) as f64,
         trace.records.len(),
     );
-    topts.write(&trace);
+    flags.topts.write(&trace);
 }
 
 /// Replay the Fig. 2/3 collision under one scheduler with tracing on.
@@ -648,7 +848,7 @@ fn main() {
             return;
         }
         Some("large-smoke") => {
-            large_smoke(&positional[1..], &flags.topts);
+            large_smoke(&positional[1..], &flags);
             return;
         }
         Some("scenario") => {
@@ -664,7 +864,10 @@ fn main() {
     let txns: usize = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(20);
     let only: Option<Benchmark> = positional.get(2).and_then(|s| Benchmark::from_name(s));
 
-    println!("dstm-sweep: {nodes} nodes, {txns} txns/node, delays 1-50 ms\n");
+    println!(
+        "dstm-sweep: {nodes} nodes, {txns} txns/node, delays 1-50 ms, shards={}\n",
+        flags.shards
+    );
     let mut hist_rows = Vec::new();
     let mut trace_opts = Some(&flags.topts); // first RTS low-contention cell only
     for b in Benchmark::ALL {
@@ -680,7 +883,9 @@ fn main() {
                 SchedulerKind::Tfa,
                 SchedulerKind::TfaBackoff,
             ] {
-                let cell = Cell::new(b, s, nodes, read_ratio).with_txns(txns);
+                let cell = Cell::new(b, s, nodes, read_ratio)
+                    .with_txns(txns)
+                    .with_shards(flags.shards);
                 let r = if s == SchedulerKind::Rts && read_ratio > 0.5 {
                     if let Some(t) = trace_opts.take().filter(|t| t.path.is_some()) {
                         let (r, trace) = run_cell_traced(cell);

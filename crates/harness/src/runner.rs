@@ -45,6 +45,22 @@ pub struct Cell {
     pub sim_seed: u64,
     /// Network model (defaults to the paper's 1–50 ms uniform matrix).
     pub topology: TopologySpec,
+    /// Shards for the conservative time-windowed parallel executor; 1 runs
+    /// the classic serial loop. Results are bit-identical either way — this
+    /// is purely a host wall-clock knob. `Cell::new` seeds it from the
+    /// `DSTM_SHARDS` environment variable (like `DSTM_WORKERS` for the cell
+    /// pool), so every sweep and bench target honors the override without
+    /// plumbing; `with_shards` sets it explicitly.
+    pub shards: usize,
+}
+
+/// `DSTM_SHARDS` default for new cells; 1 (serial) when unset or invalid.
+fn env_shards() -> usize {
+    std::env::var("DSTM_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+        .max(1)
 }
 
 impl Cell {
@@ -75,7 +91,15 @@ impl Cell {
                 min_ms: 1,
                 max_ms: 50,
             },
+            shards: env_shards(),
         }
+    }
+
+    /// Run the simulation on `shards` threads (conservative time-windowed
+    /// executor); clamped to ≥ 1. Bit-identical to the serial run.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
     }
 
     pub fn with_topology(mut self, topology: TopologySpec) -> Self {
@@ -120,10 +144,13 @@ pub struct CellResult {
     /// Host wall-clock for build + run of this cell, in nanoseconds
     /// (per-cell even when cells run on the worker pool).
     pub wall_ns: u64,
-    /// Thread-CPU time for build + run of this cell, in nanoseconds. A cell
-    /// runs entirely on one thread, so this is the preemption-immune
-    /// cost — on shared/noisy hosts wall clock inflates under contention
-    /// while this stays put. Benchmarks key ns/event off this.
+    /// Thread-CPU time for build + run of this cell, in nanoseconds. A
+    /// serial cell runs entirely on one thread, so this is the
+    /// preemption-immune cost — on shared/noisy hosts wall clock inflates
+    /// under contention while this stays put. Benchmarks key ns/event off
+    /// this. For sharded cells (`shards > 1`) this counts only the
+    /// coordinating thread (which runs shard 0); cross-thread speedup claims
+    /// must use `wall_ns`.
     pub cpu_ns: u64,
 }
 
@@ -198,8 +225,15 @@ pub fn build_system(cell: &Cell) -> System {
     build_system_with_queue(cell, dstm_sim::BinaryHeapQueue::new())
 }
 
-fn finish_cell<Q: EventQueue<NodeEvent>>(cell: Cell, mut system: System<Q>) -> CellResult {
-    let metrics = system.run_default();
+fn finish_cell<Q: EventQueue<NodeEvent> + Default + Send>(
+    cell: Cell,
+    mut system: System<Q>,
+) -> CellResult {
+    let metrics = if cell.shards > 1 {
+        system.run_sharded_default(cell.shards)
+    } else {
+        system.run_default()
+    };
     CellResult {
         completed: system.all_done(),
         cell,
@@ -236,8 +270,15 @@ pub fn run_cell(cell: Cell) -> CellResult {
 pub fn run_cell_traced(mut cell: Cell) -> (CellResult, TraceLog) {
     cell.dstm.trace_protocol = true;
 
-    fn go<Q: EventQueue<NodeEvent>>(cell: Cell, mut system: System<Q>) -> (CellResult, TraceLog) {
-        let metrics = system.run_default();
+    fn go<Q: EventQueue<NodeEvent> + Default + Send>(
+        cell: Cell,
+        mut system: System<Q>,
+    ) -> (CellResult, TraceLog) {
+        let metrics = if cell.shards > 1 {
+            system.run_sharded_default(cell.shards)
+        } else {
+            system.run_default()
+        };
         let mut trace = system.take_trace();
         trace.push_summary(system.now(), &metrics.merged);
         let completed = system.all_done();
@@ -271,52 +312,117 @@ pub fn run_cell_traced(mut cell: Cell) -> (CellResult, TraceLog) {
 }
 
 /// Run many cells on `workers` threads (defaults to the parallelism the OS
-/// reports). Results come back in input order.
+/// reports). Results come back in input order. A panicking cell aborts the
+/// sweep with a clean panic naming that cell (see [`try_run_cells`]).
 pub fn run_cells(cells: Vec<Cell>, workers: Option<usize>) -> Vec<CellResult> {
-    let n = cells.len();
+    match try_run_cells(cells, workers) {
+        Ok(results) => results,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`run_cells`]: a cell that panics surfaces as a clean
+/// `Err` naming the failing cell instead of unwinding through the pool —
+/// every worker is caught individually, so one bad cell can neither poison
+/// the shared claim index nor strand the collector.
+pub fn try_run_cells(cells: Vec<Cell>, workers: Option<usize>) -> Result<Vec<CellResult>, String> {
+    let workers = workers.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    });
+    pooled_map(
+        &cells,
+        workers,
+        &|c| {
+            format!(
+                "{}/{}/n={} seed={:#x} shards={}",
+                c.benchmark.label(),
+                c.scheduler.label(),
+                c.params.nodes,
+                c.sim_seed,
+                c.shards
+            )
+        },
+        &|c| run_cell(c.clone()),
+    )
+}
+
+/// Render a caught panic payload (the `&str`/`String` forms `panic!` and
+/// `assert!` produce; anything else becomes a placeholder).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Order-preserving parallel map over `tasks` on a claim-index worker pool,
+/// with per-task panic isolation: each invocation of `run` is wrapped in
+/// `catch_unwind`, so a panicking task is reported (`Err` naming it via
+/// `describe`) rather than tearing down the pool mid-sweep. The first
+/// failing task (by input order) wins; later results are discarded.
+fn pooled_map<T: Sync, R: Send>(
+    tasks: &[T],
+    workers: usize,
+    describe: &(dyn Fn(&T) -> String + Sync),
+    run: &(dyn Fn(&T) -> R + Sync),
+) -> Result<Vec<R>, String> {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let n = tasks.len();
     if n == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
-    let workers = workers
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
-        })
-        .clamp(1, n);
+    let workers = workers.clamp(1, n);
+    let mut slots: Vec<Option<Result<R, String>>> = (0..n).map(|_| None).collect();
+
     if workers == 1 {
-        return cells.into_iter().map(run_cell).collect();
+        for (task, slot) in tasks.iter().zip(&mut slots) {
+            *slot = Some(catch_unwind(AssertUnwindSafe(|| run(task))).map_err(panic_message));
+        }
+    } else {
+        // Work-stealing by shared index: each worker claims the next
+        // unclaimed task, runs it (caught), and sends `(index, result)`
+        // back; the collector reorders.
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let (res_tx, res_rx) = std::sync::mpsc::channel::<(usize, Result<R, String>)>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let res_tx = res_tx.clone();
+                let next = &next;
+                scope.spawn(move || loop {
+                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(task) = tasks.get(idx) else { return };
+                    let result = catch_unwind(AssertUnwindSafe(|| run(task)));
+                    if res_tx.send((idx, result.map_err(panic_message))).is_err() {
+                        return;
+                    }
+                });
+            }
+            drop(res_tx);
+            while let Ok((idx, result)) = res_rx.recv() {
+                slots[idx] = Some(result);
+            }
+        });
     }
 
-    // Work-stealing by shared index: each worker claims the next unclaimed
-    // cell, runs it, and sends `(index, result)` back; the collector reorders.
-    let tasks: Vec<Cell> = cells;
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let (res_tx, res_rx) = std::sync::mpsc::channel::<(usize, CellResult)>();
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let res_tx = res_tx.clone();
-            let next = &next;
-            let tasks = &tasks;
-            scope.spawn(move || loop {
-                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(cell) = tasks.get(idx) else { return };
-                let result = run_cell(cell.clone());
-                if res_tx.send((idx, result)).is_err() {
-                    return;
-                }
-            });
+    let mut out = Vec::with_capacity(n);
+    for (task, slot) in tasks.iter().zip(slots) {
+        match slot {
+            Some(Ok(r)) => out.push(r),
+            Some(Err(msg)) => {
+                return Err(format!("cell {} panicked: {msg}", describe(task)));
+            }
+            // Unreachable in practice: every claimed index sends exactly one
+            // result and the channel outlives the workers.
+            None => return Err(format!("cell {} produced no result", describe(task))),
         }
-        drop(res_tx);
-        let mut out: Vec<Option<CellResult>> = (0..n).map(|_| None).collect();
-        while let Ok((idx, result)) = res_rx.recv() {
-            out[idx] = Some(result);
-        }
-        out.into_iter()
-            .map(|r| r.expect("every cell produced a result"))
-            .collect()
-    })
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -379,6 +485,50 @@ mod tests {
         );
         assert_eq!(heap.metrics.messages, cal.metrics.messages);
         assert_eq!(heap.metrics.elapsed, cal.metrics.elapsed);
+    }
+
+    #[test]
+    fn sharded_cells_match_serial_bit_for_bit() {
+        let base = tiny(Benchmark::Bank, SchedulerKind::Rts);
+        let serial = run_cell(base.clone());
+        assert!(serial.completed);
+        for shards in [2, 4, 8] {
+            let sharded = run_cell(base.clone().with_shards(shards));
+            assert!(sharded.completed, "sharded({shards}) stalled");
+            assert_eq!(serial.metrics.merged, sharded.metrics.merged);
+            assert_eq!(serial.metrics.messages, sharded.metrics.messages);
+            assert_eq!(serial.metrics.ended_at, sharded.metrics.ended_at);
+        }
+    }
+
+    #[test]
+    fn pool_reports_panicking_task_cleanly() {
+        let tasks: Vec<u32> = (0..8).collect();
+        let describe = |t: &u32| format!("task{t}");
+
+        // Multi-worker: the pool survives the panic, drains the remaining
+        // claims, and names the failing task.
+        let err = pooled_map(&tasks, 3, &describe, &|t| {
+            if *t == 5 {
+                panic!("boom {t}");
+            }
+            *t * 2
+        })
+        .unwrap_err();
+        assert!(err.contains("task5"), "missing task name: {err}");
+        assert!(err.contains("boom 5"), "missing panic message: {err}");
+
+        // Single-worker path catches too.
+        let err = pooled_map(&tasks, 1, &describe, &|t| {
+            assert!(*t != 2, "assert failure in task");
+            *t
+        })
+        .unwrap_err();
+        assert!(err.contains("task2"), "{err}");
+
+        // And the all-good path returns results in input order.
+        let ok = pooled_map(&tasks, 3, &describe, &|t| *t * 2).unwrap();
+        assert_eq!(ok, vec![0, 2, 4, 6, 8, 10, 12, 14]);
     }
 
     #[test]

@@ -58,7 +58,9 @@ pub enum NestedAbortCause {
 }
 
 /// Per-node counters, merged across nodes at the end of a run.
-#[derive(Clone, Debug, Default)]
+/// `PartialEq` so differential tests (serial vs sharded execution, queue
+/// backends) can compare whole runs structurally.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct NodeMetrics {
     /// Top-level commits.
     pub commits: u64,

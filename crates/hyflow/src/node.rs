@@ -148,6 +148,12 @@ pub struct Node {
     pending: VecDeque<BoxedProgram>,
     next_seq: u64,
     active: usize,
+    /// Virtual time of this node's last commit — the moment [`Node::done`]
+    /// flipped true. `None` until then (or `Some(ZERO)` for a node that
+    /// started with no workload). A property of the node's own event
+    /// sequence, so it is identical under serial and sharded execution even
+    /// though the two drain trailing in-flight events in different orders.
+    done_at: Option<SimTime>,
     pub completed: usize,
     pub metrics: NodeMetrics,
     /// Protocol-event sink (off unless `cfg.trace_protocol`; every caller
@@ -180,6 +186,7 @@ impl Node {
         if cfg.trace_protocol {
             ptrace.enable();
         }
+        let pending: VecDeque<BoxedProgram> = workload.into();
         Node {
             me,
             topo,
@@ -190,7 +197,8 @@ impl Node {
             sched: SchedulingTable::new(),
             stats,
             txs: Vec::new(),
-            pending: workload.into(),
+            done_at: pending.is_empty().then_some(SimTime::ZERO),
+            pending,
             next_seq: 0,
             active: 0,
             completed: 0,
@@ -214,6 +222,13 @@ impl Node {
     /// Whether all of this node's workload has committed.
     pub fn done(&self) -> bool {
         self.pending.is_empty() && self.active == 0
+    }
+
+    /// Virtual time of the commit that finished this node's workload, or
+    /// `None` while work remains. See the field doc for why this is the
+    /// makespan anchor rather than the post-drain `world.now()`.
+    pub fn done_at(&self) -> Option<SimTime> {
+        self.done_at
     }
 
     /// Live + pending transaction count (diagnostics).
@@ -714,6 +729,9 @@ impl Node {
         tx.phase = TxPhase::Done;
         self.active -= 1;
         self.completed += 1;
+        if self.pending.is_empty() && self.active == 0 {
+            self.done_at = Some(now);
+        }
     }
 
     // -- aborts (requester side) --------------------------------------------

@@ -136,17 +136,57 @@ impl<Q: EventQueue<NodeEvent>> System<Q> {
         &mut self.world
     }
 
-    /// Drive the system until every node's workload committed, the event
-    /// budget is exhausted, or the queue unexpectedly drains. Returns the
-    /// aggregated run metrics.
+    /// Drive the system to **quiescence**: every event is processed until
+    /// the queue drains (or the runaway `event_budget` backstop trips).
+    /// Returns the aggregated run metrics.
+    ///
+    /// All protocol timers are one-shot and the workload is finite, so a
+    /// run always drains shortly after the last node finishes; quiescence
+    /// is — unlike "stop at the event that completed the last node" — the
+    /// *same* stop point the sharded executor reaches, which is what makes
+    /// [`run_sharded`](Self::run_sharded) bit-identical to this method.
+    /// The makespan reported in the metrics still ends at the last commit,
+    /// not at the drain: see [`collect`](Self::collect).
     pub fn run(&mut self, event_budget: u64) -> RunMetrics {
         let started_at = self.world.now();
-        // `Node::done()` is monotonic and only flips inside the node's own
-        // handlers, so the world can track doneness per touched actor —
-        // O(1) per event instead of scanning all n nodes after each one.
-        self.world.run_until_all_done(event_budget, |n| n.done());
-        let ended_at = self.world.now();
+        self.world.run_while(event_budget, |_| true);
+        self.collect(started_at)
+    }
 
+    /// Like [`run`](Self::run), but executes on `shards` threads using the
+    /// kernel's conservative time-windowed parallel executor, with lookahead
+    /// equal to the topology's minimum link delay (≥ 1 ms for the paper's
+    /// 1–50 ms delay matrices). The outcome — metrics, histograms, object
+    /// state, protocol traces — is bit-identical to the serial `run` for
+    /// every shard count.
+    pub fn run_sharded(&mut self, event_budget: u64, shards: usize) -> RunMetrics
+    where
+        Q: Default + Send,
+    {
+        let started_at = self.world.now();
+        let lookahead = self.topo.min_delay();
+        self.world.run_sharded(shards, lookahead, event_budget);
+        self.collect(started_at)
+    }
+
+    fn collect(&self, started_at: SimTime) -> RunMetrics {
+        // The run executes to quiescence, but the makespan the figures
+        // divide throughput by ends at the last *commit* — the trailing
+        // in-flight replies and stale retry timers that drain afterwards
+        // are not useful work (RTS in particular leaves long retry timers
+        // pending, and counting them would understate its throughput by
+        // several-fold). Each node records its own completion time, so the
+        // max is identical under serial and sharded execution even though
+        // the two drain the tail in different orders. An incomplete run
+        // (budget backstop tripped) has no last commit; fall back to the
+        // stop time.
+        let ended_at = self
+            .world
+            .actors()
+            .iter()
+            .map(|n| n.done_at())
+            .try_fold(SimTime::ZERO, |acc, t| t.map(|t| acc.max(t)))
+            .unwrap_or_else(|| self.world.now());
         let mut merged = NodeMetrics::default();
         for node in self.world.actors() {
             merged.merge(&node.metrics);
@@ -164,8 +204,21 @@ impl<Q: EventQueue<NodeEvent>> System<Q> {
     /// Run with a default event budget generous enough for the harness
     /// workloads (≈50k events per transaction).
     pub fn run_default(&mut self) -> RunMetrics {
+        self.run(self.default_budget())
+    }
+
+    /// [`run_sharded`](Self::run_sharded) with the same default event budget
+    /// as [`run_default`](Self::run_default).
+    pub fn run_sharded_default(&mut self, shards: usize) -> RunMetrics
+    where
+        Q: Default + Send,
+    {
+        self.run_sharded(self.default_budget(), shards)
+    }
+
+    fn default_budget(&self) -> u64 {
         let total_txns: usize = self.world.actors().iter().map(|n| n.backlog()).sum();
-        self.run((total_txns as u64 + 16) * 50_000)
+        (total_txns as u64 + 16) * 50_000
     }
 
     /// Whether every node finished its workload.
@@ -390,6 +443,50 @@ mod tests {
         assert_eq!(heap.messages, cal.messages);
         assert_eq!(heap.ended_at, cal.ended_at);
         assert_eq!(heap_sys.object_state(), cal_sys.object_state());
+    }
+
+    #[test]
+    fn sharded_run_is_bit_identical_to_serial() {
+        // Contended multi-node workload: the conservative windowed executor
+        // must reproduce the serial run exactly, for every shard count.
+        fn build() -> System {
+            let oid = ObjectId(1);
+            let mut rng = SimRng::new(23);
+            let topo = Topology::uniform_random(6, 1, 20, &mut rng);
+            let cfg = DstmConfig::default()
+                .with_scheduler(SchedulerKind::Rts)
+                .with_concurrency(2);
+            let mk = || -> BoxedProgram {
+                Box::new(ScriptProgram::new(
+                    TxKind(1),
+                    vec![
+                        ScriptOp::Write(oid),
+                        ScriptOp::AddScalar(oid, 1),
+                        ScriptOp::Compute(SimDuration::from_micros(250)),
+                    ],
+                ))
+            };
+            let programs = (0..6).map(|_| (0..3).map(|_| mk()).collect()).collect();
+            SystemBuilder::new(topo, cfg)
+                .seed(17)
+                .build(WorkloadSource {
+                    objects: vec![(ObjectId(1), Payload::Scalar(0))],
+                    programs,
+                })
+        }
+
+        let mut serial = build();
+        let want = serial.run(5_000_000);
+        assert!(serial.all_done());
+        for shards in [1, 2, 4, 8] {
+            let mut sys = build();
+            let got = sys.run_sharded(5_000_000, shards);
+            assert!(sys.all_done(), "sharded({shards}) stalled");
+            assert_eq!(got.merged, want.merged, "metrics diverged at {shards}");
+            assert_eq!(got.messages, want.messages);
+            assert_eq!(got.ended_at, want.ended_at);
+            assert_eq!(sys.object_state(), serial.object_state());
+        }
     }
 
     #[test]

@@ -274,6 +274,26 @@ impl Topology {
         SimDuration::from_nanos((sum / pairs) as u64)
     }
 
+    /// Minimum one-way delay over distinct pairs — the **lookahead** of the
+    /// conservative sharded executor (`GenericWorld::run_sharded`): no
+    /// message between different nodes can arrive sooner than this, so a
+    /// synchronized window of this width is safe to execute without
+    /// cross-shard coordination. Every generator keeps delays ≥ 1 ms, so
+    /// this is ≥ 1 ms in practice; a degenerate single-node topology
+    /// (no pairs) reports 1 ms as a harmless fallback.
+    pub fn min_delay(&self) -> SimDuration {
+        let mut min: Option<SimDuration> = None;
+        for a in 0..self.n {
+            for b in 0..self.n {
+                if a != b {
+                    let d = self.d(a, b);
+                    min = Some(min.map_or(d, |m| m.min(d)));
+                }
+            }
+        }
+        min.unwrap_or(SimDuration::from_millis(1))
+    }
+
     /// `Σ_i d(from, i)` — total one-way delay from `from` to every node,
     /// the term `Σ d(n0, ni)` in Lemmas 3.2/3.3.
     pub fn sum_delays_from(&self, from: ActorId) -> SimDuration {
@@ -493,6 +513,33 @@ mod tests {
         let mut seen: Vec<u32> = tour.iter().map(|a| a.0).collect();
         seen.sort_unstable();
         assert_eq!(seen, (0..30).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn min_delay_is_the_smallest_pairwise_delay() {
+        assert_eq!(Topology::complete(5, 7).min_delay().as_millis(), 7);
+        assert_eq!(Topology::ring(6, 10).min_delay().as_millis(), 10);
+        assert_eq!(Topology::clustered(8, 2, 2, 20).min_delay().as_millis(), 2);
+        // Random matrices: min over an exhaustive pair scan, and ≥ the
+        // generator's floor — the lookahead guarantee the sharded executor
+        // relies on.
+        for t in [
+            Topology::uniform_random(20, 1, 50, &mut rng()),
+            Topology::hashed_random(20, 1, 50, 99),
+        ] {
+            let mut want = SimDuration::MAX;
+            for a in 0..20 {
+                for b in 0..20 {
+                    if a != b {
+                        want = want.min(t.delay(ActorId(a), ActorId(b)));
+                    }
+                }
+            }
+            assert_eq!(t.min_delay(), want);
+            assert!(t.min_delay() >= SimDuration::from_millis(1));
+        }
+        // Degenerate: no pairs → 1 ms fallback.
+        assert_eq!(Topology::complete(1, 9).min_delay().as_millis(), 1);
     }
 
     #[test]

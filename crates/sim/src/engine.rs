@@ -13,25 +13,38 @@
 //! The pending-event set is pluggable: [`GenericWorld<A, Q>`] is generic over
 //! any [`EventQueue`] implementation, and [`World<A>`] is the
 //! [`BinaryHeapQueue`]-backed default alias. Because every backend must honor
-//! the same total order ([`crate::event::EventKey`]: time, then issue
-//! sequence), a run is bit-identical regardless of backend — the choice is
-//! purely a performance knob (see `queue.rs` for the calendar-queue
-//! trade-offs). The event-dispatch loop in [`GenericWorld::step`] is
-//! statically dispatched over `Q`; only pushes from inside actor callbacks go
-//! through a `dyn EventQueue` so that the [`Actor`] trait (and every actor
-//! implementation) stays independent of the backend type.
+//! the same total order ([`crate::event::EventKey`]: time, then issuing
+//! actor, then per-actor sequence), a run is bit-identical regardless of
+//! backend — the choice is purely a performance knob (see `queue.rs` for the
+//! calendar-queue trade-offs). The event-dispatch loop in
+//! [`GenericWorld::step`] is statically dispatched over `Q`; only pushes from
+//! inside actor callbacks go through a `dyn EventQueue` so that the [`Actor`]
+//! trait (and every actor implementation) stays independent of the backend
+//! type.
+//!
+//! # Per-actor kernel state
+//!
+//! Everything the kernel tracks per actor — RNG stream, issue-sequence
+//! counter, timer slab — lives in one [`ActorState`] that travels with the
+//! actor. This is what makes sharded execution (`shard.rs`) possible: a
+//! shard takes ownership of its actors' states wholesale, so timer tokens
+//! stay valid and event keys stay identical regardless of how actors are
+//! partitioned. A [`KernelCore`] addresses states by `(base, stride)`: the
+//! serial world uses `(0, 1)`, shard `s` of `S` uses `(s, S)` over the
+//! round-robin partition.
 //!
 //! # Timer cancellation
 //!
 //! Timers are cancelled in O(1) without hashing: each armed timer occupies a
-//! slot in a generation-stamped slab and its [`TimerToken`] packs
+//! slot in its actor's generation-stamped slab and its [`TimerToken`] packs
 //! `(slot, generation)`. Cancelling (or firing) bumps the slot's generation,
 //! so a queued timer event whose stamped generation no longer matches is
 //! skipped when popped. Slots are recycled through a free list, bounding slab
 //! size by the maximum number of *concurrently armed* timers rather than the
-//! total armed over a run.
+//! total armed over a run. The slab is per-actor (not global) so that a
+//! token armed before a run and cancelled inside a shard still resolves.
 
-use crate::event::Sequenced;
+use crate::event::{EventKey, Sequenced};
 use crate::queue::{BinaryHeapQueue, EventQueue};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
@@ -50,9 +63,10 @@ impl ActorId {
 
 /// Handle to a pending timer; pass to [`Ctx::cancel_timer`] to cancel.
 ///
-/// Packs `(generation << 32) | slot` of the kernel's timer slab. Tokens are
-/// opaque to actors; a token is spent once its timer fires or is cancelled,
-/// and later use is a harmless no-op (the generation no longer matches).
+/// Packs `(generation << 32) | slot` of the owning actor's timer slab.
+/// Tokens are opaque to actors; a token is spent once its timer fires or is
+/// cancelled, and later use is a harmless no-op (the generation no longer
+/// matches).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct TimerToken(u64);
 
@@ -89,7 +103,7 @@ pub trait Actor {
 /// One pending event in the kernel queue: a message delivery or a timer
 /// expiry. Public so queue backends can be named in type signatures
 /// (e.g. `CalendarQueue<KernelEvent<M, T>>`), but its fields stay private to
-/// the engine.
+/// the engine (and the sharded executor).
 pub enum KernelEvent<M, T> {
     Msg {
         from: ActorId,
@@ -103,26 +117,65 @@ pub enum KernelEvent<M, T> {
     },
 }
 
-/// Queue-independent engine state shared between the run loop and actor
-/// callbacks. Holds no message/timer payloads, so it needs no type
-/// parameters — which is what lets [`Ctx`] stay independent of the queue
-/// backend.
-struct KernelCore {
-    now: SimTime,
-    seq: u64,
+impl<M, T> KernelEvent<M, T> {
+    /// The actor this event will be delivered to — the routing key of the
+    /// sharded executor.
+    #[inline]
+    pub(crate) fn destination(&self) -> ActorId {
+        match self {
+            KernelEvent::Msg { to, .. } => *to,
+            KernelEvent::Timer { on, .. } => *on,
+        }
+    }
+}
+
+/// Kernel state owned by (and moving with) one actor: its deterministic RNG
+/// stream, its private event-issue counter (the [`EventKey`] tiebreak), and
+/// its timer slab.
+#[derive(Debug)]
+pub(crate) struct ActorState {
+    pub(crate) rng: SimRng,
+    /// Events issued by this actor so far; the next event it schedules gets
+    /// `seq + 1`. Interleaving-independent by construction.
+    pub(crate) seq: u64,
     /// Generation stamp per timer slot; bumped when the slot's timer fires or
     /// is cancelled, invalidating any queued event carrying the old stamp.
     /// (A stamp would have to survive 2^32 arm/retire cycles of one slot
     /// while its event sits in the queue to collide — not possible, since
     /// a slot is only recycled after its previous event is resolved.)
-    timer_gens: Vec<u32>,
+    pub(crate) timer_gens: Vec<u32>,
     /// Recycled slots available for the next `set_timer`.
-    timer_free: Vec<u32>,
-    rngs: Vec<SimRng>,
-    trace: TraceSink,
+    pub(crate) timer_free: Vec<u32>,
+}
+
+impl ActorState {
+    fn new(root: &SimRng, gid: u32) -> Self {
+        ActorState {
+            rng: root.split(gid as u64),
+            seq: 0,
+            timer_gens: Vec::new(),
+            timer_free: Vec::new(),
+        }
+    }
+}
+
+/// Queue-independent engine state shared between the run loop and actor
+/// callbacks. Holds no message/timer payloads, so it needs no type
+/// parameters — which is what lets [`Ctx`] stay independent of the queue
+/// backend.
+///
+/// `states[i]` belongs to actor `base + i * stride`: the serial world is
+/// `(base, stride) = (0, 1)`; shard `s` of `S` owns the round-robin slice
+/// `(s, S)`.
+pub(crate) struct KernelCore {
+    pub(crate) now: SimTime,
+    pub(crate) base: u32,
+    pub(crate) stride: u32,
+    pub(crate) states: Vec<ActorState>,
+    pub(crate) trace: TraceSink,
     /// Delivered message count (protocol messages, not timers).
-    messages_delivered: u64,
-    timers_fired: u64,
+    pub(crate) messages_delivered: u64,
+    pub(crate) timers_fired: u64,
 }
 
 impl KernelCore {
@@ -130,62 +183,110 @@ impl KernelCore {
         let root = SimRng::new(seed);
         KernelCore {
             now: SimTime::ZERO,
-            seq: 0,
-            timer_gens: Vec::new(),
-            timer_free: Vec::new(),
-            rngs: (0..actors).map(|i| root.split(i as u64)).collect(),
+            base: 0,
+            stride: 1,
+            states: (0..actors)
+                .map(|i| ActorState::new(&root, i as u32))
+                .collect(),
             trace: TraceSink::Disabled,
             messages_delivered: 0,
             timers_fired: 0,
         }
     }
 
-    /// Claim a slot for a newly armed timer and stamp a token with its
-    /// current generation.
-    #[inline]
-    fn timer_arm(&mut self) -> TimerToken {
-        let slot = match self.timer_free.pop() {
-            Some(slot) => slot,
-            None => {
-                self.timer_gens.push(0);
-                (self.timer_gens.len() - 1) as u32
-            }
-        };
-        TimerToken::pack(slot, self.timer_gens[slot as usize])
+    /// An empty shard core covering actor ids `≡ base (mod stride)`; states
+    /// are installed by the sharded executor (moved, not recreated, so RNG
+    /// streams, issue counters, and timer slabs carry over exactly).
+    pub(crate) fn shard_shell(now: SimTime, base: u32, stride: u32) -> Self {
+        KernelCore {
+            now,
+            base,
+            stride,
+            states: Vec::new(),
+            trace: TraceSink::Disabled,
+            messages_delivered: 0,
+            timers_fired: 0,
+        }
     }
 
-    /// Retire a timer: bump its slot's generation and recycle the slot.
-    /// No-op (returns false) if the token's generation is stale, i.e. the
-    /// timer already fired or was already cancelled.
+    /// Slot of `id` in `states` under this core's `(base, stride)` view.
+    /// The serial `stride == 1` case skips the hardware division — `stride`
+    /// is a runtime value, so the compiler cannot fold `/ 1` on its own,
+    /// and this sits on the per-event hot path (every push, pop, rng draw,
+    /// and timer op).
     #[inline]
-    fn timer_retire(&mut self, token: TimerToken) -> bool {
+    pub(crate) fn slot(&self, id: ActorId) -> usize {
+        debug_assert_eq!(
+            id.0 % self.stride,
+            self.base,
+            "actor {id:?} not owned by this core (base {}, stride {})",
+            self.base,
+            self.stride
+        );
+        if self.stride == 1 {
+            id.0 as usize
+        } else {
+            (id.0 / self.stride) as usize
+        }
+    }
+
+    /// Claim a slot in `me`'s timer slab for a newly armed timer and stamp a
+    /// token with its current generation.
+    #[inline]
+    fn timer_arm(&mut self, me: ActorId) -> TimerToken {
+        let slot = self.slot(me);
+        let st = &mut self.states[slot];
+        let slot = match st.timer_free.pop() {
+            Some(slot) => slot,
+            None => {
+                st.timer_gens.push(0);
+                (st.timer_gens.len() - 1) as u32
+            }
+        };
+        TimerToken::pack(slot, st.timer_gens[slot as usize])
+    }
+
+    /// Retire a timer on `on`: bump its slot's generation and recycle the
+    /// slot. No-op (returns false) if the token's generation is stale, i.e.
+    /// the timer already fired or was already cancelled.
+    #[inline]
+    fn timer_retire(&mut self, on: ActorId, token: TimerToken) -> bool {
+        let slot = self.slot(on);
+        let st = &mut self.states[slot];
         let (slot, generation) = token.unpack();
-        let current = &mut self.timer_gens[slot as usize];
+        let current = &mut st.timer_gens[slot as usize];
         if *current != generation {
             return false;
         }
         *current = current.wrapping_add(1);
-        self.timer_free.push(slot);
+        st.timer_free.push(slot);
         true
     }
 }
 
-/// Schedule `payload` at `core.now + delay` into `queue`. Free function (not
-/// a method) so it can be called with a split borrow of core + dyn queue.
+/// Schedule `payload` at `core.now + delay` into `queue`, stamped from
+/// `issuer`'s private sequence counter. Free function (not a method) so it
+/// can be called with a split borrow of core + dyn queue.
 #[inline]
 fn schedule<M, T>(
     core: &mut KernelCore,
     queue: &mut dyn EventQueue<KernelEvent<M, T>>,
+    issuer: ActorId,
     delay: SimDuration,
     payload: KernelEvent<M, T>,
 ) {
     let at = core.now + delay;
-    core.seq += 1;
-    queue.push(Sequenced::new(at, core.seq, payload));
+    let slot = core.slot(issuer);
+    let st = &mut core.states[slot];
+    st.seq += 1;
+    queue.push(Sequenced {
+        key: EventKey::compose(at, issuer.0, st.seq),
+        payload,
+    });
 }
 
 /// What one pass over the event queue did.
-enum StepOutcome {
+pub(crate) enum StepOutcome {
     /// Queue empty — nothing left to run.
     Drained,
     /// A cancelled timer was discarded; no handler ran.
@@ -194,15 +295,71 @@ enum StepOutcome {
     Ran(ActorId),
 }
 
+/// Deliver one already-popped event: advance time, dispatch to the owning
+/// actor's handler (or discard a cancelled timer). Shared verbatim by the
+/// serial step loop and the per-shard window loop, so both execute events
+/// identically by construction.
+pub(crate) fn dispatch_one<A: Actor>(
+    actors: &mut [A],
+    core: &mut KernelCore,
+    queue: &mut dyn EventQueue<KernelEvent<A::Msg, A::Timer>>,
+    ev: Sequenced<KernelEvent<A::Msg, A::Timer>>,
+) -> StepOutcome {
+    debug_assert!(ev.key.time >= core.now, "time went backwards");
+    core.now = ev.key.time;
+    match ev.payload {
+        KernelEvent::Msg { from, to, msg } => {
+            core.messages_delivered += 1;
+            if core.trace.enabled() {
+                core.trace.record(TraceEvent::Deliver {
+                    at: core.now,
+                    from,
+                    to,
+                    tag: "msg",
+                });
+            }
+            let idx = core.slot(to);
+            let mut ctx = Ctx {
+                core,
+                queue,
+                me: to,
+            };
+            actors[idx].on_message(&mut ctx, from, msg);
+            StepOutcome::Ran(to)
+        }
+        KernelEvent::Timer { on, token, timer } => {
+            if !core.timer_retire(on, token) {
+                return StepOutcome::Skipped; // cancelled
+            }
+            core.timers_fired += 1;
+            if core.trace.enabled() {
+                core.trace.record(TraceEvent::TimerFired {
+                    at: core.now,
+                    on,
+                    tag: "timer",
+                });
+            }
+            let idx = core.slot(on);
+            let mut ctx = Ctx {
+                core,
+                queue,
+                me: on,
+            };
+            actors[idx].on_timer(&mut ctx, timer);
+            StepOutcome::Ran(on)
+        }
+    }
+}
+
 /// The per-callback view of the engine handed to actor code.
 ///
 /// Independent of the queue backend (`Q`) by design: the queue is borrowed as
 /// a trait object, so `Actor` implementations compile once and run under any
-/// backend.
+/// backend — including the sharded executor's routing queue.
 pub struct Ctx<'a, M, T> {
-    core: &'a mut KernelCore,
-    queue: &'a mut dyn EventQueue<KernelEvent<M, T>>,
-    me: ActorId,
+    pub(crate) core: &'a mut KernelCore,
+    pub(crate) queue: &'a mut dyn EventQueue<KernelEvent<M, T>>,
+    pub(crate) me: ActorId,
 }
 
 impl<'a, M, T> Ctx<'a, M, T> {
@@ -226,6 +383,7 @@ impl<'a, M, T> Ctx<'a, M, T> {
         schedule(
             self.core,
             self.queue,
+            from,
             delay,
             KernelEvent::Msg { from, to, msg },
         );
@@ -233,11 +391,12 @@ impl<'a, M, T> Ctx<'a, M, T> {
 
     /// Arm a timer on this actor that fires after `delay`.
     pub fn set_timer(&mut self, delay: SimDuration, timer: T) -> TimerToken {
-        let token = self.core.timer_arm();
+        let token = self.core.timer_arm(self.me);
         let on = self.me;
         schedule(
             self.core,
             self.queue,
+            on,
             delay,
             KernelEvent::Timer { on, token, timer },
         );
@@ -248,13 +407,14 @@ impl<'a, M, T> Ctx<'a, M, T> {
     /// cancelled timer is a no-op. O(1): bumps the slot generation so the
     /// queued event is skipped when it surfaces.
     pub fn cancel_timer(&mut self, token: TimerToken) {
-        self.core.timer_retire(token);
+        self.core.timer_retire(self.me, token);
     }
 
     /// This actor's private deterministic RNG stream.
     #[inline]
     pub fn rng(&mut self) -> &mut SimRng {
-        &mut self.core.rngs[self.me.index()]
+        let slot = self.core.slot(self.me);
+        &mut self.core.states[slot].rng
     }
 
     /// Emit a free-form trace annotation (no-op when tracing is disabled;
@@ -273,9 +433,9 @@ impl<'a, M, T> Ctx<'a, M, T> {
 ///
 /// [`CalendarQueue`]: crate::queue::CalendarQueue
 pub struct GenericWorld<A: Actor, Q> {
-    actors: Vec<A>,
-    core: KernelCore,
-    queue: Q,
+    pub(crate) actors: Vec<A>,
+    pub(crate) core: KernelCore,
+    pub(crate) queue: Q,
 }
 
 /// The default world: binary-heap-backed pending-event set. A type alias (not
@@ -358,11 +518,14 @@ impl<A: Actor, Q: EventQueue<KernelEvent<A::Msg, A::Timer>>> GenericWorld<A, Q> 
     }
 
     /// Inject a message from outside the world (workload arrival); `from` is
-    /// recorded as the destination itself.
+    /// recorded as the destination itself, and the event is stamped from the
+    /// destination's issue counter (so external injections order the same
+    /// way regardless of execution mode).
     pub fn send_external(&mut self, to: ActorId, msg: A::Msg, delay: SimDuration) {
         schedule(
             &mut self.core,
             &mut self.queue,
+            to,
             delay,
             KernelEvent::Msg { from: to, to, msg },
         );
@@ -425,53 +588,12 @@ impl<A: Actor, Q: EventQueue<KernelEvent<A::Msg, A::Timer>>> GenericWorld<A, Q> 
     /// Process one event, reporting which actor's handler ran (if any) so
     /// callers can re-examine just that actor instead of scanning all of
     /// them after every event.
-    fn step_touched(&mut self) -> StepOutcome {
+    pub(crate) fn step_touched(&mut self) -> StepOutcome {
         let ev = match self.queue.pop() {
             Some(ev) => ev,
             None => return StepOutcome::Drained,
         };
-        debug_assert!(ev.key.time >= self.core.now, "time went backwards");
-        self.core.now = ev.key.time;
-        match ev.payload {
-            KernelEvent::Msg { from, to, msg } => {
-                self.core.messages_delivered += 1;
-                if self.core.trace.enabled() {
-                    self.core.trace.record(TraceEvent::Deliver {
-                        at: self.core.now,
-                        from,
-                        to,
-                        tag: "msg",
-                    });
-                }
-                let mut ctx = Ctx {
-                    core: &mut self.core,
-                    queue: &mut self.queue,
-                    me: to,
-                };
-                self.actors[to.index()].on_message(&mut ctx, from, msg);
-                StepOutcome::Ran(to)
-            }
-            KernelEvent::Timer { on, token, timer } => {
-                if !self.core.timer_retire(token) {
-                    return StepOutcome::Skipped; // cancelled
-                }
-                self.core.timers_fired += 1;
-                if self.core.trace.enabled() {
-                    self.core.trace.record(TraceEvent::TimerFired {
-                        at: self.core.now,
-                        on,
-                        tag: "timer",
-                    });
-                }
-                let mut ctx = Ctx {
-                    core: &mut self.core,
-                    queue: &mut self.queue,
-                    me: on,
-                };
-                self.actors[on.index()].on_timer(&mut ctx, timer);
-                StepOutcome::Ran(on)
-            }
-        }
+        dispatch_one(&mut self.actors, &mut self.core, &mut self.queue, ev)
     }
 
     /// Run until the event queue drains.
@@ -653,9 +775,9 @@ mod tests {
         w.run();
         assert_eq!(w.timers_fired(), 10_001);
         assert!(
-            w.core.timer_gens.len() <= 2,
+            w.core.states[0].timer_gens.len() <= 2,
             "slab grew to {} slots for 1 concurrent timer",
-            w.core.timer_gens.len()
+            w.core.states[0].timer_gens.len()
         );
     }
 

@@ -1,7 +1,10 @@
 //! # dstm-sim — deterministic discrete-event simulation kernel
 //!
 //! This crate provides the execution substrate for the D-STM reproduction:
-//! a single-threaded, fully deterministic discrete-event simulator with
+//! a fully deterministic discrete-event simulator — serial by default, with
+//! an optional conservative time-windowed parallel executor
+//! ([`GenericWorld::run_sharded`], see [`shard`]) that produces bit-identical
+//! results on any shard count — with
 //!
 //! * nanosecond-resolution virtual time ([`SimTime`], [`SimDuration`]),
 //! * a pluggable event queue (binary-heap and calendar-queue implementations,
@@ -48,6 +51,7 @@ pub mod engine;
 pub mod event;
 pub mod queue;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod trace;

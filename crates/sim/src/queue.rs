@@ -347,9 +347,14 @@ impl<E> Default for CalendarQueue<E> {
 impl<E> EventQueue<E> for CalendarQueue<E> {
     fn push(&mut self, ev: Sequenced<E>) {
         if let Some(last) = self.last_popped {
+            // Time-only monotonicity: under the interleaving-independent key
+            // a zero-delay send from a low-id actor may legitimately carry a
+            // key *below* the last-popped key at the same timestamp (its
+            // issuer/seq tiebreak is smaller). Scheduling strictly before the
+            // current time is still a bug.
             debug_assert!(
-                ev.key > last,
-                "event scheduled in the past: {:?} <= {:?}",
+                ev.key.time >= last.time,
+                "event scheduled in the past: {:?} < {:?}",
                 ev.key,
                 last
             );

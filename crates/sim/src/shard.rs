@@ -1,0 +1,606 @@
+//! Conservative, time-windowed parallel execution of a single simulation.
+//!
+//! [`GenericWorld::run_sharded`] partitions the actors of one world into `S`
+//! shards (round-robin by actor id), gives each shard its own pending-event
+//! set and its actors' kernel state (RNG streams, issue counters, timer
+//! slabs), and executes synchronized **windows** of virtual time on `S`
+//! threads. This is the classic null-message-free bounded-lag conservative
+//! PDES design:
+//!
+//! * **Lookahead.** The caller supplies a `lookahead` — a lower bound on the
+//!   delay of every *cross-actor* message (for the DSTM stack: the global
+//!   minimum link delay of the topology, ≥ 1 ms by construction of the
+//!   1–50 ms delay matrix). Self-sends and timers are actor-local, so they
+//!   never cross a shard boundary and impose no lookahead constraint.
+//! * **Windows.** Each round, every shard publishes the timestamp of its
+//!   earliest pending event; the global minimum `t0` opens the window
+//!   `[t0, t0 + lookahead)`. Every event anywhere in `[t0, t1)` can be
+//!   executed without hearing from other shards, because anything a remote
+//!   shard sends from inside the window arrives at `τ + d ≥ t0 + lookahead
+//!   = t1` — outside it.
+//! * **Mailboxes.** Cross-shard sends are buffered in per-(destination,
+//!   source) outboxes during the window and exchanged at the barrier, so
+//!   shards never contend on each other's queues mid-window.
+//!
+//! # Determinism
+//!
+//! A sharded run is **bit-identical** to the serial run, for any `S`:
+//!
+//! * Event keys are interleaving-independent (`EventKey::compose`: time,
+//!   issuing actor, per-actor sequence) — an event gets the same key no
+//!   matter which thread issued it or when.
+//! * Within a window a shard's pending set evolves only through its own
+//!   processing (remote arrivals land at ≥ `t1`), so the shard-local
+//!   greedy-min order equals the serial order restricted to that shard's
+//!   actors; per-actor delivered sequences are therefore identical.
+//! * The stop decision (drained / budget exhausted) and the window schedule
+//!   are computed from sharding-independent aggregates, so every sharding
+//!   stops at the same point; the final clock is the maximum processed event
+//!   time, also sharding-independent.
+//!
+//! The differential proptests in `tests/shard_differential.rs` enforce this
+//! for the whole DSTM protocol stack across `shards ∈ {1, 2, 4, 8}`.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::engine::{dispatch_one, Actor, GenericWorld, KernelCore, KernelEvent, StepOutcome};
+use crate::event::Sequenced;
+use crate::queue::EventQueue;
+use crate::time::SimDuration;
+
+/// A reusable spin barrier (generation-counted). Spins briefly, then yields:
+/// window rounds are short, but the host may have fewer cores than shards —
+/// a pure spin would livelock a 1-core machine.
+struct SpinBarrier {
+    n: usize,
+    count: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    fn new(n: usize) -> Self {
+        SpinBarrier {
+            n,
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    /// Block until all `n` participants arrive. Data written before `wait`
+    /// is visible to every participant after it (release/acquire through the
+    /// counter RMW chain and the generation bump).
+    fn wait(&self) {
+        if self.n == 1 {
+            return;
+        }
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.count.store(0, Ordering::Relaxed);
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// State shared by all shards of one `run_sharded` call.
+struct Shared<E> {
+    barrier: SpinBarrier,
+    /// Per-shard: timestamp (nanos) of the earliest pending local event at
+    /// the last window boundary, or `u64::MAX` if that shard is drained.
+    min_times: Vec<AtomicU64>,
+    /// Per-shard: cumulative events processed (dispatched or skipped).
+    steps: Vec<AtomicU64>,
+    /// Cross-shard mail, indexed `destination * S + source`. Only touched at
+    /// window boundaries, so a plain mutex per slot is uncontended.
+    mail: Vec<Mutex<Vec<Sequenced<E>>>>,
+}
+
+/// The queue a shard dispatches through: local events go straight into the
+/// shard's own pending set; cross-shard sends are buffered in per-destination
+/// outboxes until the window boundary.
+struct ShardQueue<'a, Q, M, T> {
+    local: &'a mut Q,
+    /// Outbox per destination shard (`outboxes[self_shard]` stays unused).
+    outboxes: &'a mut [Vec<Sequenced<KernelEvent<M, T>>>],
+    shard: u32,
+    shards: u32,
+    /// Exclusive end of the current window, for the safety assertion: a
+    /// cross-shard event must land at or after it.
+    window_end: u64,
+}
+
+impl<Q, M, T> EventQueue<KernelEvent<M, T>> for ShardQueue<'_, Q, M, T>
+where
+    Q: EventQueue<KernelEvent<M, T>>,
+{
+    fn push(&mut self, ev: Sequenced<KernelEvent<M, T>>) {
+        let dst = ev.payload.destination().0 % self.shards;
+        if dst == self.shard {
+            self.local.push(ev);
+        } else {
+            debug_assert!(
+                ev.key.time.as_nanos() >= self.window_end,
+                "cross-shard event inside the window: scheduled {:?}, window ends at {}ns — \
+                 lookahead exceeds the actual minimum cross-actor delay",
+                ev.key,
+                self.window_end
+            );
+            self.outboxes[dst as usize].push(ev);
+        }
+    }
+
+    fn pop(&mut self) -> Option<Sequenced<KernelEvent<M, T>>> {
+        self.local.pop()
+    }
+
+    fn peek_key(&self) -> Option<crate::event::EventKey> {
+        self.local.peek_key()
+    }
+
+    fn len(&self) -> usize {
+        self.local.len()
+    }
+}
+
+/// A buffered cross-shard outbox: events destined for one other shard.
+type Outbox<M, T> = Vec<Sequenced<KernelEvent<M, T>>>;
+
+/// Everything one shard owns during a run, and hands back afterwards.
+struct ShardState<A: Actor, Q> {
+    shard: u32,
+    actors: Vec<A>,
+    core: KernelCore,
+    queue: Q,
+}
+
+/// Run one shard to completion: alternate publish/decide/execute rounds until
+/// the global decision is to stop. Returns the shard with its final state.
+fn run_shard<A, Q>(
+    mut st: ShardState<A, Q>,
+    shared: &Shared<KernelEvent<A::Msg, A::Timer>>,
+    shards: u32,
+    lookahead: u64,
+    budget: u64,
+) -> ShardState<A, Q>
+where
+    A: Actor,
+    Q: EventQueue<KernelEvent<A::Msg, A::Timer>>,
+{
+    let s = st.shard as usize;
+    let n_shards = shards as usize;
+    let mut outboxes: Vec<Outbox<A::Msg, A::Timer>> = (0..n_shards).map(|_| Vec::new()).collect();
+    let mut local_steps = 0u64;
+
+    loop {
+        // Publish this shard's earliest pending time and progress. Mailboxes
+        // are always empty here (drained at the end of the previous round),
+        // so the local queue is the whole truth.
+        let local_min = st
+            .queue
+            .peek_key()
+            .map(|k| k.time.as_nanos())
+            .unwrap_or(u64::MAX);
+        shared.min_times[s].store(local_min, Ordering::SeqCst);
+        shared.steps[s].store(local_steps, Ordering::SeqCst);
+        shared.barrier.wait();
+
+        // Every shard computes the same decision from the same published
+        // aggregates (nothing is re-published until after the next barrier).
+        let t0 = shared
+            .min_times
+            .iter()
+            .map(|t| t.load(Ordering::SeqCst))
+            .min()
+            .unwrap_or(u64::MAX);
+        let total_steps: u64 = shared.steps.iter().map(|c| c.load(Ordering::SeqCst)).sum();
+        if t0 == u64::MAX || total_steps >= budget {
+            // Drained everywhere, or the runaway backstop tripped. No shard
+            // has posted mail this round, so stopping here loses nothing.
+            break;
+        }
+        let t1 = t0.saturating_add(lookahead);
+
+        // Execute every local event inside [t0, t1). Events generated during
+        // the window that land inside it (self-sends, short timers) are
+        // picked up by the re-peek; cross-shard sends are asserted ≥ t1.
+        let mut router = ShardQueue {
+            local: &mut st.queue,
+            outboxes: &mut outboxes,
+            shard: st.shard,
+            shards,
+            window_end: t1,
+        };
+        while let Some(key) = router.peek_key() {
+            if key.time.as_nanos() >= t1 {
+                break;
+            }
+            let ev = router.pop().expect("peeked event vanished");
+            match dispatch_one(&mut st.actors, &mut st.core, &mut router, ev) {
+                StepOutcome::Drained => unreachable!("pop returned an event"),
+                StepOutcome::Skipped | StepOutcome::Ran(_) => local_steps += 1,
+            }
+        }
+
+        // Exchange mail: post outboxes, wait for everyone, collect inboxes.
+        for (dst, outbox) in outboxes.iter_mut().enumerate() {
+            if !outbox.is_empty() {
+                shared.mail[dst * n_shards + s]
+                    .lock()
+                    .expect("mail mutex poisoned")
+                    .append(outbox);
+            }
+        }
+        shared.barrier.wait();
+        for src in 0..n_shards {
+            let mut inbox = shared.mail[s * n_shards + src]
+                .lock()
+                .expect("mail mutex poisoned");
+            for ev in inbox.drain(..) {
+                st.queue.push(ev);
+            }
+        }
+    }
+
+    st
+}
+
+impl<A, Q> GenericWorld<A, Q>
+where
+    A: Actor + Send,
+    A::Msg: Send,
+    A::Timer: Send,
+    Q: EventQueue<KernelEvent<A::Msg, A::Timer>> + Default + Send,
+{
+    /// Run this world to quiescence (or until `budget` events have been
+    /// processed) on `shards` threads, using conservative time windows of
+    /// width `lookahead`. Returns the number of events processed.
+    ///
+    /// **Safety requirement**: `lookahead` must be a lower bound on the
+    /// virtual-time delay of every message between *different* actors (timers
+    /// and self-sends are exempt — they never leave their actor's shard).
+    /// Violations are caught by a debug assertion when a cross-shard event
+    /// lands inside a window. For the DSTM stack the bound is the topology's
+    /// minimum link delay (`Topology::min_delay`).
+    ///
+    /// The outcome — per-actor event sequences, delivered/timer counters,
+    /// final clock, every actor's state — is bit-identical to the serial
+    /// [`run`](GenericWorld::run) for every shard count, including 1. Kernel
+    /// tracing must be disabled (per-actor protocol traces are fine: they
+    /// travel with their actors and merge deterministically).
+    pub fn run_sharded(&mut self, shards: usize, lookahead: SimDuration, budget: u64) -> u64 {
+        assert!(
+            !self.core.trace.enabled(),
+            "kernel tracing is not supported in sharded runs"
+        );
+        assert!(
+            lookahead.as_nanos() > 0,
+            "conservative windows need positive lookahead"
+        );
+        let n = self.actors.len();
+        if n == 0 {
+            return 0;
+        }
+        let s_count = shards.clamp(1, n);
+        let shards_u32 = s_count as u32;
+
+        // Partition actors (with their kernel state) round-robin: shard s
+        // owns global ids ≡ s (mod S), local slot = gid / S. States move
+        // wholesale so RNG streams, issue counters, and timer slabs — and
+        // therefore outstanding TimerTokens — carry over exactly.
+        let now = self.core.now;
+        let mut shard_states: Vec<ShardState<A, Q>> = (0..shards_u32)
+            .map(|s| ShardState {
+                shard: s,
+                actors: Vec::with_capacity(n / s_count + 1),
+                core: KernelCore::shard_shell(now, s, shards_u32),
+                queue: Q::default(),
+            })
+            .collect();
+        let actors = std::mem::take(&mut self.actors);
+        let states = std::mem::take(&mut self.core.states);
+        for (gid, (actor, state)) in actors.into_iter().zip(states).enumerate() {
+            let sh = &mut shard_states[gid % s_count];
+            sh.actors.push(actor);
+            sh.core.states.push(state);
+        }
+
+        // Route the pending-event set to the owning shards. The old queue is
+        // replaced (not reused) so backend-internal bookkeeping — e.g. the
+        // calendar queue's last-popped monotonicity check — starts fresh for
+        // whatever survives the run.
+        while let Some(ev) = self.queue.pop() {
+            let dst = (ev.payload.destination().0 % shards_u32) as usize;
+            shard_states[dst].queue.push(ev);
+        }
+        self.queue = Q::default();
+
+        let shared = Shared {
+            barrier: SpinBarrier::new(s_count),
+            min_times: (0..s_count).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            steps: (0..s_count).map(|_| AtomicU64::new(0)).collect(),
+            mail: (0..s_count * s_count)
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
+        };
+        let lookahead_ns = lookahead.as_nanos();
+
+        let mut finished: Vec<ShardState<A, Q>> = if s_count == 1 {
+            // Same windowed code path, no thread spawn.
+            let st = shard_states.pop().expect("one shard");
+            vec![run_shard(st, &shared, shards_u32, lookahead_ns, budget)]
+        } else {
+            let shared_ref = &shared;
+            let mut iter = shard_states.into_iter();
+            let first = iter.next().expect("at least one shard");
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = iter
+                    .map(|st| {
+                        scope.spawn(move || {
+                            run_shard(st, shared_ref, shards_u32, lookahead_ns, budget)
+                        })
+                    })
+                    .collect();
+                // The calling thread runs shard 0 itself.
+                let mut done = vec![run_shard(
+                    first,
+                    shared_ref,
+                    shards_u32,
+                    lookahead_ns,
+                    budget,
+                )];
+                for h in handles {
+                    done.push(h.join().expect("shard thread panicked"));
+                }
+                done
+            })
+        };
+        finished.sort_by_key(|st| st.shard);
+
+        // Reassemble: actors and states back in global-id order, leftover
+        // events (budget exhaustion only) back into the world queue, clocks
+        // and counters merged. The merged clock is the maximum shard clock —
+        // the timestamp of the globally last processed event — which is what
+        // the serial run's clock reads at the same stop point.
+        let mut final_now = now;
+        let mut per_shard_actors: Vec<_> = Vec::with_capacity(s_count);
+        for st in &mut finished {
+            final_now = final_now.max(st.core.now);
+            self.core.messages_delivered += st.core.messages_delivered;
+            self.core.timers_fired += st.core.timers_fired;
+            while let Some(ev) = st.queue.pop() {
+                self.queue.push(ev);
+            }
+        }
+        let total_steps: u64 = shared.steps.iter().map(|c| c.load(Ordering::SeqCst)).sum();
+        for st in finished {
+            per_shard_actors.push((st.actors.into_iter(), st.core.states.into_iter()));
+        }
+        self.actors.reserve(n);
+        self.core.states.reserve(n);
+        for gid in 0..n {
+            let (actors, states) = &mut per_shard_actors[gid % s_count];
+            self.actors
+                .push(actors.next().expect("actor count mismatch"));
+            self.core
+                .states
+                .push(states.next().expect("state count mismatch"));
+        }
+        self.core.now = final_now;
+        total_steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{ActorId, Ctx, World};
+    use crate::queue::{BinaryHeapQueue, CalendarQueue};
+    use crate::time::SimTime;
+
+    /// A chatty actor: every delivery re-sends to a pseudo-random peer with
+    /// a delay ≥ the lookahead, arms a short local timer, and sometimes
+    /// cancels it — exercising messages, timers, and cancellation across
+    /// shard boundaries.
+    struct Gossip {
+        n: u32,
+        log: Vec<(SimTime, u32)>,
+        fired: u32,
+        pending: Option<crate::engine::TimerToken>,
+    }
+
+    impl Actor for Gossip {
+        type Msg = u32;
+        type Timer = u8;
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u32, u8>, _from: ActorId, msg: u32) {
+            self.log.push((ctx.now(), msg));
+            if msg == 0 {
+                return; // hop budget exhausted
+            }
+            let peer = ActorId(ctx.rng().below(self.n as u64) as u32);
+            let jitter = ctx.rng().below(3_000_000);
+            ctx.send(
+                peer,
+                msg - 1,
+                SimDuration::from_millis(1) + SimDuration::from_nanos(jitter),
+            );
+            // Local churn: arm a sub-lookahead timer; cancel every other one.
+            let tok = ctx.set_timer(SimDuration::from_micros(30), 0);
+            if let Some(prev) = self.pending.take() {
+                ctx.cancel_timer(prev);
+            } else {
+                self.pending = Some(tok);
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, u32, u8>, _t: u8) {
+            self.fired += 1;
+            self.log.push((ctx.now(), u32::MAX));
+        }
+    }
+
+    fn gossip_world(n: u32, seed: u64) -> World<Gossip> {
+        let mut w = World::new(
+            (0..n)
+                .map(|_| Gossip {
+                    n,
+                    log: Vec::new(),
+                    fired: 0,
+                    pending: None,
+                })
+                .collect(),
+            seed,
+        );
+        for i in 0..n {
+            w.send_external(ActorId(i), 40, SimDuration::from_millis(1 + u64::from(i)));
+        }
+        w
+    }
+
+    type Fingerprint = (Vec<Vec<(SimTime, u32)>>, u64, u64, SimTime);
+
+    fn fingerprint(w: &World<Gossip>) -> Fingerprint {
+        (
+            w.actors().iter().map(|a| a.log.clone()).collect(),
+            w.messages_delivered(),
+            w.timers_fired(),
+            w.now(),
+        )
+    }
+
+    #[test]
+    fn sharded_run_matches_serial_bit_for_bit() {
+        let mut serial = gossip_world(9, 42);
+        serial.run();
+        let want = fingerprint(&serial);
+        for shards in [1, 2, 4, 8] {
+            let mut w = gossip_world(9, 42);
+            w.run_sharded(shards, SimDuration::from_millis(1), u64::MAX);
+            assert_eq!(fingerprint(&w), want, "divergence at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn sharded_run_matches_serial_on_calendar_backend() {
+        let mut serial = gossip_world(6, 7);
+        serial.run();
+        let want = fingerprint(&serial);
+        let mut w = GenericWorld::with_queue(
+            (0..6)
+                .map(|_| Gossip {
+                    n: 6,
+                    log: Vec::new(),
+                    fired: 0,
+                    pending: None,
+                })
+                .collect(),
+            7,
+            CalendarQueue::new(),
+        );
+        for i in 0..6 {
+            w.send_external(ActorId(i), 40, SimDuration::from_millis(1 + u64::from(i)));
+        }
+        w.run_sharded(3, SimDuration::from_millis(1), u64::MAX);
+        assert_eq!(
+            (
+                w.actors().iter().map(|a| a.log.clone()).collect::<Vec<_>>(),
+                w.messages_delivered(),
+                w.timers_fired(),
+                w.now(),
+            ),
+            want
+        );
+    }
+
+    #[test]
+    fn shard_count_above_actor_count_is_clamped() {
+        let mut w = gossip_world(3, 5);
+        let mut serial = gossip_world(3, 5);
+        serial.run();
+        w.run_sharded(64, SimDuration::from_millis(1), u64::MAX);
+        assert_eq!(fingerprint(&w), fingerprint(&serial));
+    }
+
+    #[test]
+    fn budget_stops_at_a_window_boundary_and_preserves_leftovers() {
+        let mut w = gossip_world(8, 11);
+        let before = {
+            let mut full = gossip_world(8, 11);
+            full.run();
+            full.messages_delivered() + full.timers_fired()
+        };
+        let steps = w.run_sharded(4, SimDuration::from_millis(1), 16);
+        assert!(steps >= 16, "must finish the window the budget tripped in");
+        assert!(w.pending_events() > 0, "leftovers must survive");
+        // Resuming serially completes the run losslessly.
+        w.run();
+        assert_eq!(w.messages_delivered() + w.timers_fired(), before);
+    }
+
+    #[test]
+    fn resuming_sharded_after_sharded_is_lossless() {
+        // Timer tokens and RNG streams must survive two partition/reassemble
+        // cycles with different shard counts.
+        let mut w = gossip_world(8, 13);
+        w.run_sharded(4, SimDuration::from_millis(1), 32);
+        w.run_sharded(2, SimDuration::from_millis(1), u64::MAX);
+        let mut serial = gossip_world(8, 13);
+        serial.run();
+        assert_eq!(fingerprint(&w), fingerprint(&serial));
+    }
+
+    #[test]
+    fn empty_world_and_empty_queue_are_fine() {
+        let mut w: World<Gossip> = World::new(Vec::new(), 1);
+        assert_eq!(w.run_sharded(4, SimDuration::from_millis(1), u64::MAX), 0);
+        let mut w = World::new(
+            vec![Gossip {
+                n: 1,
+                log: Vec::new(),
+                fired: 0,
+                pending: None,
+            }],
+            1,
+        );
+        assert_eq!(w.run_sharded(2, SimDuration::from_millis(1), u64::MAX), 0);
+    }
+
+    #[test]
+    fn spin_barrier_synchronizes() {
+        use std::sync::atomic::AtomicUsize;
+        let b = SpinBarrier::new(4);
+        let hits = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for round in 1..=50usize {
+                        hits.fetch_add(1, Ordering::SeqCst);
+                        b.wait();
+                        // After the barrier, all 4 increments of this round
+                        // must be visible.
+                        assert!(hits.load(Ordering::SeqCst) >= 4 * round);
+                        b.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 200);
+    }
+
+    #[test]
+    fn heap_queue_default_is_empty() {
+        let q: BinaryHeapQueue<KernelEvent<u32, u8>> = BinaryHeapQueue::default();
+        assert!(q.is_empty());
+    }
+}

@@ -2,8 +2,11 @@
 
 use crate::time::SimDuration;
 
-/// Welford online mean/variance accumulator.
-#[derive(Clone, Debug, Default)]
+/// Welford online mean/variance accumulator. `PartialEq` is field-wise
+/// (float accumulators): runs that pushed the same samples in the same
+/// order compare equal, which is exactly what the serial-vs-sharded
+/// differential tests check.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,
