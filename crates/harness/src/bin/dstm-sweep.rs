@@ -9,12 +9,16 @@
 //!
 //! All simulation modes accept `--shards S` (env `DSTM_SHARDS`) to run each
 //! cell on the conservative time-windowed parallel executor
-//! (`GenericWorld::run_sharded`). Results are bit-identical to `--shards 1`
-//! — the flag changes host wall-clock only — which is what the CI
-//! shard-determinism job byte-diffs. `kernel` mode additionally appends a
-//! fixed sharded block (160-node Bank/RTS at 1/2/4/8 shards plus
-//! saturated-load rows at `concurrency_per_node = 32`) to every report,
-//! regardless of `--shards`.
+//! (`GenericWorld::run_partitioned`, per-shard-pair lookahead windows), and
+//! `--partition round-robin|locality` (env `DSTM_PARTITION`) to pick the
+//! node→shard assignment. Results are bit-identical to `--shards 1` under
+//! either partitioner — the flags change host wall-clock only — which is
+//! what the CI shard-determinism job byte-diffs. `kernel` mode additionally
+//! appends a fixed sharded block (160-node Bank/RTS at 1/2/4/8 shards under
+//! both partitioners, plus saturated-load rows at
+//! `concurrency_per_node = 32`) to every report, regardless of `--shards`;
+//! sharded rows carry per-shard event counts and barrier-wait nanoseconds
+//! so a speedup (or an honest slowdown on a 1-core host) is attributable.
 //!
 //! All modes accept `--trace <path>` / `--trace-format jsonl|chrome` (or the
 //! `DSTM_TRACE` / `DSTM_TRACE_FORMAT` environment variables) to record
@@ -52,8 +56,10 @@
 //! ratio regresses beyond 20% (override with `DSTM_BENCH_TOLERANCE=0.30`).
 //!
 //! `large-smoke` is the CI entry point for the large-scale path: one
-//! 160-node (or `[nodes]`) Bank/RTS cell on the hashed topology with
-//! protocol tracing on, whose `--trace` output feeds `dstm-trace audit`.
+//! 160-node (or `[nodes]`, up to 10k) Bank/RTS cell on the hashed topology.
+//! With `--trace` the run records protocol events for `dstm-trace audit`;
+//! without it the cell runs untraced (how the 10k-node smoke stays within
+//! CI time and memory).
 
 use dstm_benchmarks::Benchmark;
 use dstm_harness::alloc_counter;
@@ -61,7 +67,7 @@ use dstm_harness::experiments::scenarios::{render, run_collision_traced};
 use dstm_harness::experiments::Scale;
 use dstm_harness::runner::{run_cell, run_cell_traced, run_cells, Cell, TopologySpec};
 use dstm_harness::traceio::to_chrome_trace;
-use hyflow_dstm::{HistSummary, QueueBackend, TraceLog};
+use hyflow_dstm::{HistSummary, PartitionStrategy, QueueBackend, TraceLog};
 use rts_core::SchedulerKind;
 use std::fmt::Write as _;
 
@@ -112,6 +118,8 @@ struct Flags {
     baseline: Option<String>,
     /// `--shards` overrides `DSTM_SHARDS`; 1 (serial) when absent.
     shards: usize,
+    /// `--partition` overrides `DSTM_PARTITION`; round-robin when absent.
+    partition: PartitionStrategy,
 }
 
 /// Pull the `--flag value` pairs (with `DSTM_*` env fallbacks) out of the
@@ -125,6 +133,7 @@ fn split_flags(args: &[String]) -> Flags {
     let mut trials = None;
     let mut baseline = None;
     let mut shards = None;
+    let mut partition = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -135,6 +144,17 @@ fn split_flags(args: &[String]) -> Flags {
             "--trials" => trials = it.next().and_then(|s| s.parse().ok()),
             "--baseline" => baseline = it.next().cloned(),
             "--shards" => shards = it.next().and_then(|s| s.parse().ok()),
+            "--partition" => {
+                partition = it.next().map(|s| {
+                    PartitionStrategy::from_name(s).unwrap_or_else(|| {
+                        eprintln!(
+                            "unknown partition {s:?} (expected round-robin|locality), \
+                             using round-robin"
+                        );
+                        PartitionStrategy::RoundRobin
+                    })
+                })
+            }
             _ => positional.push(a.clone()),
         }
     }
@@ -146,6 +166,13 @@ fn split_flags(args: &[String]) -> Flags {
         })
         .unwrap_or(1)
         .max(1);
+    let partition = partition
+        .or_else(|| {
+            std::env::var("DSTM_PARTITION")
+                .ok()
+                .and_then(|s| PartitionStrategy::from_name(&s))
+        })
+        .unwrap_or_default();
     let format = match format_arg.as_deref() {
         None => TraceFormat::Jsonl,
         Some(s) => TraceFormat::parse(s).unwrap_or_else(|| {
@@ -164,6 +191,7 @@ fn split_flags(args: &[String]) -> Flags {
         trials,
         baseline,
         shards,
+        partition,
     }
 }
 
@@ -207,9 +235,19 @@ struct KernelRow {
     trials: usize,
     /// Shards of the time-windowed parallel executor (1 = serial loop).
     shards: usize,
+    /// Partition strategy label (`round-robin`/`locality`); only meaningful
+    /// when `shards > 1` but always recorded for row identity.
+    partition: &'static str,
     /// `concurrency_per_node` of the cell (default 4; saturated-load rows
     /// raise it to 32+).
     concurrency: usize,
+    /// Events executed by each shard (empty for serial rows). Sums to
+    /// `events` minus nothing — every delivered message and timer counts.
+    shard_events: Vec<u64>,
+    /// Nanoseconds each shard spent waiting at window barriers (empty for
+    /// serial rows). High values on few-core hosts are the honest cost of
+    /// conservative windows; on real parallel hosts they expose imbalance.
+    barrier_wait_ns: Vec<u64>,
     /// Wall clock of the median trial, nanoseconds.
     wall_ns: u64,
     /// Thread-CPU time of the median trial, nanoseconds. ns/event keys off
@@ -245,11 +283,16 @@ impl KernelRow {
         if self.shards > 1 || self.concurrency != 4 {
             let _ = write!(
                 line,
-                "  shards={} conc={} wall {:.1} ms",
+                "  shards={} part={} conc={} wall {:.1} ms",
                 self.shards,
+                self.partition,
                 self.concurrency,
                 self.wall_ns as f64 / 1e6
             );
+        }
+        if !self.barrier_wait_ns.is_empty() {
+            let total: u64 = self.barrier_wait_ns.iter().sum();
+            let _ = write!(line, "  barrier {:.1} ms", total as f64 / 1e6);
         }
         if alloc_counter::enabled() && self.allocs_per_event > 0.0 {
             let _ = write!(
@@ -353,6 +396,7 @@ fn kernel_grid(scale: &Scale, trials: usize) -> Vec<KernelRow> {
             trace: *trace,
             trials,
             shards: cell.shards,
+            partition: cell.partition.label(),
             concurrency: cell.dstm.concurrency_per_node,
             wall_ns,
             cpu_ns,
@@ -360,6 +404,8 @@ fn kernel_grid(scale: &Scale, trials: usize) -> Vec<KernelRow> {
             commits,
             allocs_per_event: cell_allocs as f64 / events.max(1) as f64,
             peak_alloc_bytes: peak,
+            shard_events: Vec::new(),
+            barrier_wait_ns: Vec::new(),
         };
         row.print();
         rows.push(row);
@@ -367,13 +413,17 @@ fn kernel_grid(scale: &Scale, trials: usize) -> Vec<KernelRow> {
     rows
 }
 
-/// The `--scale large` grid: Bank/Vacation/DHT × 80–320 nodes × three
+/// The `--scale large` grid: Bank/Vacation/DHT × 160–10k nodes × three
 /// schedulers on the hashed O(1)-memory topology, fanned out over the
 /// worker pool (per-cell wall clocks come from the runner, so pooling does
 /// not skew ns/event). Trials stay at 1 per cell: the pool overlaps cells,
 /// so repeat medians would measure scheduling noise, and the cells are big
 /// enough that one run is stable.
-fn kernel_grid_large(scale: &Scale, shards: usize) -> (Vec<KernelRow>, u64, usize) {
+fn kernel_grid_large(
+    scale: &Scale,
+    shards: usize,
+    partition: PartitionStrategy,
+) -> (Vec<KernelRow>, u64, usize) {
     let benches = [Benchmark::Bank, Benchmark::Vacation, Benchmark::Dht];
     let mut cells = Vec::new();
     for b in benches {
@@ -386,7 +436,8 @@ fn kernel_grid_large(scale: &Scale, shards: usize) -> (Vec<KernelRow>, u64, usiz
                             min_ms: 1,
                             max_ms: 50,
                         })
-                        .with_shards(shards),
+                        .with_shards(shards)
+                        .with_partition(partition),
                 );
             }
         }
@@ -412,6 +463,7 @@ fn kernel_grid_large(scale: &Scale, shards: usize) -> (Vec<KernelRow>, u64, usiz
             trace: false,
             trials: 1,
             shards: r.cell.shards,
+            partition: r.cell.partition.label(),
             concurrency: r.cell.dstm.concurrency_per_node,
             wall_ns: r.wall_ns,
             cpu_ns: r.cpu_ns,
@@ -421,6 +473,16 @@ fn kernel_grid_large(scale: &Scale, shards: usize) -> (Vec<KernelRow>, u64, usiz
             // would be cross-talk; the sweep-wide totals go at the top level.
             allocs_per_event: 0.0,
             peak_alloc_bytes: 0,
+            shard_events: r
+                .shard_stats
+                .as_ref()
+                .map(|s| s.shard_events.clone())
+                .unwrap_or_default(),
+            barrier_wait_ns: r
+                .shard_stats
+                .as_ref()
+                .map(|s| s.barrier_wait_ns.clone())
+                .unwrap_or_default(),
         };
         row.print();
         rows.push(row);
@@ -429,40 +491,55 @@ fn kernel_grid_large(scale: &Scale, shards: usize) -> (Vec<KernelRow>, u64, usiz
 }
 
 /// The fixed sharded block appended to every kernel report: a 160-node
-/// Bank/RTS and RTS/Vacation cell on the hashed topology at 1/2/4/8 shards,
-/// plus saturated-load rows (`concurrency_per_node = 32`) at 1 and 4
-/// shards. Simulated results are bit-identical across the whole block (the
-/// differential suite proves it), so row-to-row deltas isolate the host
-/// cost/benefit of the time-windowed parallel executor. Speedup claims must
-/// key off `wall_ns`: the thread-CPU clock only sees the coordinating
-/// thread once worker shards exist.
+/// Bank/RTS and RTS/Vacation cell on the hashed topology at 1/2/4/8 shards
+/// under both partitioners, plus saturated-load rows
+/// (`concurrency_per_node = 32`) at 1 and 4 shards. Simulated results are
+/// bit-identical across the whole block (the differential suite proves it),
+/// so row-to-row deltas isolate the host cost/benefit of the time-windowed
+/// parallel executor and of the partitioner. Speedup claims must key off
+/// `wall_ns`: the thread-CPU clock only sees the coordinating thread once
+/// worker shards exist. Sharded rows also carry per-shard event counts and
+/// barrier-wait nanoseconds (from the last trial; they are deterministic up
+/// to barrier timing) so slowdowns are attributable.
 ///
 /// Sequential and grid-major like `kernel_grid`, for the same
 /// burst-rejection reason; trials are capped at 3 because each 160-node
 /// cell is ~10^3 heavier than the small-grid cells.
 fn kernel_grid_sharded(trials: usize) -> Vec<KernelRow> {
     let trials = trials.min(3);
-    let mk = |b, conc: usize, shards: usize| {
+    let mk = |b, conc: usize, shards: usize, partition: PartitionStrategy| {
         let mut cell = Cell::new(b, SchedulerKind::Rts, 160, 0.9)
             .with_txns(Scale::large().txns_per_node)
             .with_topology(TopologySpec::HashedRandom {
                 min_ms: 1,
                 max_ms: 50,
             })
-            .with_shards(shards);
+            .with_shards(shards)
+            .with_partition(partition);
         cell.dstm.concurrency_per_node = conc;
         cell
     };
     let mut specs: Vec<Cell> = Vec::new();
     for b in [Benchmark::Bank, Benchmark::Vacation] {
         for shards in [1usize, 2, 4, 8] {
-            specs.push(mk(b, 4, shards));
+            specs.push(mk(b, 4, shards, PartitionStrategy::RoundRobin));
+        }
+        // Locality rows: same cells, topology-aware partitioning. The
+        // serial row above is the shared baseline.
+        for shards in [2usize, 4] {
+            specs.push(mk(b, 4, shards, PartitionStrategy::Locality));
         }
     }
     // Saturated-load rows: enough in-flight transactions per node that the
-    // pending-event population dwarfs the shard count.
+    // pending-event population dwarfs the shard count. These gate the
+    // sharded baseline guard.
     for shards in [1usize, 4] {
-        specs.push(mk(Benchmark::Bank, 32, shards));
+        specs.push(mk(
+            Benchmark::Bank,
+            32,
+            shards,
+            PartitionStrategy::RoundRobin,
+        ));
     }
 
     for cell in &specs {
@@ -470,18 +547,21 @@ fn kernel_grid_sharded(trials: usize) -> Vec<KernelRow> {
     }
     let mut timings: Vec<Vec<(u64, u64)>> = vec![Vec::with_capacity(trials); specs.len()];
     let mut counts = vec![(0u64, 0u64); specs.len()];
+    let mut stats: Vec<Option<dstm_sim::ShardRunStats>> = vec![None; specs.len()];
     for _ in 0..trials {
         for (i, cell) in specs.iter().enumerate() {
             let r = run_cell(cell.clone());
             assert!(
                 r.completed,
-                "sharded block {} stalled at {} shards",
+                "sharded block {} stalled at {} shards ({})",
                 cell.benchmark.label(),
-                cell.shards
+                cell.shards,
+                cell.partition.label()
             );
             // Median by wall clock: that is the axis sharding moves.
             timings[i].push((r.wall_ns, r.cpu_ns));
             counts[i] = (r.metrics.messages, r.metrics.merged.commits);
+            stats[i] = r.shard_stats;
         }
     }
 
@@ -490,6 +570,7 @@ fn kernel_grid_sharded(trials: usize) -> Vec<KernelRow> {
         timings[i].sort_unstable();
         let (wall_ns, cpu_ns) = timings[i][timings[i].len() / 2];
         let (events, commits) = counts[i];
+        let stat = stats[i].take();
         let row = KernelRow {
             benchmark: cell.benchmark,
             nodes: cell.params.nodes,
@@ -499,6 +580,7 @@ fn kernel_grid_sharded(trials: usize) -> Vec<KernelRow> {
             trace: false,
             trials,
             shards: cell.shards,
+            partition: cell.partition.label(),
             concurrency: cell.dstm.concurrency_per_node,
             wall_ns,
             cpu_ns,
@@ -506,6 +588,11 @@ fn kernel_grid_sharded(trials: usize) -> Vec<KernelRow> {
             commits,
             allocs_per_event: 0.0,
             peak_alloc_bytes: 0,
+            shard_events: stat
+                .as_ref()
+                .map(|s| s.shard_events.clone())
+                .unwrap_or_default(),
+            barrier_wait_ns: stat.map(|s| s.barrier_wait_ns).unwrap_or_default(),
         };
         row.print();
         rows.push(row);
@@ -520,10 +607,11 @@ fn kernel_grid_sharded(trials: usize) -> Vec<KernelRow> {
             .min_by_key(|r| r.wall_ns);
         if let (Some(base), Some(best)) = (base, best) {
             println!(
-                "[sharded {}: best wall-clock {:.2}x at {} shards vs serial]",
+                "[sharded {}: best wall-clock {:.2}x at {} shards ({}) vs serial]",
                 b.label(),
                 base.wall_ns as f64 / best.wall_ns.max(1) as f64,
-                best.shards
+                best.shards,
+                best.partition
             );
         }
     }
@@ -556,14 +644,14 @@ fn kernel_json(
     let _ = writeln!(json, "  \"sweep_peak_alloc_bytes\": {sweep_peak},");
     json.push_str("  \"cells\": [\n");
     for (i, r) in rows.iter().enumerate() {
-        let _ = writeln!(
+        let _ = write!(
             json,
             "    {{\"benchmark\": \"{}\", \"nodes\": {}, \"scheduler\": \"{}\", \
              \"backend\": \"{}\", \"topology\": \"{}\", \"trace\": \"{}\", \
-             \"trials\": {}, \"shards\": {}, \"concurrency\": {}, \
-             \"wall_ns\": {}, \"cpu_ns\": {}, \"events\": {}, \
+             \"trials\": {}, \"shards\": {}, \"partition\": \"{}\", \
+             \"concurrency\": {}, \"wall_ns\": {}, \"cpu_ns\": {}, \"events\": {}, \
              \"ns_per_event\": {:.1}, \"commits\": {}, \
-             \"allocs_per_event\": {:.2}, \"peak_alloc_bytes\": {}}}{}",
+             \"allocs_per_event\": {:.2}, \"peak_alloc_bytes\": {}",
             r.benchmark.label(),
             r.nodes,
             r.scheduler.label(),
@@ -572,6 +660,7 @@ fn kernel_json(
             if r.trace { "on" } else { "off" },
             r.trials,
             r.shards,
+            r.partition,
             r.concurrency,
             r.wall_ns,
             r.cpu_ns,
@@ -580,8 +669,25 @@ fn kernel_json(
             r.commits,
             r.allocs_per_event,
             r.peak_alloc_bytes,
-            if i + 1 == rows.len() { "" } else { "," }
         );
+        // Per-shard attribution, sharded rows only. Kept at the line's
+        // tail: the line-oriented parser reads scalars by the first
+        // `"key": ` match, and these arrays contain no quoted keys.
+        if !r.shard_events.is_empty() {
+            let fmt = |v: &[u64]| {
+                v.iter()
+                    .map(|x| x.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            let _ = write!(
+                json,
+                ", \"shard_events\": [{}], \"barrier_wait_ns\": [{}]",
+                fmt(&r.shard_events),
+                fmt(&r.barrier_wait_ns)
+            );
+        }
+        let _ = writeln!(json, "}}{}", if i + 1 == rows.len() { "" } else { "," });
     }
     json.push_str("  ]\n}\n");
     json
@@ -632,10 +738,100 @@ fn parse_kernel_rows(text: &str) -> Vec<(String, f64)> {
         .collect()
 }
 
+/// Parse the saturated-load sharded rows (`concurrency == 32`) of a kernel
+/// report into `(key, wall_ns_per_event)` pairs. Wall clock — not thread
+/// CPU — is the axis sharding moves, so it is what the sharded guard gates.
+fn parse_sharded_rows(text: &str) -> Vec<(String, f64)> {
+    text.lines()
+        .filter_map(|line| {
+            let b = json_str(line, "benchmark")?;
+            let nodes = json_num(line, "nodes")?;
+            let s = json_str(line, "scheduler")?;
+            let trace = json_str(line, "trace")?;
+            let shards = json_num(line, "shards")?;
+            let concurrency = json_num(line, "concurrency")?;
+            let partition = json_str(line, "partition").unwrap_or("round-robin");
+            let wall = json_num(line, "wall_ns")?;
+            let events = json_num(line, "events")?;
+            if trace != "off" || concurrency != 32.0 || events <= 0.0 {
+                return None;
+            }
+            Some((
+                format!("{b}/{nodes}/{s}/shards{shards}/{partition}"),
+                wall / events,
+            ))
+        })
+        .collect()
+}
+
+/// The sharded arm of the baseline guard: compare the saturated-load
+/// (`concurrency = 32`) rows' wall-ns/event against the baseline's. Sharded
+/// wall clock depends on host parallelism, so the tolerance is looser than
+/// the serial guard's and `host_cores`-gated: on a 1-core host the executor
+/// is pure overhead measurement and scheduling noise dominates (+60%
+/// allowed); with real cores +35%. `DSTM_BENCH_TOLERANCE_SHARDED`
+/// overrides. A baseline without matching rows (written before these rows
+/// existed) skips with a note rather than failing.
+fn sharded_baseline_guard(rows: &[KernelRow], baseline_text: &str, baseline_path: &str) -> bool {
+    let old: std::collections::HashMap<String, f64> =
+        parse_sharded_rows(baseline_text).into_iter().collect();
+    let mut ratios: Vec<f64> = rows
+        .iter()
+        .filter(|r| !r.trace && r.concurrency == 32 && r.events > 0)
+        .filter_map(|r| {
+            let key = format!(
+                "{}/{}/{}/shards{}/{}",
+                r.benchmark.label(),
+                r.nodes,
+                r.scheduler.label(),
+                r.shards,
+                r.partition
+            );
+            let old_nspe = *old.get(&key)?;
+            let new_nspe = r.wall_ns as f64 / r.events as f64;
+            (old_nspe > 0.0).then_some(new_nspe / old_nspe)
+        })
+        .collect();
+    if ratios.is_empty() {
+        println!(
+            "[baseline {baseline_path}: no sharded conc=32 rows to compare \
+             (pre-partition baseline?), skipping sharded guard]"
+        );
+        return true;
+    }
+    let host_cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let tolerance: f64 = std::env::var("DSTM_BENCH_TOLERANCE_SHARDED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if host_cores == 1 { 0.60 } else { 0.35 });
+    ratios.sort_unstable_by(|a, b| a.total_cmp(b));
+    let median = ratios[ratios.len() / 2];
+    println!(
+        "[sharded baseline: {} matching conc=32 rows, median wall-ns/event ratio {median:.3} \
+         (tolerance {:.2}, host_cores {host_cores})]",
+        ratios.len(),
+        1.0 + tolerance
+    );
+    if median > 1.0 + tolerance {
+        eprintln!(
+            "BENCH REGRESSION (sharded): median wall-ns/event is {:.1}% over the baseline \
+             (allowed {:.0}%)",
+            (median - 1.0) * 100.0,
+            tolerance * 100.0
+        );
+        return false;
+    }
+    true
+}
+
 /// Compare fresh trace-off rows against a committed report: the median
 /// new/old ns-per-event ratio across matching rows must stay within the
 /// tolerance (default +20%, env `DSTM_BENCH_TOLERANCE`). Returns `false`
-/// on regression so `main` can exit non-zero.
+/// on regression so `main` can exit non-zero. The saturated sharded rows
+/// get their own looser, `host_cores`-gated check
+/// ([`sharded_baseline_guard`]).
 fn baseline_guard(rows: &[KernelRow], baseline_path: &str) -> bool {
     let text = match std::fs::read_to_string(baseline_path) {
         Ok(t) => t,
@@ -688,7 +884,7 @@ fn baseline_guard(rows: &[KernelRow], baseline_path: &str) -> bool {
         );
         return false;
     }
-    true
+    sharded_baseline_guard(rows, &text, baseline_path)
 }
 
 /// Wall-clock the kernel grid and write the JSON report; `true` on success
@@ -720,7 +916,7 @@ fn kernel_report(out_path: &str, flags: &Flags) -> bool {
             .unwrap_or(1)
     );
     let (mut rows, sweep_allocs, sweep_peak) = if scale_name == "large" {
-        kernel_grid_large(&scale, flags.shards)
+        kernel_grid_large(&scale, flags.shards, flags.partition)
     } else {
         alloc_counter::reset();
         let rows = kernel_grid(&scale, trials);
@@ -740,9 +936,12 @@ fn kernel_report(out_path: &str, flags: &Flags) -> bool {
     }
 }
 
-/// One large-scale cell with tracing on, for CI smoke + `dstm-trace audit`.
-/// With `--shards S` the cell runs on the parallel executor; CI runs it at
-/// 1 and 4 shards and byte-diffs the two traces.
+/// One large-scale cell, for CI smoke + `dstm-trace audit`. With `--trace`
+/// the run records protocol events and writes them out (what the
+/// shard-determinism job byte-diffs at 1 vs 4 shards); without it the cell
+/// runs untraced, which is what lets the 10k-node smoke cell fit CI time
+/// and memory — a 10k-node trace log is millions of records. `--shards` /
+/// `--partition` select the executor configuration.
 fn large_smoke(positional: &[String], flags: &Flags) {
     let nodes: usize = positional
         .first()
@@ -754,20 +953,42 @@ fn large_smoke(positional: &[String], flags: &Flags) {
             min_ms: 1,
             max_ms: 50,
         })
-        .with_shards(flags.shards);
-    let (r, trace) = run_cell_traced(cell);
+        .with_shards(flags.shards)
+        .with_partition(flags.partition);
+    let (r, trace) = if flags.topts.path.is_some() {
+        let (r, t) = run_cell_traced(cell);
+        (r, Some(t))
+    } else {
+        (run_cell(cell), None)
+    };
     assert!(r.completed, "large-smoke cell stalled at n={nodes}");
-    println!(
-        "large-smoke: Bank/RTS n={nodes} hashed topology shards={}  commits={}  events={}  \
-         {:.1} ms wall  {:.0} ns/event  {} trace records",
+    let mut line = format!(
+        "large-smoke: Bank/RTS n={nodes} hashed topology shards={} part={}  commits={}  \
+         events={}  {:.1} ms wall  {:.0} ns/event",
         flags.shards,
+        flags.partition.label(),
         r.metrics.merged.commits,
         r.metrics.messages,
         r.wall_ns as f64 / 1e6,
         r.cpu_ns as f64 / r.metrics.messages.max(1) as f64,
-        trace.records.len(),
     );
-    flags.topts.write(&trace);
+    if let Some(t) = &trace {
+        let _ = write!(line, "  {} trace records", t.records.len());
+    }
+    if let Some(stats) = &r.shard_stats {
+        let barrier: u64 = stats.barrier_wait_ns.iter().sum();
+        let _ = write!(
+            line,
+            "  windows={} shard_events={:?} barrier {:.1} ms",
+            stats.windows,
+            stats.shard_events,
+            barrier as f64 / 1e6
+        );
+    }
+    println!("{line}");
+    if let Some(t) = &trace {
+        flags.topts.write(t);
+    }
 }
 
 /// Replay the Fig. 2/3 collision under one scheduler with tracing on.
@@ -865,8 +1086,9 @@ fn main() {
     let only: Option<Benchmark> = positional.get(2).and_then(|s| Benchmark::from_name(s));
 
     println!(
-        "dstm-sweep: {nodes} nodes, {txns} txns/node, delays 1-50 ms, shards={}\n",
-        flags.shards
+        "dstm-sweep: {nodes} nodes, {txns} txns/node, delays 1-50 ms, shards={} part={}\n",
+        flags.shards,
+        flags.partition.label()
     );
     let mut hist_rows = Vec::new();
     let mut trace_opts = Some(&flags.topts); // first RTS low-contention cell only
@@ -885,7 +1107,8 @@ fn main() {
             ] {
                 let cell = Cell::new(b, s, nodes, read_ratio)
                     .with_txns(txns)
-                    .with_shards(flags.shards);
+                    .with_shards(flags.shards)
+                    .with_partition(flags.partition);
                 let r = if s == SchedulerKind::Rts && read_ratio > 0.5 {
                     if let Some(t) = trace_opts.take().filter(|t| t.path.is_some()) {
                         let (r, trace) = run_cell_traced(cell);

@@ -64,12 +64,13 @@ impl Scale {
         }
     }
 
-    /// Production-scale sweeps *past* the paper's 80-node ceiling. These
-    /// rows extend (never replace) the 10–80-node figures; they pair with
-    /// the O(1)-memory hashed topology in the runner.
+    /// Production-scale sweeps *past* the paper's 80-node ceiling, up to
+    /// 10k nodes. These rows extend (never replace) the 10–80-node
+    /// figures; they pair with the O(1)-memory hashed topology in the
+    /// runner (a dense 10k-node delay matrix would be 10⁸ entries).
     pub fn large() -> Self {
         Scale {
-            node_counts: vec![80, 160, 320],
+            node_counts: vec![160, 1000, 10_000],
             table1_nodes: 160,
             txns_per_node: 10,
         }
@@ -88,7 +89,7 @@ impl Scale {
 
     /// Scale selected by the `DSTM_SCALE` environment variable:
     /// `quick` (fast sanity run), `full` (the paper's 10–80 node sweep,
-    /// default), `smoke`, or `large` (80–320 nodes, hashed topology).
+    /// default), `smoke`, or `large` (160–10k nodes, hashed topology).
     pub fn from_env() -> Self {
         std::env::var("DSTM_SCALE")
             .ok()

@@ -7,9 +7,10 @@
 
 use dstm_benchmarks::{Benchmark, WorkloadParams};
 use dstm_net::Topology;
-use dstm_sim::{CalendarQueue, EventQueue, SimRng};
+use dstm_sim::{CalendarQueue, EventQueue, ShardRunStats, SimRng};
 use hyflow_dstm::{
-    DstmConfig, NodeEvent, QueueBackend, RunMetrics, System, SystemBuilder, TraceLog,
+    DstmConfig, NodeEvent, PartitionStrategy, QueueBackend, RunMetrics, System, SystemBuilder,
+    TraceLog,
 };
 use rts_core::SchedulerKind;
 
@@ -52,6 +53,12 @@ pub struct Cell {
     /// pool), so every sweep and bench target honors the override without
     /// plumbing; `with_shards` sets it explicitly.
     pub shards: usize,
+    /// Node→shard assignment strategy for sharded runs (ignored at
+    /// `shards == 1`). Bit-identical results either way; locality widens
+    /// the conservative windows by keeping chatty nodes together. Seeded
+    /// from `DSTM_PARTITION` (`round-robin`/`locality`) like `shards` is
+    /// from `DSTM_SHARDS`; `with_partition` sets it explicitly.
+    pub partition: PartitionStrategy,
 }
 
 /// `DSTM_SHARDS` default for new cells; 1 (serial) when unset or invalid.
@@ -61,6 +68,15 @@ fn env_shards() -> usize {
         .and_then(|s| s.parse().ok())
         .unwrap_or(1)
         .max(1)
+}
+
+/// `DSTM_PARTITION` default for new cells; round-robin when unset or
+/// unrecognized.
+fn env_partition() -> PartitionStrategy {
+    std::env::var("DSTM_PARTITION")
+        .ok()
+        .and_then(|s| PartitionStrategy::from_name(&s))
+        .unwrap_or_default()
 }
 
 impl Cell {
@@ -92,6 +108,7 @@ impl Cell {
                 max_ms: 50,
             },
             shards: env_shards(),
+            partition: env_partition(),
         }
     }
 
@@ -99,6 +116,12 @@ impl Cell {
     /// executor); clamped to ≥ 1. Bit-identical to the serial run.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
+        self
+    }
+
+    /// Node→shard assignment strategy for sharded runs.
+    pub fn with_partition(mut self, partition: PartitionStrategy) -> Self {
+        self.partition = partition;
         self
     }
 
@@ -152,6 +175,10 @@ pub struct CellResult {
     /// coordinating thread (which runs shard 0); cross-thread speedup claims
     /// must use `wall_ns`.
     pub cpu_ns: u64,
+    /// Executor statistics for sharded cells (`None` for serial ones):
+    /// per-shard event counts and per-shard barrier-wait nanoseconds, the
+    /// attribution data behind the BENCH_kernel.json sharded rows.
+    pub shard_stats: Option<ShardRunStats>,
 }
 
 /// Current thread's consumed CPU time in nanoseconds (Linux
@@ -230,12 +257,13 @@ fn finish_cell<Q: EventQueue<NodeEvent> + Default + Send>(
     mut system: System<Q>,
 ) -> CellResult {
     let metrics = if cell.shards > 1 {
-        system.run_sharded_default(cell.shards)
+        system.run_sharded_default_with(cell.shards, cell.partition)
     } else {
         system.run_default()
     };
     CellResult {
         completed: system.all_done(),
+        shard_stats: system.shard_stats().cloned(),
         cell,
         metrics,
         wall_ns: 0,
@@ -275,7 +303,7 @@ pub fn run_cell_traced(mut cell: Cell) -> (CellResult, TraceLog) {
         mut system: System<Q>,
     ) -> (CellResult, TraceLog) {
         let metrics = if cell.shards > 1 {
-            system.run_sharded_default(cell.shards)
+            system.run_sharded_default_with(cell.shards, cell.partition)
         } else {
             system.run_default()
         };
@@ -285,6 +313,7 @@ pub fn run_cell_traced(mut cell: Cell) -> (CellResult, TraceLog) {
         (
             CellResult {
                 completed,
+                shard_stats: system.shard_stats().cloned(),
                 cell,
                 metrics,
                 wall_ns: 0,
@@ -492,12 +521,21 @@ mod tests {
         let base = tiny(Benchmark::Bank, SchedulerKind::Rts);
         let serial = run_cell(base.clone());
         assert!(serial.completed);
-        for shards in [2, 4, 8] {
-            let sharded = run_cell(base.clone().with_shards(shards));
-            assert!(sharded.completed, "sharded({shards}) stalled");
-            assert_eq!(serial.metrics.merged, sharded.metrics.merged);
-            assert_eq!(serial.metrics.messages, sharded.metrics.messages);
-            assert_eq!(serial.metrics.ended_at, sharded.metrics.ended_at);
+        assert!(serial.shard_stats.is_none(), "serial cells record no stats");
+        for partition in [PartitionStrategy::RoundRobin, PartitionStrategy::Locality] {
+            for shards in [2, 4, 8] {
+                let sharded = run_cell(base.clone().with_shards(shards).with_partition(partition));
+                assert!(
+                    sharded.completed,
+                    "sharded({shards}, {partition:?}) stalled"
+                );
+                assert_eq!(serial.metrics.merged, sharded.metrics.merged);
+                assert_eq!(serial.metrics.messages, sharded.metrics.messages);
+                assert_eq!(serial.metrics.ended_at, sharded.metrics.ended_at);
+                let stats = sharded.shard_stats.expect("sharded cells record stats");
+                assert_eq!(stats.shard_events.iter().sum::<u64>(), stats.steps);
+                assert_eq!(stats.barrier_wait_ns.len(), stats.shard_events.len());
+            }
         }
     }
 

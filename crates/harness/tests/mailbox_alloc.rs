@@ -1,0 +1,76 @@
+//! Steady-state allocation guard for the sharded executor's mailboxes.
+//!
+//! The per-window cross-shard mailboxes are pooled: posting swaps a shard's
+//! outbox into the matrix slot and draining appends into a retained scratch
+//! vector, so once every `mail[dst * S + src]` vector has grown to its
+//! high-water capacity, running more windows must allocate nothing extra.
+//! This test turns that claim into an assertion: the *allocation overhead of
+//! sharding* (sharded minus serial, same cell) must not grow with the number
+//! of simulated transactions. If a per-window `Vec::new` sneaks back into
+//! the exchange path, the big run's overhead scales with its window count
+//! and the bound breaks.
+//!
+//! Only meaningful with the counting allocator installed; without the
+//! feature the probes read zero and the test would pass vacuously, so it is
+//! compiled out entirely.
+#![cfg(feature = "bench-alloc")]
+
+use dstm_benchmarks::Benchmark;
+use dstm_harness::runner::{run_cell, Cell};
+use dstm_harness::{alloc_counter, TopologySpec};
+use hyflow_dstm::PartitionStrategy;
+use rts_core::SchedulerKind;
+
+fn cell(txns: usize, shards: usize) -> Cell {
+    Cell::new(Benchmark::Bank, SchedulerKind::Rts, 16, 0.5)
+        .with_txns(txns)
+        .with_topology(TopologySpec::HashedRandom {
+            min_ms: 1,
+            max_ms: 50,
+        })
+        .with_shards(shards)
+        .with_partition(PartitionStrategy::Locality)
+}
+
+/// Allocations of one full cell run, measured in isolation.
+fn allocs_of(c: Cell) -> i128 {
+    alloc_counter::reset();
+    let r = run_cell(c);
+    assert!(r.completed, "cell stalled");
+    let (allocs, _) = alloc_counter::snapshot();
+    i128::from(allocs)
+}
+
+#[test]
+fn mailbox_exchange_allocates_nothing_in_steady_state() {
+    assert!(alloc_counter::enabled());
+
+    // Warm up lazy process-wide state (thread-pool bookkeeping, lazily
+    // initialised statics) so it isn't credited to the first measured run.
+    allocs_of(cell(2, 4));
+
+    // Small and ~4x-larger workloads: more transactions means more events,
+    // more windows, and more mailbox exchanges — but the same shard count,
+    // so the same mailbox matrix.
+    let small_serial = allocs_of(cell(5, 1));
+    let small_sharded = allocs_of(cell(5, 4));
+    let big_serial = allocs_of(cell(20, 1));
+    let big_sharded = allocs_of(cell(20, 4));
+
+    let d_small = small_sharded - small_serial;
+    let d_big = big_sharded - big_serial;
+
+    // The sharding overhead is thread spawns, the partition/lookahead
+    // vectors, and initial mailbox growth — all independent of the event
+    // count. The slack absorbs capacity-doubling on the pooled vectors
+    // (the bigger run has bigger per-window batches) and allocator noise;
+    // a per-window allocation would blow through it by orders of
+    // magnitude (the big run executes thousands of windows).
+    let slack: i128 = 4096;
+    assert!(
+        d_big <= d_small + slack,
+        "sharding allocation overhead grew with workload size: \
+         small delta {d_small}, big delta {d_big} (slack {slack}); \
+         a per-window allocation is back in the mailbox exchange path"
+    );
+}

@@ -58,6 +58,6 @@ pub use node::Node;
 pub use object::{OwnedObject, Payload};
 pub use program::{AccessMode, BoxedProgram, StepInput, StepOutput, TxProgram, WithTrailer};
 pub use small::{ObjMap, ObjSet};
-pub use system::{NodeEvent, System, SystemBuilder, WorkloadSource};
+pub use system::{NodeEvent, PartitionStrategy, System, SystemBuilder, WorkloadSource};
 pub use trace::{ProtoEvent, ProtoTrace, TraceLog, TraceRecord, Verdict};
 pub use tx::{TxOutcome, TxRuntime};

@@ -29,9 +29,13 @@
 //! actor. This is what makes sharded execution (`shard.rs`) possible: a
 //! shard takes ownership of its actors' states wholesale, so timer tokens
 //! stay valid and event keys stay identical regardless of how actors are
-//! partitioned. A [`KernelCore`] addresses states by `(base, stride)`: the
-//! serial world uses `(0, 1)`, shard `s` of `S` uses `(s, S)` over the
-//! round-robin partition.
+//! partitioned. A [`KernelCore`] addresses states through a [`SlotView`]:
+//! the serial world uses the identity mapping (slot = global id), while a
+//! shard resolves slots through the shared [`Partition`] — which supports
+//! arbitrary (e.g. locality-aware) actor-to-shard assignments, not just
+//! round-robin.
+//!
+//! [`Partition`]: crate::shard::Partition
 //!
 //! # Timer cancellation
 //!
@@ -44,9 +48,12 @@
 //! total armed over a run. The slab is per-actor (not global) so that a
 //! token armed before a run and cancelled inside a shard still resolves.
 
+use std::sync::Arc;
+
 use crate::event::{EventKey, Sequenced};
 use crate::queue::{BinaryHeapQueue, EventQueue};
 use crate::rng::SimRng;
+use crate::shard::Partition;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{TraceEvent, TraceSink};
 
@@ -159,18 +166,31 @@ impl ActorState {
     }
 }
 
+/// How a [`KernelCore`] maps global actor ids onto its `states` vector.
+///
+/// The serial world owns every actor, so slot = global id with zero
+/// indirection. A shard owns an arbitrary subset chosen by the partitioner
+/// (round-robin or locality-greedy), so it resolves slots through the shared
+/// [`Partition`] — two array loads, no hashing, no division.
+pub(crate) enum SlotView {
+    /// The serial world: slot = global actor id.
+    Identity,
+    /// Shard `shard` of a partitioned run: slot = the partition's per-shard
+    /// dense index (actors arrive in ascending global-id order).
+    Sharded { shard: u32, part: Arc<Partition> },
+}
+
 /// Queue-independent engine state shared between the run loop and actor
 /// callbacks. Holds no message/timer payloads, so it needs no type
 /// parameters — which is what lets [`Ctx`] stay independent of the queue
 /// backend.
 ///
-/// `states[i]` belongs to actor `base + i * stride`: the serial world is
-/// `(base, stride) = (0, 1)`; shard `s` of `S` owns the round-robin slice
-/// `(s, S)`.
+/// `states[i]` belongs to the actor that `view` maps to slot `i`: the whole
+/// actor set in global-id order for the serial world, one shard's actors in
+/// ascending global-id order for a shard core.
 pub(crate) struct KernelCore {
     pub(crate) now: SimTime,
-    pub(crate) base: u32,
-    pub(crate) stride: u32,
+    pub(crate) view: SlotView,
     pub(crate) states: Vec<ActorState>,
     pub(crate) trace: TraceSink,
     /// Delivered message count (protocol messages, not timers).
@@ -183,8 +203,7 @@ impl KernelCore {
         let root = SimRng::new(seed);
         KernelCore {
             now: SimTime::ZERO,
-            base: 0,
-            stride: 1,
+            view: SlotView::Identity,
             states: (0..actors)
                 .map(|i| ActorState::new(&root, i as u32))
                 .collect(),
@@ -194,14 +213,13 @@ impl KernelCore {
         }
     }
 
-    /// An empty shard core covering actor ids `≡ base (mod stride)`; states
-    /// are installed by the sharded executor (moved, not recreated, so RNG
-    /// streams, issue counters, and timer slabs carry over exactly).
-    pub(crate) fn shard_shell(now: SimTime, base: u32, stride: u32) -> Self {
+    /// An empty core for shard `shard` of `part`; states are installed by
+    /// the sharded executor (moved, not recreated, so RNG streams, issue
+    /// counters, and timer slabs carry over exactly).
+    pub(crate) fn shard_shell(now: SimTime, shard: u32, part: Arc<Partition>) -> Self {
         KernelCore {
             now,
-            base,
-            stride,
+            view: SlotView::Sharded { shard, part },
             states: Vec::new(),
             trace: TraceSink::Disabled,
             messages_delivered: 0,
@@ -209,24 +227,21 @@ impl KernelCore {
         }
     }
 
-    /// Slot of `id` in `states` under this core's `(base, stride)` view.
-    /// The serial `stride == 1` case skips the hardware division — `stride`
-    /// is a runtime value, so the compiler cannot fold `/ 1` on its own,
-    /// and this sits on the per-event hot path (every push, pop, rng draw,
-    /// and timer op).
+    /// Slot of `id` in `states` under this core's view. The serial case is
+    /// the identity — no division, no loads — and this sits on the per-event
+    /// hot path (every push, pop, rng draw, and timer op).
     #[inline]
     pub(crate) fn slot(&self, id: ActorId) -> usize {
-        debug_assert_eq!(
-            id.0 % self.stride,
-            self.base,
-            "actor {id:?} not owned by this core (base {}, stride {})",
-            self.base,
-            self.stride
-        );
-        if self.stride == 1 {
-            id.0 as usize
-        } else {
-            (id.0 / self.stride) as usize
+        match &self.view {
+            SlotView::Identity => id.0 as usize,
+            SlotView::Sharded { shard, part } => {
+                debug_assert_eq!(
+                    part.shard_of()[id.index()],
+                    *shard,
+                    "actor {id:?} not owned by shard {shard}"
+                );
+                part.slot_of(id.0)
+            }
         }
     }
 

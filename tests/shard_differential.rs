@@ -5,8 +5,11 @@
 //! **bit-identical** to the serial run — same commits/aborts, same Table-I
 //! nested splits, same message counts, same latency histograms, same
 //! virtual end time, and the same protocol trace byte-for-byte — for every
-//! shard count, every scheduler, and with tracing on or off. Same bar the
-//! queue-backend and data-layout refactors had to clear
+//! shard count, every scheduler, every partitioner (round-robin and the
+//! locality-greedy one behind `--partition`), and with tracing on or off.
+//! The per-shard-pair lookahead matrix and the node→shard assignment are
+//! pure performance knobs; neither may leak into simulated results. Same
+//! bar the queue-backend and data-layout refactors had to clear
 //! (`layout_differential.rs`), extended to parallel execution.
 
 use closed_nesting_dstm::harness::runner::{run_cell, run_cell_traced, Cell, TopologySpec};
@@ -21,6 +24,9 @@ const SCHEDULERS: [SchedulerKind; 3] = [
 ];
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+const PARTITIONS: [PartitionStrategy; 2] =
+    [PartitionStrategy::RoundRobin, PartitionStrategy::Locality];
 
 /// FNV-1a over a byte string (stable, dependency-free).
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -68,15 +74,21 @@ fn sharded_traced_runs_match_serial_across_schedulers() {
         for scheduler in SCHEDULERS {
             let serial = traced_digest(small_cell(benchmark, scheduler, 7));
             for shards in SHARD_COUNTS {
-                let sharded =
-                    traced_digest(small_cell(benchmark, scheduler, 7).with_shards(shards));
-                assert_eq!(
-                    serial,
-                    sharded,
-                    "{}/{} diverged at {shards} shards",
-                    benchmark.label(),
-                    scheduler.label()
-                );
+                for partition in PARTITIONS {
+                    let sharded = traced_digest(
+                        small_cell(benchmark, scheduler, 7)
+                            .with_shards(shards)
+                            .with_partition(partition),
+                    );
+                    assert_eq!(
+                        serial,
+                        sharded,
+                        "{}/{} diverged at {shards} shards under {}",
+                        benchmark.label(),
+                        scheduler.label(),
+                        partition.label()
+                    );
+                }
             }
         }
     }
@@ -89,42 +101,61 @@ fn sharded_untraced_runs_match_serial_including_histograms() {
     let serial = run_cell(small_cell(Benchmark::Bank, SchedulerKind::Rts, 11));
     assert!(serial.completed);
     for shards in SHARD_COUNTS {
-        let sharded =
-            run_cell(small_cell(Benchmark::Bank, SchedulerKind::Rts, 11).with_shards(shards));
-        assert!(sharded.completed, "sharded({shards}) stalled");
-        assert_eq!(serial.metrics.merged, sharded.metrics.merged);
-        assert_eq!(serial.metrics.messages, sharded.metrics.messages);
-        assert_eq!(serial.metrics.elapsed, sharded.metrics.elapsed);
-        assert_eq!(serial.metrics.ended_at, sharded.metrics.ended_at);
+        for partition in PARTITIONS {
+            let sharded = run_cell(
+                small_cell(Benchmark::Bank, SchedulerKind::Rts, 11)
+                    .with_shards(shards)
+                    .with_partition(partition),
+            );
+            assert!(
+                sharded.completed,
+                "sharded({shards}, {}) stalled",
+                partition.label()
+            );
+            assert_eq!(serial.metrics.merged, sharded.metrics.merged);
+            assert_eq!(serial.metrics.messages, sharded.metrics.messages);
+            assert_eq!(serial.metrics.elapsed, sharded.metrics.elapsed);
+            assert_eq!(serial.metrics.ended_at, sharded.metrics.ended_at);
+        }
     }
 }
 
 #[test]
 fn sharding_composes_with_queue_backend_and_topology() {
-    // The three orthogonal execution knobs — shard count, queue backend,
-    // network representation — must all leave the outcome untouched.
-    let mk = |shards, backend| {
+    // The orthogonal execution knobs — shard count, partitioner, queue
+    // backend, network representation — must all leave the outcome
+    // untouched. The hashed topology matters here: its lookahead matrix is
+    // the generator-floor lower bound, not the exact pairwise minimum.
+    let mk = |shards, partition, backend| {
         let mut c = small_cell(Benchmark::Bank, SchedulerKind::Rts, 3)
             .with_queue_backend(backend)
             .with_topology(TopologySpec::HashedRandom {
                 min_ms: 1,
                 max_ms: 50,
             })
-            .with_shards(shards);
+            .with_shards(shards)
+            .with_partition(partition);
         c.params.objects_per_node = 3;
         c
     };
-    let want = traced_digest(mk(1, hyflow_dstm::QueueBackend::BinaryHeap));
+    let want = traced_digest(mk(
+        1,
+        PartitionStrategy::RoundRobin,
+        hyflow_dstm::QueueBackend::BinaryHeap,
+    ));
     for backend in [
         hyflow_dstm::QueueBackend::BinaryHeap,
         hyflow_dstm::QueueBackend::Calendar,
     ] {
         for shards in [2, 4] {
-            assert_eq!(
-                want,
-                traced_digest(mk(shards, backend)),
-                "diverged at {shards} shards on {backend:?}"
-            );
+            for partition in PARTITIONS {
+                assert_eq!(
+                    want,
+                    traced_digest(mk(shards, partition, backend)),
+                    "diverged at {shards} shards / {} on {backend:?}",
+                    partition.label()
+                );
+            }
         }
     }
 }
@@ -133,21 +164,24 @@ proptest! {
     #![proptest_config(ProptestConfig { cases: 10, .. ProptestConfig::default() })]
 
     /// Randomized sweep of the whole determinism claim: any seed, any
-    /// scheduler, any shard count, tracing on or off — sharded equals
-    /// serial.
+    /// scheduler, any shard count, either partitioner, tracing on or off —
+    /// sharded equals serial.
     #[test]
     fn serial_vs_sharded_digest_equality(
         seed in 1u64..10_000,
         sched in 0usize..3,
         shards in 2usize..=8,
+        partition in 0usize..2,
         traced in 0u8..2,
     ) {
         let traced = traced == 1;
+        let partition = PARTITIONS[partition];
         let mk = |shards: usize| {
             let mut c = Cell::new(Benchmark::Bank, SCHEDULERS[sched], 5, 0.5)
                 .with_txns(4)
                 .with_seed(seed)
-                .with_shards(shards);
+                .with_shards(shards)
+                .with_partition(partition);
             c.params.objects_per_node = 3;
             c
         };
