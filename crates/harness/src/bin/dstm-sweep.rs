@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! dstm-sweep [nodes] [txns_per_node] [benchmark] [--hist-out out.json]
+//!            [--telemetry] [--epoch-ns N]
 //! dstm-sweep scenario [rts|tfa|tfa-backoff] [writers] [readers]
 //! dstm-sweep kernel [out.json] [--scale S] [--trials N] [--baseline old.json]
 //! dstm-sweep large-smoke [nodes] [--shards S]
@@ -26,6 +27,15 @@
 //! default sweep traces its first RTS low-contention cell as a
 //! representative sample, and `kernel` ignores tracing flags (its `"on"`
 //! rows measure the enabled path without writing the log anywhere).
+//!
+//! `--telemetry` (env `DSTM_TELEMETRY=1`) enables the sim-time epoch
+//! sampler on the default sweep's first RTS high-contention cell and
+//! writes the merged per-epoch counter series plus per-object wasted-work
+//! ranking to `BENCH_timeseries.json`; `--epoch-ns N` (env `DSTM_EPOCH_NS`)
+//! overrides the 50 ms epoch length. `kernel` mode always measures
+//! telemetry-on rows (`"telemetry": "on"` in the sidecar) and gates the
+//! sampler's overhead against the matching plain rows of the same report
+//! (`DSTM_TELEMETRY_TOLERANCE`, default +40%).
 //!
 //! The default mode prints throughput, nested-abort rate, and speedups for
 //! every (benchmark, contention, scheduler) cell and writes the latency
@@ -65,9 +75,11 @@ use dstm_benchmarks::Benchmark;
 use dstm_harness::alloc_counter;
 use dstm_harness::experiments::scenarios::{render, run_collision_traced};
 use dstm_harness::experiments::Scale;
-use dstm_harness::runner::{run_cell, run_cell_traced, run_cells, Cell, TopologySpec};
+use dstm_harness::runner::{
+    run_cell, run_cell_telemetry, run_cell_traced, run_cells, Cell, CellResult, TopologySpec,
+};
 use dstm_harness::traceio::to_chrome_trace;
-use hyflow_dstm::{HistSummary, PartitionStrategy, QueueBackend, TraceLog};
+use hyflow_dstm::{HistSummary, PartitionStrategy, QueueBackend, TelemetryReport, TraceLog};
 use rts_core::SchedulerKind;
 use std::fmt::Write as _;
 
@@ -120,6 +132,12 @@ struct Flags {
     shards: usize,
     /// `--partition` overrides `DSTM_PARTITION`; round-robin when absent.
     partition: PartitionStrategy,
+    /// `--telemetry` (env `DSTM_TELEMETRY=1`): enable the sim-time epoch
+    /// sampler on the representative cell and write `BENCH_timeseries.json`.
+    telemetry: bool,
+    /// `--epoch-ns N` (env `DSTM_EPOCH_NS`): epoch length for the sampler;
+    /// `None` keeps the 50 ms default.
+    epoch_ns: Option<u64>,
 }
 
 /// Pull the `--flag value` pairs (with `DSTM_*` env fallbacks) out of the
@@ -134,6 +152,13 @@ fn split_flags(args: &[String]) -> Flags {
     let mut baseline = None;
     let mut shards = None;
     let mut partition = None;
+    let mut telemetry = matches!(
+        std::env::var("DSTM_TELEMETRY").ok().as_deref(),
+        Some("1") | Some("true") | Some("on")
+    );
+    let mut epoch_ns = std::env::var("DSTM_EPOCH_NS")
+        .ok()
+        .and_then(|s| s.parse().ok());
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -144,6 +169,8 @@ fn split_flags(args: &[String]) -> Flags {
             "--trials" => trials = it.next().and_then(|s| s.parse().ok()),
             "--baseline" => baseline = it.next().cloned(),
             "--shards" => shards = it.next().and_then(|s| s.parse().ok()),
+            "--telemetry" => telemetry = true,
+            "--epoch-ns" => epoch_ns = it.next().and_then(|s| s.parse().ok()),
             "--partition" => {
                 partition = it.next().map(|s| {
                     PartitionStrategy::from_name(s).unwrap_or_else(|| {
@@ -192,6 +219,8 @@ fn split_flags(args: &[String]) -> Flags {
         baseline,
         shards,
         partition,
+        telemetry,
+        epoch_ns,
     }
 }
 
@@ -224,6 +253,17 @@ const KERNEL_SCHEDULERS: [SchedulerKind; 3] = [
     SchedulerKind::TfaBackoff,
 ];
 
+/// Which instrumented path a kernel-grid row measures.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RowKind {
+    /// Production path: tracing compiled in but disabled, sampler off.
+    Plain,
+    /// Protocol-event recording enabled (`run_cell_traced`).
+    Traced,
+    /// Epoch sampler enabled (`run_cell_telemetry`).
+    Telemetry,
+}
+
 /// One measured kernel cell, ready for printing and the JSON sidecar.
 struct KernelRow {
     benchmark: Benchmark,
@@ -232,6 +272,10 @@ struct KernelRow {
     backend: QueueBackend,
     topology: &'static str,
     trace: bool,
+    /// Whether the epoch sampler ran for this row. `"on"` rows price the
+    /// telemetry path; they never gate the baseline check (old reports
+    /// lack them) but feed the intra-report overhead guard.
+    telemetry: bool,
     trials: usize,
     /// Shards of the time-windowed parallel executor (1 = serial loop).
     shards: usize,
@@ -248,6 +292,13 @@ struct KernelRow {
     /// serial rows). High values on few-core hosts are the honest cost of
     /// conservative windows; on real parallel hosts they expose imbalance.
     barrier_wait_ns: Vec<u64>,
+    /// Nanoseconds each shard spent executing events inside windows (empty
+    /// for serial rows). With `barrier_wait_ns` and `drain_ns` this
+    /// decomposes a shard's wall clock into work / waiting / mail exchange.
+    execute_ns: Vec<u64>,
+    /// Nanoseconds each shard spent posting and draining cross-shard
+    /// mailboxes (empty for serial rows).
+    drain_ns: Vec<u64>,
     /// Wall clock of the median trial, nanoseconds.
     wall_ns: u64,
     /// Thread-CPU time of the median trial, nanoseconds. ns/event keys off
@@ -280,6 +331,9 @@ impl KernelRow {
             self.cpu_ns as f64 / 1e6,
             self.ns_per_event(),
         );
+        if self.telemetry {
+            line += "  telem=on";
+        }
         if self.shards > 1 || self.concurrency != 4 {
             let _ = write!(
                 line,
@@ -293,6 +347,16 @@ impl KernelRow {
         if !self.barrier_wait_ns.is_empty() {
             let total: u64 = self.barrier_wait_ns.iter().sum();
             let _ = write!(line, "  barrier {:.1} ms", total as f64 / 1e6);
+        }
+        if !self.execute_ns.is_empty() {
+            let exec: u64 = self.execute_ns.iter().sum();
+            let drain: u64 = self.drain_ns.iter().sum();
+            let _ = write!(
+                line,
+                "  exec {:.1} ms drain {:.1} ms",
+                exec as f64 / 1e6,
+                drain as f64 / 1e6
+            );
         }
         if alloc_counter::enabled() && self.allocs_per_event > 0.0 {
             let _ = write!(
@@ -320,7 +384,7 @@ impl KernelRow {
 /// trials at once; spread over full grid passes, a burst lands in at most
 /// one or two trials of any given cell and the per-cell median rejects it.
 fn kernel_grid(scale: &Scale, trials: usize) -> Vec<KernelRow> {
-    let mut specs: Vec<(Cell, bool)> = Vec::new();
+    let mut specs: Vec<(Cell, RowKind)> = Vec::new();
     for b in Benchmark::ALL {
         for &nodes in &scale.node_counts {
             for s in KERNEL_SCHEDULERS {
@@ -332,41 +396,43 @@ fn kernel_grid(scale: &Scale, trials: usize) -> Vec<KernelRow> {
                         .with_txns(scale.txns_per_node)
                         .with_queue_backend(backend)
                         .with_shards(1);
-                    specs.push((cell, false));
+                    specs.push((cell, RowKind::Plain));
                 }
             }
         }
     }
-    // Enabled-path rows: bank only, binary heap, every node count.
-    for &nodes in &scale.node_counts {
-        for s in KERNEL_SCHEDULERS {
-            let cell = Cell::new(Benchmark::Bank, s, nodes, 0.9)
-                .with_txns(scale.txns_per_node)
-                .with_shards(1);
-            specs.push((cell, true));
+    // Enabled-path rows: bank only, binary heap, every node count. Traced
+    // rows price event recording, telemetry rows price the epoch sampler;
+    // both compare against the matching plain row.
+    for kind in [RowKind::Traced, RowKind::Telemetry] {
+        for &nodes in &scale.node_counts {
+            for s in KERNEL_SCHEDULERS {
+                let cell = Cell::new(Benchmark::Bank, s, nodes, 0.9)
+                    .with_txns(scale.txns_per_node)
+                    .with_shards(1);
+                specs.push((cell, kind));
+            }
         }
     }
 
-    let run = |c: &Cell, trace: bool| {
-        if trace {
-            run_cell_traced(c.clone()).0
-        } else {
-            run_cell(c.clone())
-        }
+    let run = |c: &Cell, kind: RowKind| match kind {
+        RowKind::Plain => run_cell(c.clone()),
+        RowKind::Traced => run_cell_traced(c.clone()).0,
+        RowKind::Telemetry => run_cell_telemetry(c.clone()).0,
     };
-    for (cell, trace) in &specs {
-        let _warmup = run(cell, *trace);
+    for (cell, kind) in &specs {
+        let _warmup = run(cell, *kind);
     }
     let mut timings: Vec<Vec<(u64, u64)>> = vec![Vec::with_capacity(trials); specs.len()];
     let mut counts = vec![(0u64, 0u64); specs.len()]; // (events, commits)
     let mut allocs = vec![(0u64, 0usize); specs.len()]; // (allocs, peak bytes)
     for t in 0..trials {
         let counted = t + 1 == trials;
-        for (i, (cell, trace)) in specs.iter().enumerate() {
+        for (i, (cell, kind)) in specs.iter().enumerate() {
             if counted {
                 alloc_counter::reset();
             }
-            let r = run(cell, *trace);
+            let r = run(cell, *kind);
             if counted {
                 allocs[i] = alloc_counter::snapshot();
             }
@@ -382,7 +448,7 @@ fn kernel_grid(scale: &Scale, trials: usize) -> Vec<KernelRow> {
     }
 
     let mut rows = Vec::new();
-    for (i, (cell, trace)) in specs.iter().enumerate() {
+    for (i, (cell, kind)) in specs.iter().enumerate() {
         timings[i].sort_unstable();
         let (cpu_ns, wall_ns) = timings[i][timings[i].len() / 2];
         let (events, commits) = counts[i];
@@ -393,7 +459,8 @@ fn kernel_grid(scale: &Scale, trials: usize) -> Vec<KernelRow> {
             scheduler: cell.scheduler,
             backend: cell.dstm.queue_backend,
             topology: cell.topology.label(),
-            trace: *trace,
+            trace: *kind == RowKind::Traced,
+            telemetry: *kind == RowKind::Telemetry,
             trials,
             shards: cell.shards,
             partition: cell.partition.label(),
@@ -406,6 +473,8 @@ fn kernel_grid(scale: &Scale, trials: usize) -> Vec<KernelRow> {
             peak_alloc_bytes: peak,
             shard_events: Vec::new(),
             barrier_wait_ns: Vec::new(),
+            execute_ns: Vec::new(),
+            drain_ns: Vec::new(),
         };
         row.print();
         rows.push(row);
@@ -461,6 +530,7 @@ fn kernel_grid_large(
             backend: r.cell.dstm.queue_backend,
             topology: r.cell.topology.label(),
             trace: false,
+            telemetry: false,
             trials: 1,
             shards: r.cell.shards,
             partition: r.cell.partition.label(),
@@ -482,6 +552,16 @@ fn kernel_grid_large(
                 .shard_stats
                 .as_ref()
                 .map(|s| s.barrier_wait_ns.clone())
+                .unwrap_or_default(),
+            execute_ns: r
+                .shard_stats
+                .as_ref()
+                .map(|s| s.profiles.iter().map(|p| p.execute_ns).collect())
+                .unwrap_or_default(),
+            drain_ns: r
+                .shard_stats
+                .as_ref()
+                .map(|s| s.profiles.iter().map(|p| p.drain_ns).collect())
                 .unwrap_or_default(),
         };
         row.print();
@@ -578,6 +658,7 @@ fn kernel_grid_sharded(trials: usize) -> Vec<KernelRow> {
             backend: cell.dstm.queue_backend,
             topology: cell.topology.label(),
             trace: false,
+            telemetry: false,
             trials,
             shards: cell.shards,
             partition: cell.partition.label(),
@@ -592,7 +673,17 @@ fn kernel_grid_sharded(trials: usize) -> Vec<KernelRow> {
                 .as_ref()
                 .map(|s| s.shard_events.clone())
                 .unwrap_or_default(),
-            barrier_wait_ns: stat.map(|s| s.barrier_wait_ns).unwrap_or_default(),
+            barrier_wait_ns: stat
+                .as_ref()
+                .map(|s| s.barrier_wait_ns.clone())
+                .unwrap_or_default(),
+            execute_ns: stat
+                .as_ref()
+                .map(|s| s.profiles.iter().map(|p| p.execute_ns).collect())
+                .unwrap_or_default(),
+            drain_ns: stat
+                .map(|s| s.profiles.iter().map(|p| p.drain_ns).collect())
+                .unwrap_or_default(),
         };
         row.print();
         rows.push(row);
@@ -648,6 +739,7 @@ fn kernel_json(
             json,
             "    {{\"benchmark\": \"{}\", \"nodes\": {}, \"scheduler\": \"{}\", \
              \"backend\": \"{}\", \"topology\": \"{}\", \"trace\": \"{}\", \
+             \"telemetry\": \"{}\", \
              \"trials\": {}, \"shards\": {}, \"partition\": \"{}\", \
              \"concurrency\": {}, \"wall_ns\": {}, \"cpu_ns\": {}, \"events\": {}, \
              \"ns_per_event\": {:.1}, \"commits\": {}, \
@@ -658,6 +750,7 @@ fn kernel_json(
             r.backend.label(),
             r.topology,
             if r.trace { "on" } else { "off" },
+            if r.telemetry { "on" } else { "off" },
             r.trials,
             r.shards,
             r.partition,
@@ -686,6 +779,14 @@ fn kernel_json(
                 fmt(&r.shard_events),
                 fmt(&r.barrier_wait_ns)
             );
+            if !r.execute_ns.is_empty() {
+                let _ = write!(
+                    json,
+                    ", \"execute_ns\": [{}], \"drain_ns\": [{}]",
+                    fmt(&r.execute_ns),
+                    fmt(&r.drain_ns)
+                );
+            }
         }
         let _ = writeln!(json, "}}{}", if i + 1 == rows.len() { "" } else { "," });
     }
@@ -730,7 +831,10 @@ fn parse_kernel_rows(text: &str) -> Vec<(String, f64)> {
             let nspe = json_num(line, "ns_per_event")?;
             let shards = json_num(line, "shards").unwrap_or(1.0);
             let concurrency = json_num(line, "concurrency").unwrap_or(4.0);
-            if shards != 1.0 || concurrency != 4.0 {
+            // Telemetry rows never gate: reports written before the sampler
+            // existed omit the field (hence the "off" default here).
+            let telemetry = json_str(line, "telemetry").unwrap_or("off");
+            if shards != 1.0 || concurrency != 4.0 || telemetry == "on" {
                 return None;
             }
             Some((format!("{b}/{nodes}/{s}/{backend}/{trace}"), nspe))
@@ -826,6 +930,64 @@ fn sharded_baseline_guard(rows: &[KernelRow], baseline_text: &str, baseline_path
     true
 }
 
+/// Intra-report telemetry-overhead guard: every telemetry-on row compares
+/// against the plain row of the same (benchmark, nodes, scheduler,
+/// backend) **from the same report**, so host speed cancels out and no
+/// baseline file is needed. The epoch sampler is a single branch per event
+/// when disabled and a counter snapshot per 50 ms epoch when enabled, so
+/// the median cpu-ns/event ratio must stay within
+/// `DSTM_TELEMETRY_TOLERANCE` (default +40% — small cells flush few
+/// epochs, so the bound mostly rejects accidental hot-path work).
+fn telemetry_overhead_guard(rows: &[KernelRow]) -> bool {
+    let key = |r: &KernelRow| {
+        format!(
+            "{}/{}/{}/{}",
+            r.benchmark.label(),
+            r.nodes,
+            r.scheduler.label(),
+            r.backend.label()
+        )
+    };
+    let plain: std::collections::HashMap<String, f64> = rows
+        .iter()
+        .filter(|r| !r.trace && !r.telemetry && r.shards == 1 && r.concurrency == 4)
+        .map(|r| (key(r), r.ns_per_event()))
+        .collect();
+    let mut ratios: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.telemetry)
+        .filter_map(|r| {
+            let base = *plain.get(&key(r))?;
+            (base > 0.0).then(|| r.ns_per_event() / base)
+        })
+        .collect();
+    if ratios.is_empty() {
+        return true;
+    }
+    ratios.sort_unstable_by(|a, b| a.total_cmp(b));
+    let median = ratios[ratios.len() / 2];
+    let tolerance: f64 = std::env::var("DSTM_TELEMETRY_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.40);
+    println!(
+        "[telemetry overhead: {} row pairs, median ns/event ratio {median:.3} \
+         (tolerance {:.2})]",
+        ratios.len(),
+        1.0 + tolerance
+    );
+    if median > 1.0 + tolerance {
+        eprintln!(
+            "TELEMETRY OVERHEAD: median ns/event with the epoch sampler on is \
+             {:.1}% over the plain path (allowed {:.0}%)",
+            (median - 1.0) * 100.0,
+            tolerance * 100.0
+        );
+        return false;
+    }
+    true
+}
+
 /// Compare fresh trace-off rows against a committed report: the median
 /// new/old ns-per-event ratio across matching rows must stay within the
 /// tolerance (default +20%, env `DSTM_BENCH_TOLERANCE`). Returns `false`
@@ -844,9 +1006,10 @@ fn baseline_guard(rows: &[KernelRow], baseline_path: &str) -> bool {
         parse_kernel_rows(&text).into_iter().collect();
     let mut ratios: Vec<f64> = rows
         .iter()
-        // Serial, default-concurrency, trace-off rows only: the sharded
-        // block's numbers depend on host core count, so they never gate.
-        .filter(|r| !r.trace && r.shards == 1 && r.concurrency == 4)
+        // Serial, default-concurrency, trace-off, telemetry-off rows only:
+        // the sharded block's numbers depend on host core count, so they
+        // never gate, and the telemetry rows have their own guard.
+        .filter(|r| !r.trace && !r.telemetry && r.shards == 1 && r.concurrency == 4)
         .filter_map(|r| {
             let key = format!(
                 "{}/{}/{}/{}/off",
@@ -930,10 +1093,12 @@ fn kernel_report(out_path: &str, flags: &Flags) -> bool {
         Ok(()) => println!("\n[written to {out_path}]"),
         Err(e) => eprintln!("could not write {out_path}: {e}"),
     }
-    match &flags.baseline {
+    let telemetry_ok = telemetry_overhead_guard(&rows);
+    let baseline_ok = match &flags.baseline {
         Some(b) => baseline_guard(&rows, b),
         None => true,
-    }
+    };
+    telemetry_ok && baseline_ok
 }
 
 /// One large-scale cell, for CI smoke + `dstm-trace audit`. With `--trace`
@@ -977,12 +1142,16 @@ fn large_smoke(positional: &[String], flags: &Flags) {
     }
     if let Some(stats) = &r.shard_stats {
         let barrier: u64 = stats.barrier_wait_ns.iter().sum();
+        let exec: u64 = stats.profiles.iter().map(|p| p.execute_ns).sum();
+        let drain: u64 = stats.profiles.iter().map(|p| p.drain_ns).sum();
         let _ = write!(
             line,
-            "  windows={} shard_events={:?} barrier {:.1} ms",
+            "  windows={} shard_events={:?} barrier {:.1} ms exec {:.1} ms drain {:.1} ms",
             stats.windows,
             stats.shard_events,
-            barrier as f64 / 1e6
+            barrier as f64 / 1e6,
+            exec as f64 / 1e6,
+            drain as f64 / 1e6
         );
     }
     println!("{line}");
@@ -1027,8 +1196,100 @@ type HistRow = (
     [(&'static str, HistSummary); 4],
 );
 
-fn hist_sidecar(out_path: &str, rows: &[HistRow]) {
-    let mut json = String::from("{\n  \"unit\": \"ns\",\n  \"cells\": [\n");
+/// Write the `BENCH_timeseries.json` sidecar for one telemetry-enabled
+/// cell: kernel-report-style provenance headers, then one epoch row per
+/// line (counters merged across nodes by epoch index) and the per-object
+/// wasted-work ranking. Per-epoch deltas sum to the end-of-run totals —
+/// `telemetry_is_passive_and_epoch_sums_reconcile` asserts it, and the
+/// `commits`/`aborts`/`wasted_ns` headers here restate the totals so the
+/// sidecar is checkable standalone.
+fn timeseries_sidecar(out_path: &str, cell: &Cell, r: &CellResult, reports: &[TelemetryReport]) {
+    let epochs = hyflow_dstm::merge_epoch_series(reports);
+    let objects = hyflow_dstm::merge_object_waste(reports);
+    let dropped: u64 = reports.iter().map(|t| t.dropped_epochs).sum();
+    let mut json = String::from("{\n  \"unit\": \"ns\",\n  \"clock\": \"sim_time\",\n");
+    let _ = writeln!(json, "  \"epoch_ns\": {},", cell.dstm.epoch.0);
+    let _ = writeln!(json, "  \"benchmark\": \"{}\",", cell.benchmark.label());
+    let _ = writeln!(json, "  \"scheduler\": \"{}\",", cell.scheduler.label());
+    let _ = writeln!(json, "  \"nodes\": {},", cell.params.nodes);
+    let _ = writeln!(json, "  \"read_ratio\": {},", cell.params.read_ratio);
+    let _ = writeln!(json, "  \"txns_per_node\": {},", cell.params.txns_per_node);
+    let _ = writeln!(json, "  \"shards\": {},", cell.shards);
+    let _ = writeln!(json, "  \"partition\": \"{}\",", cell.partition.label());
+    let _ = writeln!(json, "  \"workers\": {},", effective_workers());
+    let _ = writeln!(
+        json,
+        "  \"host_cores\": {},",
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    );
+    let _ = writeln!(json, "  \"dropped_epochs\": {dropped},");
+    let _ = writeln!(json, "  \"commits\": {},", r.metrics.merged.commits);
+    let _ = writeln!(json, "  \"aborts\": {},", r.metrics.merged.total_aborts());
+    let _ = writeln!(
+        json,
+        "  \"wasted_ns\": {},",
+        r.metrics.merged.wasted_work_ns
+    );
+    json.push_str("  \"epochs\": [\n");
+    for (i, e) in epochs.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"epoch\": {}, \"commits\": {}, \"aborts\": {}, \
+             \"nested_aborts\": {}, \"enqueued\": {}, \"wasted_ns\": {}, \
+             \"wasted_msgs\": {}, \"queue_depth\": {}, \"in_flight\": {}, \
+             \"cl_open\": {}}}{}",
+            e.epoch,
+            e.commits,
+            e.aborts,
+            e.nested_aborts,
+            e.enqueued,
+            e.wasted_ns,
+            e.wasted_msgs,
+            e.queue_depth,
+            e.in_flight,
+            e.cl_open,
+            if i + 1 == epochs.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n  \"objects\": [\n");
+    for (i, o) in objects.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"oid\": {}, \"aborts\": {}, \"wasted_ns\": {}}}{}",
+            o.oid.0,
+            o.aborts,
+            o.wasted_ns,
+            if i + 1 == objects.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write(out_path, &json) {
+        Ok(()) => println!(
+            "[telemetry: {} epochs, {} hot objects written to {out_path}]",
+            epochs.len(),
+            objects.len()
+        ),
+        Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+}
+
+fn hist_sidecar(out_path: &str, rows: &[HistRow], nodes: usize, txns: usize, flags: &Flags) {
+    let mut json = String::from("{\n  \"unit\": \"ns\",\n");
+    let _ = writeln!(json, "  \"nodes\": {nodes},");
+    let _ = writeln!(json, "  \"txns_per_node\": {txns},");
+    let _ = writeln!(json, "  \"shards\": {},", flags.shards);
+    let _ = writeln!(json, "  \"partition\": \"{}\",", flags.partition.label());
+    let _ = writeln!(json, "  \"workers\": {},", effective_workers());
+    let _ = writeln!(
+        json,
+        "  \"host_cores\": {},",
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    );
+    json.push_str("  \"cells\": [\n");
     for (i, (b, read_ratio, s, summaries)) in rows.iter().enumerate() {
         let _ = write!(
             json,
@@ -1092,6 +1353,7 @@ fn main() {
     );
     let mut hist_rows = Vec::new();
     let mut trace_opts = Some(&flags.topts); // first RTS low-contention cell only
+    let mut telemetry_slot = flags.telemetry; // first RTS high-contention cell only
     for b in Benchmark::ALL {
         if only.is_some_and(|o| o != b) {
             continue;
@@ -1105,10 +1367,13 @@ fn main() {
                 SchedulerKind::Tfa,
                 SchedulerKind::TfaBackoff,
             ] {
-                let cell = Cell::new(b, s, nodes, read_ratio)
+                let mut cell = Cell::new(b, s, nodes, read_ratio)
                     .with_txns(txns)
                     .with_shards(flags.shards)
                     .with_partition(flags.partition);
+                if let Some(ns) = flags.epoch_ns {
+                    cell = cell.with_epoch_ns(ns);
+                }
                 let r = if s == SchedulerKind::Rts && read_ratio > 0.5 {
                     if let Some(t) = trace_opts.take().filter(|t| t.path.is_some()) {
                         let (r, trace) = run_cell_traced(cell);
@@ -1117,6 +1382,14 @@ fn main() {
                     } else {
                         run_cell(cell)
                     }
+                } else if s == SchedulerKind::Rts && read_ratio < 0.5 && telemetry_slot {
+                    // The representative high-contention cell: the one
+                    // whose epoch series is worth a sidecar.
+                    telemetry_slot = false;
+                    let spec = cell.clone();
+                    let (r, reports) = run_cell_telemetry(cell);
+                    timeseries_sidecar("BENCH_timeseries.json", &spec, &r, &reports);
+                    r
                 } else {
                     run_cell(cell)
                 };
@@ -1142,5 +1415,8 @@ fn main() {
     hist_sidecar(
         flags.hist_out.as_deref().unwrap_or("BENCH_trace.json"),
         &hist_rows,
+        nodes,
+        txns,
+        &flags,
     );
 }

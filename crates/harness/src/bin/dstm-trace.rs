@@ -1,10 +1,14 @@
 //! `dstm-trace` — offline audit and conversion of protocol-event traces.
 //!
 //! ```text
-//! dstm-trace audit  <trace.jsonl>            # check invariants; exit 1 on violation
-//! dstm-trace stats  <trace.jsonl>            # record census
-//! dstm-trace chrome <trace.jsonl> [out.json] # convert to Chrome trace_event JSON
-//! dstm-trace demo   [out.jsonl]              # record the Fig. 3 collision, write JSONL
+//! dstm-trace audit   <trace.jsonl>            # check invariants; exit 1 on violation
+//! dstm-trace stats   <trace.jsonl>            # record census (split per traced run)
+//! dstm-trace analyze <trace.jsonl> [--json] [--epoch-ns N]
+//!                                             # contention analytics: hot objects,
+//!                                             # abort chains, throughput knee;
+//!                                             # exit 1 on ledger mismatch
+//! dstm-trace chrome  <trace.jsonl> [out.json] # convert to Chrome trace_event JSON
+//! dstm-trace demo    [out.jsonl]              # record the Fig. 3 collision, write JSONL
 //! ```
 //!
 //! Traces are the JSONL streams written by `dstm-sweep --trace` (or any
@@ -12,10 +16,14 @@
 //! what the live counters cannot: every commit's read/write footprint is
 //! consistent with a serial order, every queue-timeout abort was actually
 //! enqueued, and the Table-I nested-abort split recomputed from spans
-//! matches the counter-based `RunSummary` exactly.
+//! matches the counter-based `RunSummary` exactly. `analyze` builds the
+//! object-conflict picture from abort attribution — which objects caused
+//! the aborts, which transactions discarded whose work, where throughput
+//! knees over — and reconciles the event-derived wasted-work ledger
+//! against the live counters.
 
 use dstm_harness::experiments::scenarios::run_collision_traced;
-use dstm_harness::traceio::{audit, to_chrome_trace, trace_stats};
+use dstm_harness::traceio::{analyze, audit, to_chrome_trace, trace_stats};
 use hyflow_dstm::TraceLog;
 use rts_core::SchedulerKind;
 use std::process::ExitCode;
@@ -27,8 +35,9 @@ fn load(path: &str) -> Result<TraceLog, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  dstm-trace audit  <trace.jsonl>\n  dstm-trace stats  <trace.jsonl>\n  \
-         dstm-trace chrome <trace.jsonl> [out.json]\n  dstm-trace demo   [out.jsonl]"
+        "usage:\n  dstm-trace audit   <trace.jsonl>\n  dstm-trace stats   <trace.jsonl>\n  \
+         dstm-trace analyze <trace.jsonl> [--json] [--epoch-ns N]\n  \
+         dstm-trace chrome  <trace.jsonl> [out.json]\n  dstm-trace demo    [out.jsonl]"
     );
     ExitCode::from(2)
 }
@@ -64,6 +73,40 @@ fn main() -> ExitCode {
                 ExitCode::from(2)
             }
         },
+        ("analyze", Some(path)) => {
+            let mut json = false;
+            let mut epoch_ns = 0u64; // 0 = analyzer default (50 ms)
+            let mut rest = args[3..].iter();
+            while let Some(flag) = rest.next() {
+                match flag.as_str() {
+                    "--json" => json = true,
+                    "--epoch-ns" => match rest.next().map(|v| v.parse::<u64>()) {
+                        Some(Ok(n)) => epoch_ns = n,
+                        _ => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            match load(path) {
+                Ok(log) => {
+                    let report = analyze(&log, epoch_ns);
+                    if json {
+                        print!("{}", report.to_json());
+                    } else {
+                        print!("{}", report.render());
+                    }
+                    if report.ok() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
         ("chrome", Some(path)) => {
             let out_path = args
                 .get(3)

@@ -30,6 +30,11 @@ pub mod runner;
 pub mod table;
 pub mod traceio;
 
-pub use runner::{run_cell, run_cell_traced, run_cells, Cell, CellResult, TopologySpec};
+pub use runner::{
+    run_cell, run_cell_telemetry, run_cell_traced, run_cells, Cell, CellResult, TopologySpec,
+};
 pub use table::{SeriesTable, TextTable};
-pub use traceio::{audit, to_chrome_trace, trace_stats, AuditReport};
+pub use traceio::{
+    analyze, audit, to_chrome_trace, trace_stats, AnalyzeReport, AuditReport,
+    DEFAULT_ANALYZE_EPOCH_NS,
+};

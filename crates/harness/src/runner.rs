@@ -156,6 +156,20 @@ impl Cell {
         self.dstm.trace_protocol = true;
         self
     }
+
+    /// Enable the passive epoch sampler (see `hyflow_dstm::telemetry`):
+    /// per-node time-resolved commit/abort/wasted-work series, off the hot
+    /// path when disabled.
+    pub fn with_telemetry(mut self) -> Self {
+        self.dstm.telemetry = true;
+        self
+    }
+
+    /// Sampling epoch for telemetry, in sim-time nanoseconds (default 50 ms).
+    pub fn with_epoch_ns(mut self, epoch_ns: u64) -> Self {
+        self.dstm.epoch = dstm_sim::SimDuration(epoch_ns);
+        self
+    }
 }
 
 /// Aggregate outcome of one cell.
@@ -308,6 +322,9 @@ pub fn run_cell_traced(mut cell: Cell) -> (CellResult, TraceLog) {
             system.run_default()
         };
         let mut trace = system.take_trace();
+        if let Some(label) = hyflow_dstm::SchedLabel::from_label(cell.scheduler.label()) {
+            trace.push_run_info(label, cell.params.nodes as u64);
+        }
         trace.push_summary(system.now(), &metrics.merged);
         let completed = system.all_done();
         (
@@ -338,6 +355,53 @@ pub fn run_cell_traced(mut cell: Cell) -> (CellResult, TraceLog) {
     r.cpu_ns = thread_cpu_ns() - c0;
     r.wall_ns = t0.elapsed().as_nanos() as u64;
     (r, trace)
+}
+
+/// Run a cell with the epoch sampler forced on and return the per-node
+/// telemetry reports next to the usual result. Telemetry is passive: the
+/// metrics, traces, and final state are bit-identical to a run without it.
+pub fn run_cell_telemetry(mut cell: Cell) -> (CellResult, Vec<hyflow_dstm::TelemetryReport>) {
+    cell.dstm.telemetry = true;
+
+    fn go<Q: EventQueue<NodeEvent> + Default + Send>(
+        cell: Cell,
+        mut system: System<Q>,
+    ) -> (CellResult, Vec<hyflow_dstm::TelemetryReport>) {
+        let metrics = if cell.shards > 1 {
+            system.run_sharded_default_with(cell.shards, cell.partition)
+        } else {
+            system.run_default()
+        };
+        let reports = system.take_telemetry();
+        let completed = system.all_done();
+        (
+            CellResult {
+                completed,
+                shard_stats: system.shard_stats().cloned(),
+                cell,
+                metrics,
+                wall_ns: 0,
+                cpu_ns: 0,
+            },
+            reports,
+        )
+    }
+
+    let t0 = std::time::Instant::now();
+    let c0 = thread_cpu_ns();
+    let (mut r, reports) = match cell.dstm.queue_backend {
+        QueueBackend::BinaryHeap => {
+            let system = build_system(&cell);
+            go(cell, system)
+        }
+        QueueBackend::Calendar => {
+            let system = build_system_with_queue(&cell, CalendarQueue::new());
+            go(cell, system)
+        }
+    };
+    r.cpu_ns = thread_cpu_ns() - c0;
+    r.wall_ns = t0.elapsed().as_nanos() as u64;
+    (r, reports)
 }
 
 /// Run many cells on `workers` threads (defaults to the parallelism the OS

@@ -185,10 +185,16 @@ pub fn audit(log: &TraceLog) -> AuditReport {
                 attempt,
                 cause,
                 nested_parent,
+                wasted_ns,
+                msgs,
+                aggressor,
                 ..
             } => {
                 spans.aborts += 1;
                 spans.nested_parent += nested_parent;
+                spans.wasted_ns += wasted_ns;
+                spans.wasted_msgs += msgs;
+                spans.attributed += u64::from(aggressor.is_some());
                 if *cause == hyflow_dstm::AbortCause::QueueTimeout {
                     report.timeout_aborts_checked += 1;
                     if !enqueued.contains(&(*tx, *attempt)) {
@@ -211,6 +217,9 @@ pub fn audit(log: &TraceLog) -> AuditReport {
                 nested_own,
                 nested_parent,
                 nested_commits,
+                wasted_ns,
+                wasted_msgs,
+                attributed,
             } => {
                 report.summary_checked = true;
                 let pairs = [
@@ -219,6 +228,9 @@ pub fn audit(log: &TraceLog) -> AuditReport {
                     ("nested-own aborts", spans.nested_own, *nested_own),
                     ("nested-parent aborts", spans.nested_parent, *nested_parent),
                     ("nested commits", spans.nested_commits, *nested_commits),
+                    ("wasted-work ns", spans.wasted_ns, *wasted_ns),
+                    ("wasted messages", spans.wasted_msgs, *wasted_msgs),
+                    ("attributed aborts", spans.attributed, *attributed),
                 ];
                 for (label, from_spans, from_counters) in pairs {
                     if from_spans != from_counters {
@@ -244,6 +256,9 @@ struct SpanTotals {
     nested_own: u64,
     nested_parent: u64,
     nested_commits: u64,
+    wasted_ns: u64,
+    wasted_msgs: u64,
+    attributed: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -419,7 +434,7 @@ pub fn to_chrome_trace(log: &TraceLog) -> String {
                     ),
                 );
             }
-            ProtoEvent::RunSummary { .. } => {}
+            ProtoEvent::RunInfo { .. } | ProtoEvent::RunSummary { .. } => {}
         }
     }
 
@@ -452,23 +467,72 @@ pub fn to_chrome_trace(log: &TraceLog) -> String {
 // Stats
 // ---------------------------------------------------------------------------
 
-/// A quick census of the log: record counts per kind plus outcome totals.
+/// One census segment: records between two `RunInfo` markers (or the whole
+/// log when no marker is present).
+#[derive(Default)]
+struct StatsSegment {
+    label: Option<String>,
+    records: u64,
+    by_kind: HashMap<&'static str, u64>,
+    commits: u64,
+    aborts: u64,
+    timeouts: u64,
+    enq: u64,
+}
+
+impl StatsSegment {
+    fn render(&self, out: &mut String) {
+        match &self.label {
+            Some(l) => {
+                let _ = writeln!(out, "[{l}] {} records", self.records);
+            }
+            None => {
+                let _ = writeln!(out, "{} records", self.records);
+            }
+        }
+        let mut kinds: Vec<(&str, u64)> = self.by_kind.iter().map(|(&k, &c)| (k, c)).collect();
+        kinds.sort();
+        for (k, c) in kinds {
+            let _ = writeln!(out, "  {k:<16} {c}");
+        }
+        let _ = writeln!(
+            out,
+            "commits {}, aborts {} ({} queue timeouts), enqueues {}",
+            self.commits, self.aborts, self.timeouts, self.enq
+        );
+    }
+}
+
+/// A quick textual census of the log: record counts per kind plus outcome
+/// totals. A log carrying `RunInfo` markers (the harness prepends one per
+/// traced run) is split into one census block per `(scheduler, node-count)`
+/// cell; an unmarked log renders as a single unlabeled block, exactly as
+/// before.
 pub fn trace_stats(log: &TraceLog) -> String {
-    let mut by_kind: HashMap<&'static str, u64> = HashMap::new();
-    let (mut commits, mut aborts) = (0u64, 0u64);
-    let (mut enq, mut timeouts) = (0u64, 0u64);
+    let mut segments: Vec<StatsSegment> = Vec::new();
     for r in &log.records {
+        if let ProtoEvent::RunInfo { scheduler, nodes } = &r.ev {
+            segments.push(StatsSegment {
+                label: Some(format!("{} @ {} nodes", scheduler.label(), nodes)),
+                ..StatsSegment::default()
+            });
+        }
+        if segments.is_empty() {
+            segments.push(StatsSegment::default());
+        }
+        let seg = segments.last_mut().expect("segment pushed above");
+        seg.records += 1;
         let kind = match &r.ev {
             ProtoEvent::TxStart { .. } => "tx_start",
             ProtoEvent::TxForward { .. } => "tx_forward",
             ProtoEvent::TxCommit { .. } => {
-                commits += 1;
+                seg.commits += 1;
                 "tx_commit"
             }
             ProtoEvent::TxAbort { cause, .. } => {
-                aborts += 1;
+                seg.aborts += 1;
                 if *cause == hyflow_dstm::AbortCause::QueueTimeout {
-                    timeouts += 1;
+                    seg.timeouts += 1;
                 }
                 "tx_abort"
             }
@@ -477,27 +541,497 @@ pub fn trace_stats(log: &TraceLog) -> String {
             ProtoEvent::NestedAbort { .. } => "nested_abort",
             ProtoEvent::SchedDecision { verdict, .. } => {
                 if *verdict == Verdict::Enqueue {
-                    enq += 1;
+                    seg.enq += 1;
                 }
                 "sched_decision"
             }
             ProtoEvent::QueueServed { .. } => "queue_served",
             ProtoEvent::Migrate { .. } => "migrate",
+            ProtoEvent::RunInfo { .. } => "run_info",
             ProtoEvent::RunSummary { .. } => "run_summary",
         };
-        *by_kind.entry(kind).or_default() += 1;
+        *seg.by_kind.entry(kind).or_default() += 1;
     }
-    let mut kinds: Vec<(&str, u64)> = by_kind.into_iter().collect();
-    kinds.sort();
-    let mut out = format!("{} records\n", log.records.len());
-    for (k, c) in kinds {
-        let _ = writeln!(out, "  {k:<16} {c}");
+    let mut out = String::new();
+    if segments.is_empty() {
+        let _ = writeln!(out, "0 records");
+        return out;
     }
-    let _ = writeln!(
-        out,
-        "commits {commits}, aborts {aborts} ({timeouts} queue timeouts), enqueues {enq}"
-    );
+    for (i, seg) in segments.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        seg.render(&mut out);
+    }
+    if segments.len() > 1 {
+        let total: u64 = segments.iter().map(|s| s.records).sum();
+        let _ = writeln!(
+            out,
+            "\ntotal: {} records across {} runs",
+            total,
+            segments.len()
+        );
+    }
     out
+}
+
+// ---------------------------------------------------------------------------
+// Contention analytics
+// ---------------------------------------------------------------------------
+
+/// Epoch used to bucket commits for knee detection when the caller does not
+/// override it — matches the epoch sampler's default (50 ms of sim-time).
+pub const DEFAULT_ANALYZE_EPOCH_NS: u64 = 50_000_000;
+
+/// Contention profile of one object, derived from abort attribution,
+/// queue-service, and migration records.
+#[derive(Clone, Debug)]
+pub struct HotObject {
+    pub oid: ObjectId,
+    /// Parent-level aborts that blamed this object.
+    pub aborts_caused: u64,
+    /// Virtual nanoseconds of work those aborts discarded.
+    pub wasted_ns: u64,
+    /// Times a queued requester was handed this object on release.
+    pub serves: u64,
+    /// Total queue wait this object induced (sum over `QueueServed`).
+    pub wait_induced_ns: u64,
+    /// Ownership migrations of this object.
+    pub migrations: u64,
+}
+
+/// One aggressor transaction's toll: how many victim attempts it killed and
+/// how much of their work was discarded.
+#[derive(Clone, Debug)]
+pub struct Aggressor {
+    pub tx: TxId,
+    pub victim_aborts: u64,
+    pub wasted_ns: u64,
+}
+
+/// Commits bucketed into fixed sim-time epochs, plus the detected knee.
+#[derive(Clone, Debug, Default)]
+pub struct ThroughputSeries {
+    pub epoch_ns: u64,
+    pub commits_per_epoch: Vec<u64>,
+    /// Epoch with the most commits (first such epoch on ties).
+    pub peak_epoch: usize,
+    /// First epoch after the peak from which throughput never again reaches
+    /// half the peak rate — the sustained-collapse point. `None` while the
+    /// run keeps (re)attaining ≥ 50% of peak until the end.
+    pub knee_epoch: Option<usize>,
+}
+
+/// Result of [`analyze`]: hot objects, abort causal chains, throughput
+/// knee, and the event-vs-counter wasted-work reconciliation.
+#[derive(Clone, Debug, Default)]
+pub struct AnalyzeReport {
+    pub records: usize,
+    /// `RunInfo`-delimited runs seen (0 for unmarked legacy logs).
+    pub runs: usize,
+    pub hot_objects: Vec<HotObject>,
+    pub aggressors: Vec<Aggressor>,
+    /// Longest victim → aggressor → … causal chain found (cycle-free walk).
+    pub longest_chain: Vec<TxId>,
+    pub throughput: ThroughputSeries,
+    /// Whether at least one `RunSummary` was present to reconcile against.
+    pub summary_checked: bool,
+    /// Event-derived vs counter-derived discrepancies; empty means the
+    /// wasted-work ledger reconciles exactly.
+    pub mismatches: Vec<String>,
+    // Event-derived totals.
+    pub commits: u64,
+    pub aborts: u64,
+    pub attributed: u64,
+    pub wasted_ns: u64,
+    pub wasted_msgs: u64,
+}
+
+impl AnalyzeReport {
+    pub fn ok(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let mut out = format!(
+            "analyzed {} records ({} run{}); counter reconciliation: {}\n",
+            self.records,
+            self.runs.max(1),
+            if self.runs.max(1) == 1 { "" } else { "s" },
+            if !self.summary_checked {
+                "no summary record".to_string()
+            } else if self.ok() {
+                "OK".to_string()
+            } else {
+                format!("{} mismatch(es)", self.mismatches.len())
+            },
+        );
+        let _ = writeln!(
+            out,
+            "event totals: {} commits, {} aborts ({} attributed to an aggressor), \
+             {:.3} ms wasted, {} messages discarded",
+            self.commits,
+            self.aborts,
+            self.attributed,
+            ms(self.wasted_ns),
+            self.wasted_msgs
+        );
+        if !self.hot_objects.is_empty() {
+            let _ = writeln!(
+                out,
+                "hot objects (top {} by aborts caused):",
+                self.hot_objects.len()
+            );
+            let _ = writeln!(
+                out,
+                "  {:<10} {:>7} {:>11} {:>7} {:>10} {:>11}",
+                "object", "aborts", "wasted(ms)", "serves", "wait(ms)", "migrations"
+            );
+            for h in &self.hot_objects {
+                let _ = writeln!(
+                    out,
+                    "  {:<10} {:>7} {:>11.3} {:>7} {:>10.3} {:>11}",
+                    h.oid.to_string(),
+                    h.aborts_caused,
+                    ms(h.wasted_ns),
+                    h.serves,
+                    ms(h.wait_induced_ns),
+                    h.migrations
+                );
+            }
+        }
+        if !self.aggressors.is_empty() {
+            let _ = writeln!(out, "top aggressors (by wasted work induced):");
+            for a in &self.aggressors {
+                let _ = writeln!(
+                    out,
+                    "  {:<10} victims {:<5} wasted(ms) {:.3}",
+                    a.tx.to_string(),
+                    a.victim_aborts,
+                    ms(a.wasted_ns)
+                );
+            }
+        }
+        if self.longest_chain.len() > 1 {
+            let chain: Vec<String> = self.longest_chain.iter().map(|t| t.to_string()).collect();
+            let _ = writeln!(out, "longest abort chain: {}", chain.join(" <- "));
+        }
+        let t = &self.throughput;
+        if !t.commits_per_epoch.is_empty() {
+            let peak = t.commits_per_epoch[t.peak_epoch];
+            match t.knee_epoch {
+                Some(k) => {
+                    let _ = writeln!(
+                        out,
+                        "throughput: peak {} commits in epoch {} ({} ms); knee at epoch {} \
+                         (sustained < 50% of peak)",
+                        peak,
+                        t.peak_epoch,
+                        t.epoch_ns / 1_000_000,
+                        k
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "throughput: peak {} commits in epoch {} ({} ms); no knee detected",
+                        peak,
+                        t.peak_epoch,
+                        t.epoch_ns / 1_000_000
+                    );
+                }
+            }
+        }
+        for m in &self.mismatches {
+            let _ = writeln!(out, "MISMATCH: {m}");
+        }
+        out
+    }
+
+    /// Machine-readable JSON rendering (hand-rolled; no serde in-tree).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = format!(
+            "{{\"records\":{},\"runs\":{},\"reconciled\":{},\"summary_checked\":{},\
+             \"commits\":{},\"aborts\":{},\"attributed\":{},\"wasted_ns\":{},\"wasted_msgs\":{}",
+            self.records,
+            self.runs,
+            self.ok(),
+            self.summary_checked,
+            self.commits,
+            self.aborts,
+            self.attributed,
+            self.wasted_ns,
+            self.wasted_msgs
+        );
+        out.push_str(",\"hot_objects\":[");
+        for (i, h) in self.hot_objects.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"oid\":{},\"aborts\":{},\"wasted_ns\":{},\"serves\":{},\
+                 \"wait_ns\":{},\"migrations\":{}}}",
+                h.oid.0, h.aborts_caused, h.wasted_ns, h.serves, h.wait_induced_ns, h.migrations
+            );
+        }
+        out.push_str("],\"aggressors\":[");
+        for (i, a) in self.aggressors.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"tx\":[{},{}],\"victims\":{},\"wasted_ns\":{}}}",
+                a.tx.node, a.tx.seq, a.victim_aborts, a.wasted_ns
+            );
+        }
+        out.push_str("],\"longest_chain\":[");
+        for (i, t) in self.longest_chain.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{},{}]", t.node, t.seq);
+        }
+        let _ = write!(
+            out,
+            "],\"epoch_ns\":{},\"commits_per_epoch\":[",
+            self.throughput.epoch_ns
+        );
+        for (i, c) in self.throughput.commits_per_epoch.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{c}");
+        }
+        let _ = write!(out, "],\"peak_epoch\":{}", self.throughput.peak_epoch);
+        match self.throughput.knee_epoch {
+            Some(k) => {
+                let _ = write!(out, ",\"knee_epoch\":{k}");
+            }
+            None => out.push_str(",\"knee_epoch\":null"),
+        }
+        out.push_str(",\"mismatches\":[");
+        for (i, m) in self.mismatches.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", esc(m));
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+fn hot_entry(map: &mut HashMap<ObjectId, HotObject>, oid: ObjectId) -> &mut HotObject {
+    map.entry(oid).or_insert_with(|| HotObject {
+        oid,
+        aborts_caused: 0,
+        wasted_ns: 0,
+        serves: 0,
+        wait_induced_ns: 0,
+        migrations: 0,
+    })
+}
+
+/// Build the object-conflict picture of a trace: rank hot objects by the
+/// aborts and queue wait they caused, rank aggressor transactions by the
+/// work they discarded, walk the victim → aggressor causal chains, bucket
+/// commits into `epoch_ns` sim-time epochs to locate the throughput knee,
+/// and reconcile the event-derived wasted-work ledger against the
+/// counter-based `RunSummary` record(s). A reconciliation mismatch makes
+/// [`AnalyzeReport::ok`] false — `dstm-trace analyze` exits non-zero on it.
+pub fn analyze(log: &TraceLog, epoch_ns: u64) -> AnalyzeReport {
+    const TOP_OBJECTS: usize = 8;
+    const TOP_AGGRESSORS: usize = 5;
+    let epoch_ns = if epoch_ns == 0 {
+        DEFAULT_ANALYZE_EPOCH_NS
+    } else {
+        epoch_ns
+    };
+
+    let mut report = AnalyzeReport {
+        records: log.records.len(),
+        ..AnalyzeReport::default()
+    };
+    let mut objects: HashMap<ObjectId, HotObject> = HashMap::new();
+    let mut aggressors: HashMap<TxId, (u64, u64)> = HashMap::new();
+    let mut blamed_by: HashMap<TxId, TxId> = HashMap::new();
+    let mut commits_per_epoch: Vec<u64> = Vec::new();
+    let mut summary = (0u64, 0u64, 0u64, 0u64, 0u64); // commits, aborts, wasted_ns, msgs, attributed
+
+    for r in &log.records {
+        match &r.ev {
+            ProtoEvent::RunInfo { .. } => report.runs += 1,
+            ProtoEvent::TxCommit { .. } => {
+                report.commits += 1;
+                let e = (r.at.0 / epoch_ns) as usize;
+                if commits_per_epoch.len() <= e {
+                    commits_per_epoch.resize(e + 1, 0);
+                }
+                commits_per_epoch[e] += 1;
+            }
+            ProtoEvent::TxAbort {
+                tx,
+                wasted_ns,
+                msgs,
+                oid,
+                aggressor,
+                ..
+            } => {
+                report.aborts += 1;
+                report.wasted_ns += wasted_ns;
+                report.wasted_msgs += msgs;
+                if let Some(blamed) = oid {
+                    let h = hot_entry(&mut objects, *blamed);
+                    h.aborts_caused += 1;
+                    h.wasted_ns += wasted_ns;
+                }
+                if let Some(agg) = aggressor {
+                    report.attributed += 1;
+                    let slot = aggressors.entry(*agg).or_default();
+                    slot.0 += 1;
+                    slot.1 += wasted_ns;
+                    blamed_by.insert(*tx, *agg);
+                }
+            }
+            ProtoEvent::QueueServed { oid, wait, .. } => {
+                let h = hot_entry(&mut objects, *oid);
+                h.serves += 1;
+                h.wait_induced_ns += wait.as_nanos();
+            }
+            ProtoEvent::Migrate { oid, .. } => {
+                hot_entry(&mut objects, *oid).migrations += 1;
+            }
+            ProtoEvent::RunSummary {
+                commits,
+                aborts,
+                wasted_ns,
+                wasted_msgs,
+                attributed,
+                ..
+            } => {
+                report.summary_checked = true;
+                summary.0 += commits;
+                summary.1 += aborts;
+                summary.2 += wasted_ns;
+                summary.3 += wasted_msgs;
+                summary.4 += attributed;
+            }
+            _ => {}
+        }
+    }
+
+    // Reconciliation: the event-derived ledger must equal the live counters.
+    if report.summary_checked {
+        let pairs = [
+            ("commits", report.commits, summary.0),
+            ("aborts", report.aborts, summary.1),
+            ("wasted-work ns", report.wasted_ns, summary.2),
+            ("wasted messages", report.wasted_msgs, summary.3),
+            ("attributed aborts", report.attributed, summary.4),
+        ];
+        for (label, from_events, from_counters) in pairs {
+            if from_events != from_counters {
+                report.mismatches.push(format!(
+                    "{label}: {from_events} derived from events vs {from_counters} from counters"
+                ));
+            }
+        }
+    }
+
+    // Hot objects: aborts caused, then wasted work, then queue wait.
+    let mut hot: Vec<HotObject> = objects.into_values().collect();
+    hot.sort_by(|a, b| {
+        (b.aborts_caused, b.wasted_ns, b.wait_induced_ns, a.oid.0).cmp(&(
+            a.aborts_caused,
+            a.wasted_ns,
+            a.wait_induced_ns,
+            b.oid.0,
+        ))
+    });
+    hot.truncate(TOP_OBJECTS);
+    report.hot_objects = hot;
+
+    // Aggressors by wasted work induced.
+    let mut aggs: Vec<Aggressor> = aggressors
+        .into_iter()
+        .map(|(tx, (victim_aborts, wasted_ns))| Aggressor {
+            tx,
+            victim_aborts,
+            wasted_ns,
+        })
+        .collect();
+    aggs.sort_by(|a, b| {
+        (b.wasted_ns, b.victim_aborts, (a.tx.node, a.tx.seq)).cmp(&(
+            a.wasted_ns,
+            a.victim_aborts,
+            (b.tx.node, b.tx.seq),
+        ))
+    });
+    aggs.truncate(TOP_AGGRESSORS);
+    report.aggressors = aggs;
+
+    // Longest causal chain: victim -> aggressor -> (that aggressor's own
+    // aggressor, if it too aborted) -> …, cycle-guarded.
+    let mut best: Vec<TxId> = Vec::new();
+    for &start in blamed_by.keys() {
+        let mut chain = vec![start];
+        let mut seen: HashSet<TxId> = HashSet::new();
+        seen.insert(start);
+        let mut cur = start;
+        while let Some(&next) = blamed_by.get(&cur) {
+            if !seen.insert(next) {
+                break;
+            }
+            chain.push(next);
+            cur = next;
+        }
+        if chain.len() > best.len()
+            || (chain.len() == best.len()
+                && best
+                    .first()
+                    .is_some_and(|b| (start.node, start.seq) < (b.node, b.seq)))
+        {
+            best = chain;
+        }
+    }
+    report.longest_chain = best;
+
+    // Throughput knee: the first post-peak epoch from which every later
+    // epoch stays below half the peak rate.
+    if !commits_per_epoch.is_empty() {
+        let peak_epoch = commits_per_epoch
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let peak = commits_per_epoch[peak_epoch];
+        let half = peak.div_ceil(2);
+        let mut knee = None;
+        for i in (peak_epoch + 1..commits_per_epoch.len()).rev() {
+            if commits_per_epoch[i] >= half {
+                break;
+            }
+            knee = Some(i);
+        }
+        report.throughput = ThroughputSeries {
+            epoch_ns,
+            commits_per_epoch,
+            peak_epoch,
+            knee_epoch: knee,
+        };
+    } else {
+        report.throughput.epoch_ns = epoch_ns;
+    }
+
+    report
 }
 
 #[cfg(test)]
@@ -603,6 +1137,10 @@ mod tests {
                     cause: AbortCause::QueueTimeout,
                     nested_parent: 0,
                     backoff: SimDuration::ZERO,
+                    wasted_ns: 0,
+                    msgs: 0,
+                    oid: None,
+                    aggressor: None,
                 },
             )],
         };
@@ -648,6 +1186,10 @@ mod tests {
                         cause: AbortCause::QueueTimeout,
                         nested_parent: 0,
                         backoff: SimDuration::ZERO,
+                        wasted_ns: 0,
+                        msgs: 0,
+                        oid: Some(o),
+                        aggressor: None,
                     },
                 ),
             ],
@@ -672,6 +1214,9 @@ mod tests {
                         nested_own: 0,
                         nested_parent: 0,
                         nested_commits: 0,
+                        wasted_ns: 0,
+                        wasted_msgs: 0,
+                        attributed: 0,
                     },
                 ),
             ],
@@ -753,5 +1298,222 @@ mod tests {
         assert!(s.contains("2 records"));
         assert!(s.contains("tx_start"));
         assert!(s.contains("commits 1"));
+    }
+
+    #[test]
+    fn stats_split_per_scheduler_and_node_count() {
+        use hyflow_dstm::SchedLabel;
+        let tx = TxId::new(0, 1);
+        let log = TraceLog {
+            records: vec![
+                rec(
+                    0,
+                    0,
+                    ProtoEvent::RunInfo {
+                        scheduler: SchedLabel::Rts,
+                        nodes: 8,
+                    },
+                ),
+                commit(1_000, tx, vec![], vec![]),
+                rec(
+                    2_000,
+                    0,
+                    ProtoEvent::RunInfo {
+                        scheduler: SchedLabel::Tfa,
+                        nodes: 16,
+                    },
+                ),
+                commit(3_000, tx, vec![], vec![]),
+                commit(4_000, tx, vec![], vec![]),
+            ],
+        };
+        let s = trace_stats(&log);
+        assert!(s.contains("[RTS @ 8 nodes] 2 records"), "{s}");
+        assert!(s.contains("[TFA @ 16 nodes] 3 records"), "{s}");
+        assert!(s.contains("total: 5 records across 2 runs"), "{s}");
+    }
+
+    fn abort_blaming(
+        at: u64,
+        tx: TxId,
+        wasted_ns: u64,
+        msgs: u64,
+        oid: Option<ObjectId>,
+        aggressor: Option<TxId>,
+    ) -> TraceRecord {
+        rec(
+            at,
+            tx.node,
+            ProtoEvent::TxAbort {
+                tx,
+                attempt: 0,
+                cause: AbortCause::SchedulerAbort,
+                nested_parent: 0,
+                backoff: SimDuration::ZERO,
+                wasted_ns,
+                msgs,
+                oid,
+                aggressor,
+            },
+        )
+    }
+
+    #[test]
+    fn analyze_ranks_hot_objects_chains_aggressors_and_reconciles() {
+        use hyflow_dstm::SchedLabel;
+        let (t0, t1, t2) = (TxId::new(0, 1), TxId::new(1, 1), TxId::new(2, 1));
+        let (a, b) = (ObjectId(1), ObjectId(2));
+        let log = TraceLog {
+            records: vec![
+                rec(
+                    0,
+                    0,
+                    ProtoEvent::RunInfo {
+                        scheduler: SchedLabel::Rts,
+                        nodes: 3,
+                    },
+                ),
+                // t1 aborted twice on `a` at t0's hands; t0 once on `b` at t2's.
+                abort_blaming(1_000, t1, 500, 2, Some(a), Some(t0)),
+                abort_blaming(2_000, t1, 700, 3, Some(a), Some(t0)),
+                abort_blaming(3_000, t0, 300, 1, Some(b), Some(t2)),
+                rec(
+                    4_000,
+                    0,
+                    ProtoEvent::QueueServed {
+                        oid: a,
+                        tx: t1,
+                        attempt: 2,
+                        wait: SimDuration::from_nanos(900),
+                    },
+                ),
+                rec(
+                    5_000,
+                    1,
+                    ProtoEvent::Migrate {
+                        oid: a,
+                        tx: t1,
+                        from: 0,
+                        to: 1,
+                        version: 1,
+                    },
+                ),
+                commit(6_000, t1, vec![], vec![(a, 0, 1)]),
+                rec(
+                    7_000,
+                    0,
+                    ProtoEvent::RunSummary {
+                        commits: 1,
+                        aborts: 3,
+                        nested_own: 0,
+                        nested_parent: 0,
+                        nested_commits: 0,
+                        wasted_ns: 1_500,
+                        wasted_msgs: 6,
+                        attributed: 3,
+                    },
+                ),
+            ],
+        };
+        let report = analyze(&log, 0);
+        assert!(report.ok(), "{:?}", report.mismatches);
+        assert!(report.summary_checked);
+        assert_eq!(report.runs, 1);
+        assert_eq!(
+            (report.commits, report.aborts, report.attributed),
+            (1, 3, 3)
+        );
+        assert_eq!((report.wasted_ns, report.wasted_msgs), (1_500, 6));
+        // `a` caused 2 aborts (1200 ns wasted), served once, migrated once.
+        let top = &report.hot_objects[0];
+        assert_eq!(top.oid, a);
+        assert_eq!(
+            (
+                top.aborts_caused,
+                top.wasted_ns,
+                top.serves,
+                top.wait_induced_ns,
+                top.migrations
+            ),
+            (2, 1_200, 1, 900, 1)
+        );
+        // t0 discarded the most work (1200 ns over 2 victims).
+        assert_eq!(report.aggressors[0].tx, t0);
+        assert_eq!(
+            (
+                report.aggressors[0].victim_aborts,
+                report.aggressors[0].wasted_ns
+            ),
+            (2, 1_200)
+        );
+        // Causal chain t1 <- t0 <- t2.
+        assert_eq!(report.longest_chain, vec![t1, t0, t2]);
+        // JSON is well formed (cheap balance check) and carries the verdict.
+        let json = report.to_json();
+        assert!(json.contains("\"reconciled\":true"), "{json}");
+        let balance =
+            |open: char, close: char| json.matches(open).count() == json.matches(close).count();
+        assert!(balance('{', '}') && balance('[', ']'));
+        // Human rendering names the hot object and the chain.
+        let text = report.render();
+        assert!(text.contains("hot objects"), "{text}");
+        assert!(text.contains("longest abort chain"), "{text}");
+    }
+
+    #[test]
+    fn analyze_flags_wasted_work_mismatch() {
+        let t1 = TxId::new(1, 1);
+        let log = TraceLog {
+            records: vec![
+                abort_blaming(1_000, t1, 500, 2, Some(ObjectId(1)), None),
+                rec(
+                    2_000,
+                    0,
+                    ProtoEvent::RunSummary {
+                        commits: 0,
+                        aborts: 1,
+                        nested_own: 0,
+                        nested_parent: 0,
+                        nested_commits: 0,
+                        wasted_ns: 499, // events say 500
+                        wasted_msgs: 2,
+                        attributed: 0,
+                    },
+                ),
+            ],
+        };
+        let report = analyze(&log, 0);
+        assert!(!report.ok());
+        assert!(
+            report.mismatches[0].contains("wasted-work ns"),
+            "{:?}",
+            report.mismatches
+        );
+        assert!(report.to_json().contains("\"reconciled\":false"));
+    }
+
+    #[test]
+    fn analyze_finds_throughput_knee() {
+        let tx = TxId::new(0, 1);
+        let epoch = 1_000u64;
+        // Epochs: 4, 4, 1, 1 commits — sustained collapse from epoch 2 on.
+        let mut records = Vec::new();
+        for (e, n) in [(0u64, 4u64), (1, 4), (2, 1), (3, 1)] {
+            for i in 0..n {
+                records.push(commit(e * epoch + i, tx, vec![], vec![]));
+            }
+        }
+        let log = TraceLog { records };
+        let report = analyze(&log, epoch);
+        assert_eq!(report.throughput.commits_per_epoch, vec![4, 4, 1, 1]);
+        assert_eq!(report.throughput.peak_epoch, 0);
+        assert_eq!(report.throughput.knee_epoch, Some(2));
+        // A flat series has no knee.
+        let flat = TraceLog {
+            records: (0..4)
+                .map(|e| commit(e * epoch, tx, vec![], vec![]))
+                .collect(),
+        };
+        assert_eq!(analyze(&flat, epoch).throughput.knee_epoch, None);
     }
 }

@@ -100,6 +100,15 @@ pub struct DstmConfig {
     /// Off by default: every instrumentation site is behind a one-branch
     /// guard, so a disabled run allocates nothing for tracing.
     pub trace_protocol: bool,
+    /// Record time-resolved telemetry ([`crate::telemetry`]): per-node
+    /// epoch samples of commit/abort/queue/CL activity plus the per-object
+    /// wasted-work rollup. Off by default behind the same one-branch guard
+    /// discipline as `trace_protocol` — a disabled run takes one branch per
+    /// event and allocates nothing.
+    pub telemetry: bool,
+    /// Simulated-time width of one telemetry epoch (ignored when
+    /// `telemetry` is off).
+    pub epoch: SimDuration,
     /// Concurrent transactions each node keeps in flight.
     pub concurrency_per_node: usize,
     /// Top-level transactions each node runs in total (the workload size).
@@ -121,6 +130,8 @@ impl Default for DstmConfig {
             nesting: NestingMode::Closed,
             queue_backend: QueueBackend::default(),
             trace_protocol: false,
+            telemetry: false,
+            epoch: SimDuration::from_millis(50),
             concurrency_per_node: 4,
             txns_per_node: 50,
         }
@@ -155,6 +166,16 @@ impl DstmConfig {
 
     pub fn with_protocol_trace(mut self, on: bool) -> Self {
         self.trace_protocol = on;
+        self
+    }
+
+    pub fn with_telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
+    }
+
+    pub fn with_epoch(mut self, epoch: SimDuration) -> Self {
+        self.epoch = epoch;
         self
     }
 
@@ -193,6 +214,18 @@ mod tests {
         assert_eq!(QueueBackend::BinaryHeap.label(), "heap");
         assert_eq!(QueueBackend::Calendar.label(), "calendar");
         assert_eq!(QueueBackend::default(), QueueBackend::BinaryHeap);
+    }
+
+    #[test]
+    fn telemetry_knobs_default_off() {
+        let c = DstmConfig::default();
+        assert!(!c.telemetry);
+        assert_eq!(c.epoch, SimDuration::from_millis(50));
+        let c = c
+            .with_telemetry(true)
+            .with_epoch(SimDuration::from_millis(20));
+        assert!(c.telemetry);
+        assert_eq!(c.epoch, SimDuration::from_millis(20));
     }
 
     #[test]

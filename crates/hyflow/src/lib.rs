@@ -25,6 +25,9 @@
 //!   owner-side conflict path that consults an `rts_core` scheduler;
 //! * [`metrics`] — commit/abort accounting, including the nested-abort
 //!   cause split that Table I reports;
+//! * [`telemetry`] — time-resolved observability: the passive epoch
+//!   sampler and per-object wasted-work rollup (off by default behind the
+//!   same one-branch guard discipline as protocol tracing);
 //! * [`config`] — knobs (scheduler kind, CL threshold, windows, estimates);
 //! * [`system`] — builds a [`dstm_sim::World`] of nodes over a
 //!   [`dstm_net::Topology`], seeds the workload, runs it, aggregates.
@@ -48,6 +51,7 @@ pub mod object;
 pub mod program;
 pub mod small;
 pub mod system;
+pub mod telemetry;
 pub mod trace;
 pub mod tx;
 
@@ -59,5 +63,8 @@ pub use object::{OwnedObject, Payload};
 pub use program::{AccessMode, BoxedProgram, StepInput, StepOutput, TxProgram, WithTrailer};
 pub use small::{ObjMap, ObjSet};
 pub use system::{NodeEvent, PartitionStrategy, System, SystemBuilder, WorkloadSource};
-pub use trace::{ProtoEvent, ProtoTrace, TraceLog, TraceRecord, Verdict};
+pub use telemetry::{
+    merge_epoch_series, merge_object_waste, EpochSample, ObjWaste, TelemetryReport,
+};
+pub use trace::{ProtoEvent, ProtoTrace, SchedLabel, TraceLog, TraceRecord, Verdict};
 pub use tx::{TxOutcome, TxRuntime};

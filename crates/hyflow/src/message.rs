@@ -48,6 +48,11 @@ pub enum FetchResult {
         backoff: SimDuration,
         enqueued: bool,
         owner: u32,
+        /// The transaction holding the object's lock when the conflict was
+        /// adjudicated — the aggressor for abort attribution. `None` when
+        /// the verdict was produced without a live lock holder (e.g. a
+        /// child-scope early return before the owner resolved one).
+        aggressor: Option<TxId>,
     },
 }
 

@@ -86,6 +86,22 @@ pub struct NodeMetrics {
     pub fetch_conflicts: u64,
     /// Ownership transfers into this node.
     pub objects_received: u64,
+    /// Wasted-work accounting (always on; each abort costs four integer
+    /// adds). `wasted_work_ns` is the virtual time the aborted attempt had
+    /// been running (attempt start → abort) and `wasted_msgs` the protocol
+    /// messages that attempt sent — both discarded with the attempt.
+    pub wasted_work_ns: u64,
+    pub wasted_msgs: u64,
+    /// Top-level aborts whose aggressor (the lock-holding transaction) was
+    /// known at abort time. Queue-timeout aborts know only the awaited
+    /// object, not its holder, so this undercounts `total_aborts`.
+    pub aborts_attributed: u64,
+    /// Nested levels discarded, tallied by the wasted-work path at the
+    /// abort sites — must reconcile exactly with Table I's
+    /// `nested_aborts_own` / `nested_aborts_parent` (asserted in tests and
+    /// by `dstm-trace analyze`).
+    pub wasted_nested_own: u64,
+    pub wasted_nested_parent: u64,
     /// Commit latency of successful attempts (start of attempt → commit).
     pub commit_latency: OnlineStats,
     /// Full transaction latency (first start → commit, across retries).
@@ -139,6 +155,31 @@ impl NodeMetrics {
         }
     }
 
+    /// Record the work discarded by one top-level abort: the attempt's
+    /// elapsed virtual nanoseconds, the protocol messages it had sent,
+    /// whether its aggressor was identified, and the nested levels the
+    /// abort destroyed as parent collateral.
+    pub fn record_wasted_work(
+        &mut self,
+        wasted_ns: u64,
+        msgs: u64,
+        attributed: bool,
+        nested_parent: u64,
+    ) {
+        self.wasted_work_ns += wasted_ns;
+        self.wasted_msgs += msgs;
+        self.aborts_attributed += u64::from(attributed);
+        self.wasted_nested_parent += nested_parent;
+    }
+
+    /// The wasted-work ledger's nested tallies must equal Table I's
+    /// own/parent split — the two are incremented on independent paths, so
+    /// equality is a cross-check, not a tautology.
+    pub fn wasted_work_reconciles(&self) -> bool {
+        self.wasted_nested_own == self.nested_aborts_own
+            && self.wasted_nested_parent == self.nested_aborts_parent
+    }
+
     pub fn total_aborts(&self) -> u64 {
         self.aborts_forward_validation
             + self.aborts_commit_validation
@@ -166,6 +207,11 @@ impl NodeMetrics {
         self.fetches_served += other.fetches_served;
         self.fetch_conflicts += other.fetch_conflicts;
         self.objects_received += other.objects_received;
+        self.wasted_work_ns += other.wasted_work_ns;
+        self.wasted_msgs += other.wasted_msgs;
+        self.aborts_attributed += other.aborts_attributed;
+        self.wasted_nested_own += other.wasted_nested_own;
+        self.wasted_nested_parent += other.wasted_nested_parent;
         self.commit_latency.merge(&other.commit_latency);
         self.total_latency.merge(&other.total_latency);
         self.commit_latency_hist.merge(&other.commit_latency_hist);
@@ -323,6 +369,34 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.commits, 5);
         assert_eq!(a.enqueued, 1);
+    }
+
+    #[test]
+    fn wasted_work_merge_and_reconciliation() {
+        let mut a = NodeMetrics::default();
+        a.record_wasted_work(1_000, 3, true, 2);
+        a.record_wasted_work(500, 1, false, 0);
+        a.record_nested_aborts(NestedAbortCause::ParentAbort, 2);
+        assert_eq!(a.wasted_work_ns, 1_500);
+        assert_eq!(a.wasted_msgs, 4);
+        assert_eq!(a.aborts_attributed, 1);
+        assert!(a.wasted_work_reconciles());
+
+        // A ledger entry without the matching Table-I counter must not
+        // reconcile until the counter catches up.
+        let mut b = NodeMetrics {
+            wasted_nested_own: 1,
+            ..NodeMetrics::default()
+        };
+        assert!(!b.wasted_work_reconciles());
+        b.record_nested_aborts(NestedAbortCause::Own, 1);
+        assert!(b.wasted_work_reconciles());
+
+        a.merge(&b);
+        assert_eq!(a.wasted_work_ns, 1_500);
+        assert_eq!(a.wasted_nested_own, 1);
+        assert_eq!(a.wasted_nested_parent, 2);
+        assert!(a.wasted_work_reconciles());
     }
 
     #[test]

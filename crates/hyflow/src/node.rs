@@ -20,6 +20,7 @@ use crate::message::{FetchResult, Msg, Timer};
 use crate::metrics::{AbortCause, NestedAbortCause, NodeMetrics};
 use crate::object::{OwnedObject, Payload};
 use crate::program::{AccessMode, BoxedProgram, StepInput, StepOutput};
+use crate::telemetry::{Gauges, Telemetry, TelemetryReport};
 use crate::trace::{ProtoEvent, ProtoTrace, TraceRecord, Verdict};
 use crate::tx::{TxPhase, TxRuntime, ValidationResume};
 use dstm_net::Topology;
@@ -159,6 +160,11 @@ pub struct Node {
     /// Protocol-event sink (off unless `cfg.trace_protocol`; every caller
     /// site checks `ptrace.on()` before building an event).
     ptrace: ProtoTrace,
+    /// Passive epoch sampler (off unless `cfg.telemetry`). Checked with one
+    /// integer compare at the top of every event handler; it never sets
+    /// timers, sends messages, or draws randomness, so enabling it cannot
+    /// perturb the simulated schedule.
+    telemetry: Telemetry,
     /// Scratch buffers reused across event handlers so steady-state
     /// summary/write-back/grant processing allocates nothing. Taken with
     /// `mem::take` for the duration of a handler and put back after.
@@ -186,6 +192,11 @@ impl Node {
         if cfg.trace_protocol {
             ptrace.enable();
         }
+        let telemetry = if cfg.telemetry {
+            Telemetry::enabled(cfg.epoch.0)
+        } else {
+            Telemetry::disabled()
+        };
         let pending: VecDeque<BoxedProgram> = workload.into();
         Node {
             me,
@@ -204,6 +215,7 @@ impl Node {
             completed: 0,
             metrics: NodeMetrics::default(),
             ptrace,
+            telemetry,
             summary_buf: Vec::new(),
             wbs_buf: Vec::new(),
             grants_buf: Vec::new(),
@@ -213,6 +225,42 @@ impl Node {
     /// Drain this node's protocol-event stream (end-of-run collection).
     pub fn take_trace(&mut self) -> Vec<TraceRecord> {
         self.ptrace.take()
+    }
+
+    /// Drain this node's telemetry (end-of-run collection), closing the
+    /// final partial epoch at `now`.
+    pub fn take_telemetry(&mut self, now: SimTime) -> TelemetryReport {
+        let gauges = if self.telemetry.on() {
+            self.telemetry_gauges(now)
+        } else {
+            Gauges::default()
+        };
+        self.telemetry.take(now, &self.metrics, gauges)
+    }
+
+    /// Point-in-time gauges for an epoch flush (needs `&mut` because
+    /// reading a CL window prunes its expired entries).
+    fn telemetry_gauges(&mut self, now: SimTime) -> Gauges {
+        let cl_open = self
+            .objs
+            .slots
+            .iter_mut()
+            .filter_map(|s| s.cl_window.as_mut())
+            .map(|w| u64::from(w.requests_in_window(now) > 0))
+            .sum();
+        Gauges {
+            queue_depth: self.sched.total_queued() as u64,
+            in_flight: self.active as u64,
+            cl_open,
+        }
+    }
+
+    /// Cold path of the per-event sampler check: close the epochs that
+    /// ended at or before `now`.
+    #[cold]
+    fn telemetry_flush(&mut self, now: SimTime) {
+        let gauges = self.telemetry_gauges(now);
+        self.telemetry.flush(now, &self.metrics, gauges);
     }
 
     pub fn id(&self) -> u32 {
@@ -424,6 +472,7 @@ impl Node {
                         reply_to: self.me,
                     };
                     self.send(ctx, owner, msg);
+                    tx.attempt_msgs += 1;
                     tx.fetch_sent_at = ctx.now();
                     tx.phase = TxPhase::AwaitObject { oid, mode };
                     return false;
@@ -521,13 +570,14 @@ impl Node {
                 reply_to: self.me,
             };
             self.send(ctx, *owner, msg);
+            tx.attempt_msgs += 1;
         }
         write_back.clear();
         self.wbs_buf = write_back;
         tx.phase = TxPhase::AwaitLocks {
             pending,
             granted: Vec::new(),
-            failed: false,
+            failed: None,
         };
         false
     }
@@ -558,6 +608,7 @@ impl Node {
                 reply_to: self.me,
             };
             self.send(ctx, owner, msg);
+            tx.attempt_msgs += 1;
         }
         self.summary_buf = summary;
         if pending.is_empty() {
@@ -663,6 +714,7 @@ impl Node {
                     new_owner: self.me,
                 };
                 self.send(ctx, owner, msg);
+                tx.attempt_msgs += 1;
             }
         }
         self.wbs_buf = write_back;
@@ -739,17 +791,32 @@ impl Node {
     /// Abort the whole transaction and schedule its retry. `backoff` > 0
     /// delays the restart (TFA+Backoff); zero restarts immediately.
     /// Never terminal: the transaction always retries.
+    ///
+    /// `oid` is the object the conflict was adjudicated on (the one this
+    /// abort is blamed on) and `aggressor` the transaction holding its lock,
+    /// when known — queue-timeout and validation aborts know the object but
+    /// not the holder. Both feed the wasted-work ledger and the trace.
     fn abort_parent(
         &mut self,
         ctx: &mut NodeCtx<'_>,
         tx: &mut TxRuntime,
         cause: AbortCause,
         backoff: SimDuration,
+        oid: Option<ObjectId>,
+        aggressor: Option<TxId>,
     ) {
+        let wasted_ns = tx.wasted_ns_at(ctx.now());
+        let msgs = tx.attempt_msgs;
         let acc = tx.abort_to_level(0);
         self.metrics.record_abort(cause);
         self.metrics
             .record_nested_aborts(NestedAbortCause::ParentAbort, acc.nested_parent);
+        self.metrics
+            .record_wasted_work(wasted_ns, msgs, aggressor.is_some(), acc.nested_parent);
+        if let Some(blamed) = oid {
+            // Per-object rollup (telemetry only; self-guarded one branch).
+            self.telemetry.record_obj_waste(blamed, wasted_ns);
+        }
         if self.ptrace.on() {
             self.ptrace.push(
                 ctx.now(),
@@ -760,6 +827,10 @@ impl Node {
                     cause,
                     nested_parent: acc.nested_parent,
                     backoff,
+                    wasted_ns,
+                    msgs,
+                    oid,
+                    aggressor,
                 },
             );
         }
@@ -805,16 +876,18 @@ impl Node {
     }
 
     /// Abort at `level` (a failed early validation): whole-transaction abort
-    /// at level 0, child-only replay above.
+    /// at level 0, child-only replay above. `oid` is the stale object the
+    /// abort is blamed on (its lock holder is unknown on validation paths).
     fn abort_at_level(
         &mut self,
         ctx: &mut NodeCtx<'_>,
         tx: &mut TxRuntime,
         level: usize,
         cause: AbortCause,
+        oid: Option<ObjectId>,
     ) {
         if level == 0 {
-            self.abort_parent(ctx, tx, cause, SimDuration::ZERO);
+            self.abort_parent(ctx, tx, cause, SimDuration::ZERO, oid, None);
             return;
         }
         let acc = tx.abort_to_level(level);
@@ -822,6 +895,10 @@ impl Node {
             .record_nested_aborts(NestedAbortCause::Own, acc.nested_own);
         self.metrics
             .record_nested_aborts(NestedAbortCause::ParentAbort, acc.nested_parent);
+        // Wasted-work ledger's view of the same rollback (reconciled against
+        // the Table-I counters above by tests and `dstm-trace analyze`).
+        self.metrics.wasted_nested_own += acc.nested_own;
+        self.metrics.wasted_nested_parent += acc.nested_parent;
         if self.ptrace.on() {
             self.ptrace.push(
                 ctx.now(),
@@ -889,14 +966,16 @@ impl Node {
 
         let now = ctx.now();
         let local_cl = self.record_and_local_cl(oid, now, txid);
-        let locked = self
+        // The lock holder at adjudication time is the aggressor an eventual
+        // abort is attributed to.
+        let holder = self
             .objs
             .get(oid)
             .and_then(|s| s.owned.as_ref())
             .expect("checked")
-            .is_locked();
+            .lock;
 
-        if locked {
+        if holder.is_some() {
             self.metrics.fetch_conflicts += 1;
             if nested && self.cfg.conflict_scope == crate::config::ConflictScope::Child {
                 // A child-level conflict is resolved by the closed-nesting
@@ -910,6 +989,7 @@ impl Node {
                         backoff: SimDuration::ZERO,
                         enqueued: false,
                         owner: self.me,
+                        aggressor: None,
                     },
                 };
                 self.send(ctx, reply_to, msg);
@@ -969,11 +1049,13 @@ impl Node {
                     backoff: SimDuration::ZERO,
                     enqueued: false,
                     owner: self.me,
+                    aggressor: holder,
                 },
                 Decision::AbortBackoff(b) => FetchResult::Conflict {
                     backoff: b,
                     enqueued: false,
                     owner: self.me,
+                    aggressor: holder,
                 },
                 Decision::Enqueue { backoff } => {
                     self.metrics.enqueued += 1;
@@ -981,6 +1063,7 @@ impl Node {
                         backoff,
                         enqueued: true,
                         owner: self.me,
+                        aggressor: holder,
                     }
                 }
             };
@@ -1232,6 +1315,7 @@ impl Node {
                 backoff,
                 enqueued: true,
                 owner: _,
+                aggressor: _,
             } => {
                 // RTS parked us in the owner's queue: stay live, bounded by
                 // the (slack-adjusted) backoff deadline.
@@ -1251,6 +1335,7 @@ impl Node {
                 backoff,
                 enqueued: false,
                 owner: _,
+                aggressor,
             } => {
                 if tx.in_nested() && self.cfg.conflict_scope == crate::config::ConflictScope::Child
                 {
@@ -1264,6 +1349,8 @@ impl Node {
                         .record_nested_aborts(NestedAbortCause::Own, acc.nested_own);
                     self.metrics
                         .record_nested_aborts(NestedAbortCause::ParentAbort, acc.nested_parent);
+                    self.metrics.wasted_nested_own += acc.nested_own;
+                    self.metrics.wasted_nested_parent += acc.nested_parent;
                     self.metrics.child_conflict_retries += 1;
                     if self.ptrace.on() {
                         self.ptrace.push(
@@ -1291,7 +1378,14 @@ impl Node {
                 } else {
                     // Parent-level conflict: the whole transaction is the
                     // loser (TFA's second abort case / RTS's abort verdict).
-                    self.abort_parent(ctx, &mut tx, AbortCause::SchedulerAbort, backoff);
+                    self.abort_parent(
+                        ctx,
+                        &mut tx,
+                        AbortCause::SchedulerAbort,
+                        backoff,
+                        Some(oid),
+                        aggressor,
+                    );
                 }
                 false
             }
@@ -1357,6 +1451,7 @@ impl Node {
                     .filter_map(|o| tx.outermost_level_holding(*o))
                     .min()
                     .unwrap_or(0);
+                let blamed = stale.first().copied();
                 let cause = match resume {
                     ValidationResume::Deliver { .. } => AbortCause::ForwardValidation,
                     ValidationResume::Commit => {
@@ -1373,7 +1468,7 @@ impl Node {
                         AbortCause::CommitValidation
                     }
                 };
-                self.abort_at_level(ctx, &mut tx, level, cause);
+                self.abort_at_level(ctx, &mut tx, level, cause, blamed);
                 false
             }
         } else {
@@ -1421,8 +1516,8 @@ impl Node {
             pending.remove(&oid);
             if granted {
                 acc.push(oid);
-            } else {
-                *failed = true;
+            } else if failed.is_none() {
+                *failed = Some(oid);
             }
             pending.is_empty()
         };
@@ -1436,7 +1531,7 @@ impl Node {
             else {
                 unreachable!("matched above");
             };
-            if failed {
+            if let Some(failed_oid) = failed {
                 // Roll back granted locks, then abort (TFA's first abort
                 // flavour: the write set went stale under us).
                 for goid in acc {
@@ -1455,6 +1550,8 @@ impl Node {
                     &mut tx,
                     AbortCause::CommitValidation,
                     SimDuration::ZERO,
+                    Some(failed_oid),
+                    None,
                 );
                 false
             } else {
@@ -1520,6 +1617,10 @@ impl Actor for Node {
     type Timer = Timer;
 
     fn on_message(&mut self, ctx: &mut NodeCtx<'_>, from: ActorId, msg: Msg) {
+        // Passive epoch sampling: one compare when telemetry is off.
+        if self.telemetry.due(ctx.now()) {
+            self.telemetry_flush(ctx.now());
+        }
         match msg {
             Msg::StartWorkload => self.pump(ctx),
             Msg::ObjReq {
@@ -1591,6 +1692,9 @@ impl Actor for Node {
     }
 
     fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: Timer) {
+        if self.telemetry.due(ctx.now()) {
+            self.telemetry_flush(ctx.now());
+        }
         match timer {
             Timer::ComputeDone { tx: txid, attempt } => {
                 let Some(mut tx) = self.tx_take(txid) else {
@@ -1621,7 +1725,15 @@ impl Actor for Node {
                 if waiting {
                     // The assigned backoff expired before the object arrived
                     // (Algorithm 2): abort and re-request as a new attempt.
-                    self.abort_parent(ctx, &mut tx, AbortCause::QueueTimeout, SimDuration::ZERO);
+                    // The awaited object is known; its holder is not.
+                    self.abort_parent(
+                        ctx,
+                        &mut tx,
+                        AbortCause::QueueTimeout,
+                        SimDuration::ZERO,
+                        Some(oid),
+                        None,
+                    );
                 }
                 if !matches!(tx.phase, TxPhase::Done) {
                     self.tx_put(tx);

@@ -439,6 +439,19 @@ impl<Q: EventQueue<NodeEvent>> System<Q> {
             .collect();
         TraceLog::from_node_streams(streams)
     }
+
+    /// Drain every node's telemetry (empty unless the run was built with
+    /// `DstmConfig::telemetry`), closing each node's final partial epoch at
+    /// the current virtual time. Call after `run`; one report per node, in
+    /// node order.
+    pub fn take_telemetry(&mut self) -> Vec<crate::telemetry::TelemetryReport> {
+        let now = self.world.now();
+        self.world
+            .actors_mut()
+            .iter_mut()
+            .map(|n| n.take_telemetry(now))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -841,6 +854,73 @@ mod tests {
 
         let back = TraceLog::parse_jsonl(&trace.to_jsonl()).expect("jsonl parses");
         assert_eq!(back.records, trace.records);
+    }
+
+    #[test]
+    fn telemetry_is_passive_and_epoch_sums_reconcile() {
+        // The same contended workload with telemetry on and off: the
+        // sampler must not perturb the schedule (identical metrics,
+        // messages, end time, object state), the per-epoch deltas must sum
+        // to the end-of-run totals, and the wasted-work ledger must
+        // reconcile with the Table-I nested-abort split.
+        fn build(telemetry: bool) -> System {
+            let oid = ObjectId(1);
+            let mut rng = SimRng::new(29);
+            let topo = Topology::uniform_random(4, 1, 20, &mut rng);
+            let cfg = DstmConfig::default()
+                .with_scheduler(SchedulerKind::Rts)
+                .with_concurrency(2)
+                .with_telemetry(telemetry)
+                .with_epoch(SimDuration::from_millis(5));
+            let programs: Vec<Vec<BoxedProgram>> = (0..4)
+                .map(|_| {
+                    (0..4)
+                        .map(|_| {
+                            Box::new(nested_increments(TxKind(1), TxKind(2), &[oid, ObjectId(2)]))
+                                as BoxedProgram
+                        })
+                        .collect()
+                })
+                .collect();
+            SystemBuilder::new(topo, cfg)
+                .seed(11)
+                .build(WorkloadSource {
+                    objects: vec![(oid, Payload::Scalar(0)), (ObjectId(2), Payload::Scalar(0))],
+                    programs,
+                })
+        }
+
+        let mut off = build(false);
+        let want = off.run(5_000_000);
+        assert!(off.all_done());
+        assert!(off.take_telemetry().iter().all(|r| r.epochs.is_empty()));
+
+        let mut on = build(true);
+        let got = on.run(5_000_000);
+        assert!(on.all_done());
+        assert_eq!(got.merged, want.merged, "telemetry perturbed the run");
+        assert_eq!(got.messages, want.messages);
+        assert_eq!(got.ended_at, want.ended_at);
+        assert_eq!(on.object_state(), off.object_state());
+
+        let reports = on.take_telemetry();
+        let series = crate::telemetry::merge_epoch_series(&reports);
+        assert!(!series.is_empty(), "contended run spans several epochs");
+        let commits: u64 = series.iter().map(|e| e.commits).sum();
+        let aborts: u64 = series.iter().map(|e| e.aborts).sum();
+        let wasted: u64 = series.iter().map(|e| e.wasted_ns).sum();
+        assert_eq!(commits, got.merged.commits);
+        assert_eq!(aborts, got.merged.total_aborts());
+        assert_eq!(wasted, got.merged.wasted_work_ns);
+        assert!(got.merged.wasted_work_reconciles(), "Table-I split ledger");
+        // Aborts attributed to objects in the rollup are a subset of all
+        // top-level aborts (timeout/validation aborts may know no object).
+        let rollup = crate::telemetry::merge_object_waste(&reports);
+        let rollup_aborts: u64 = rollup.iter().map(|o| o.aborts).sum();
+        assert!(rollup_aborts <= got.merged.total_aborts());
+        if got.merged.total_aborts() > 0 {
+            assert!(!rollup.is_empty(), "contended aborts blame objects");
+        }
     }
 
     #[test]

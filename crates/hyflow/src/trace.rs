@@ -84,12 +84,24 @@ pub enum ProtoEvent {
     },
     /// The whole (parent) transaction aborted; it will retry as
     /// `attempt + 1`. `nested_parent` children died with it (Table I).
+    ///
+    /// Abort attribution rides along unconditionally (the fields are plain
+    /// integers, so recording them costs nothing extra): `wasted_ns` is the
+    /// virtual time the attempt had been running, `msgs` the protocol
+    /// messages it had sent — both discarded. `oid` is the contended object
+    /// (when the abort traces to one) and `aggressor` the transaction
+    /// holding its lock, when the owner knew it (queue timeouts know the
+    /// object but not the holder).
     TxAbort {
         tx: TxId,
         attempt: u32,
         cause: AbortCause,
         nested_parent: u64,
         backoff: SimDuration,
+        wasted_ns: u64,
+        msgs: u64,
+        oid: Option<ObjectId>,
+        aggressor: Option<TxId>,
     },
     /// A closed-nested child level opened.
     NestedOpen {
@@ -141,15 +153,58 @@ pub enum ProtoEvent {
         to: u32,
         version: u64,
     },
+    /// Run identity prepended by the harness (scheduler and node count) so
+    /// offline tools can label and segment multi-run logs.
+    RunInfo { scheduler: SchedLabel, nodes: u64 },
     /// End-of-run counter snapshot appended by the harness so an offline
     /// audit can compare span-derived totals against the live counters.
+    /// The wasted-work totals let `dstm-trace analyze` reconcile its
+    /// event-derived ledger against the live counters.
     RunSummary {
         commits: u64,
         aborts: u64,
         nested_own: u64,
         nested_parent: u64,
         nested_commits: u64,
+        wasted_ns: u64,
+        wasted_msgs: u64,
+        attributed: u64,
     },
+}
+
+/// Scheduler identity as recorded in traces — a copy of the harness's
+/// scheduler axis that stays label-encodable without depending on the
+/// scheduler crate's internals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedLabel {
+    Rts,
+    Tfa,
+    TfaBackoff,
+    Ats,
+    BiInterval,
+}
+
+impl SchedLabel {
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedLabel::Rts => "RTS",
+            SchedLabel::Tfa => "TFA",
+            SchedLabel::TfaBackoff => "TFA+Backoff",
+            SchedLabel::Ats => "ATS",
+            SchedLabel::BiInterval => "Bi-interval",
+        }
+    }
+
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "RTS" => Some(SchedLabel::Rts),
+            "TFA" => Some(SchedLabel::Tfa),
+            "TFA+Backoff" => Some(SchedLabel::TfaBackoff),
+            "ATS" => Some(SchedLabel::Ats),
+            "Bi-interval" => Some(SchedLabel::BiInterval),
+            _ => None,
+        }
+    }
 }
 
 /// A timestamped, node-attributed protocol event.
@@ -221,15 +276,26 @@ impl TraceRecord {
                 cause,
                 nested_parent,
                 backoff,
+                wasted_ns,
+                msgs,
+                oid,
+                aggressor,
             } => {
                 out.push_str("\"ev\":\"tx_abort\",");
                 write_tx(out, *tx);
                 let _ = write!(
                     out,
-                    ",\"attempt\":{attempt},\"cause\":\"{}\",\"nested_parent\":{nested_parent},\"backoff\":{}",
+                    ",\"attempt\":{attempt},\"cause\":\"{}\",\"nested_parent\":{nested_parent},\"backoff\":{}\
+                     ,\"wasted_ns\":{wasted_ns},\"msgs\":{msgs}",
                     cause.label(),
                     backoff.0
                 );
+                if let Some(oid) = oid {
+                    let _ = write!(out, ",\"oid\":{}", oid.0);
+                }
+                if let Some(a) = aggressor {
+                    let _ = write!(out, ",\"aggr\":[{},{}]", a.node, a.seq);
+                }
             }
             ProtoEvent::NestedOpen {
                 tx,
@@ -319,18 +385,29 @@ impl TraceRecord {
                 write_tx(out, *tx);
                 let _ = write!(out, ",\"from\":{from},\"to\":{to},\"version\":{version}");
             }
+            ProtoEvent::RunInfo { scheduler, nodes } => {
+                let _ = write!(
+                    out,
+                    "\"ev\":\"run_info\",\"scheduler\":\"{}\",\"nodes\":{nodes}",
+                    scheduler.label()
+                );
+            }
             ProtoEvent::RunSummary {
                 commits,
                 aborts,
                 nested_own,
                 nested_parent,
                 nested_commits,
+                wasted_ns,
+                wasted_msgs,
+                attributed,
             } => {
                 let _ = write!(
                     out,
                     "\"ev\":\"run_summary\",\"commits\":{commits},\"aborts\":{aborts},\
                      \"nested_own\":{nested_own},\"nested_parent\":{nested_parent},\
-                     \"nested_commits\":{nested_commits}"
+                     \"nested_commits\":{nested_commits},\"wasted_ns\":{wasted_ns},\
+                     \"wasted_msgs\":{wasted_msgs},\"attributed\":{attributed}"
                 );
             }
         }
@@ -390,6 +467,12 @@ impl TraceRecord {
                     .ok_or_else(|| format!("unknown abort cause {:?}", obj.str("cause")))?,
                 nested_parent: obj.num("nested_parent")?,
                 backoff: SimDuration(obj.num("backoff")?),
+                // Attribution fields default to zero/absent so traces
+                // written before they existed still parse.
+                wasted_ns: obj.opt_num("wasted_ns").unwrap_or(0),
+                msgs: obj.opt_num("msgs").unwrap_or(0),
+                oid: obj.opt_num("oid").map(ObjectId),
+                aggressor: obj.opt_pair("aggr").map(|[n, s]| TxId::new(n as u32, s)),
             },
             "nested_open" => ProtoEvent::NestedOpen {
                 tx: tx()?,
@@ -438,12 +521,20 @@ impl TraceRecord {
                 to: obj.num("to")? as u32,
                 version: obj.num("version")?,
             },
+            "run_info" => ProtoEvent::RunInfo {
+                scheduler: SchedLabel::from_label(obj.str("scheduler")?)
+                    .ok_or_else(|| format!("unknown scheduler {:?}", obj.str("scheduler")))?,
+                nodes: obj.num("nodes")?,
+            },
             "run_summary" => ProtoEvent::RunSummary {
                 commits: obj.num("commits")?,
                 aborts: obj.num("aborts")?,
                 nested_own: obj.num("nested_own")?,
                 nested_parent: obj.num("nested_parent")?,
                 nested_commits: obj.num("nested_commits")?,
+                wasted_ns: obj.opt_num("wasted_ns").unwrap_or(0),
+                wasted_msgs: obj.opt_num("wasted_msgs").unwrap_or(0),
+                attributed: obj.opt_num("attributed").unwrap_or(0),
             },
             other => return Err(format!("unknown event kind {other:?}")),
         };
@@ -511,6 +602,20 @@ impl TraceLog {
         TraceLog { records }
     }
 
+    /// Prepend the run-identity record (scheduler, node count) offline
+    /// tools use to label and segment the log. Sits at time zero, before
+    /// every protocol event.
+    pub fn push_run_info(&mut self, scheduler: SchedLabel, nodes: u64) {
+        self.records.insert(
+            0,
+            TraceRecord {
+                at: SimTime::ZERO,
+                node: 0,
+                ev: ProtoEvent::RunInfo { scheduler, nodes },
+            },
+        );
+    }
+
     /// Append the end-of-run counter snapshot the auditor cross-checks
     /// span-derived totals against.
     pub fn push_summary(&mut self, at: SimTime, merged: &NodeMetrics) {
@@ -523,6 +628,9 @@ impl TraceLog {
                 nested_own: merged.nested_aborts_own,
                 nested_parent: merged.nested_aborts_parent,
                 nested_commits: merged.nested_commits,
+                wasted_ns: merged.wasted_work_ns,
+                wasted_msgs: merged.wasted_msgs,
+                attributed: merged.aborts_attributed,
             },
         });
     }
@@ -577,6 +685,18 @@ mod json {
         pub fn opt_num(&self, key: &str) -> Option<u64> {
             match self.get(key) {
                 Some(Val::Num(n)) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// An optional `[a,b]` field (absent → `None`; malformed → `None`
+        /// too, matching `opt_num`'s lenient shape).
+        pub fn opt_pair(&self, key: &str) -> Option<[u64; 2]> {
+            match self.get(key) {
+                Some(Val::Arr(items)) if items.len() == 2 => match (&items[0], &items[1]) {
+                    (Val::Num(a), Val::Num(b)) => Some([*a, *b]),
+                    _ => None,
+                },
                 _ => None,
             }
         }
@@ -801,6 +921,21 @@ mod tests {
                 cause: AbortCause::QueueTimeout,
                 nested_parent: 4,
                 backoff: SimDuration::from_millis(7),
+                wasted_ns: 123_456,
+                msgs: 9,
+                oid: Some(ObjectId(42)),
+                aggressor: None,
+            },
+            ProtoEvent::TxAbort {
+                tx,
+                attempt: 0,
+                cause: AbortCause::SchedulerAbort,
+                nested_parent: 0,
+                backoff: SimDuration::ZERO,
+                wasted_ns: 0,
+                msgs: 0,
+                oid: Some(ObjectId(3)),
+                aggressor: Some(TxId::new(5, 77)),
             },
             ProtoEvent::NestedOpen {
                 tx,
@@ -863,12 +998,19 @@ mod tests {
                 to: 3,
                 version: 12,
             },
+            ProtoEvent::RunInfo {
+                scheduler: SchedLabel::TfaBackoff,
+                nodes: 160,
+            },
             ProtoEvent::RunSummary {
                 commits: 10,
                 aborts: 4,
                 nested_own: 2,
                 nested_parent: 5,
                 nested_commits: 12,
+                wasted_ns: 1_000_000,
+                wasted_msgs: 40,
+                attributed: 3,
             },
         ];
         for (i, ev) in variants.into_iter().enumerate() {
@@ -933,10 +1075,46 @@ mod tests {
             aborts_scheduler: 3,
             ..NodeMetrics::default()
         };
+        log.push_run_info(SchedLabel::Rts, 8);
         log.push_summary(SimTime(10), &metrics);
+        assert!(matches!(log.records[0].ev, ProtoEvent::RunInfo { .. }));
         let text = log.to_jsonl();
         let back = TraceLog::parse_jsonl(&text).unwrap();
         assert_eq!(log.records, back.records);
+    }
+
+    #[test]
+    fn pre_attribution_traces_still_parse() {
+        // A tx_abort line written before the wasted-work fields existed.
+        let line = "{\"at\":5,\"node\":1,\"ev\":\"tx_abort\",\"tx\":[1,2],\"attempt\":0,\
+                    \"cause\":\"scheduler-abort\",\"nested_parent\":0,\"backoff\":0}";
+        let rec = TraceRecord::parse(line).unwrap();
+        match rec.ev {
+            ProtoEvent::TxAbort {
+                wasted_ns,
+                msgs,
+                oid,
+                aggressor,
+                ..
+            } => {
+                assert_eq!((wasted_ns, msgs), (0, 0));
+                assert!(oid.is_none() && aggressor.is_none());
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        // Same for a pre-attribution run_summary.
+        let line = "{\"at\":9,\"node\":0,\"ev\":\"run_summary\",\"commits\":3,\"aborts\":1,\
+                    \"nested_own\":0,\"nested_parent\":0,\"nested_commits\":2}";
+        let rec = TraceRecord::parse(line).unwrap();
+        assert!(matches!(
+            rec.ev,
+            ProtoEvent::RunSummary {
+                wasted_ns: 0,
+                wasted_msgs: 0,
+                attributed: 0,
+                ..
+            }
+        ));
     }
 
     #[test]

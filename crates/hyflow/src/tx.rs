@@ -74,11 +74,13 @@ pub enum TxPhase {
         stale: Vec<ObjectId>,
         resume: ValidationResume,
     },
-    /// Waiting for `LockResp`s on the write set.
+    /// Waiting for `LockResp`s on the write set. `failed` remembers the
+    /// first object whose lock was refused — the object the eventual abort
+    /// is attributed to.
     AwaitLocks {
         pending: ObjSet,
         granted: Vec<ObjectId>,
-        failed: bool,
+        failed: Option<ObjectId>,
     },
     /// Waiting for `PublishAck`s.
     AwaitPublish { pending: ObjSet },
@@ -154,6 +156,10 @@ pub struct TxRuntime {
     /// Closed-nested children merged over this transaction's lifetime
     /// (across attempts; mirrors the node-level `nested_commits` counter).
     pub nested_committed: u64,
+    /// Protocol messages sent by the current attempt. Reset on restart;
+    /// read at abort time to count the messages an abort discards
+    /// (wasted-work accounting).
+    pub attempt_msgs: u64,
     /// Spent [`NestingLevel`]s kept for reuse. `OpenNested`/`CloseNested`
     /// cycles are protocol-hot (several per commit in the nested
     /// benchmarks); recycling levels keeps their `copies` capacity, so the
@@ -194,6 +200,7 @@ impl TxRuntime {
             validation_started_at: None,
             fetch_sent_at: SimTime::ZERO,
             nested_committed: 0,
+            attempt_msgs: 0,
             spare_levels: Vec::new(),
         }
     }
@@ -455,6 +462,14 @@ impl TxRuntime {
         self.wv = wv;
         self.cl.clear();
         self.validation_started_at = None;
+        self.attempt_msgs = 0;
+    }
+
+    /// Virtual nanoseconds the current attempt has been running — the work
+    /// an abort at `now` throws away.
+    #[inline]
+    pub fn wasted_ns_at(&self, now: SimTime) -> u64 {
+        now.0.saturating_sub(self.attempt_started_at.0)
     }
 
     /// Does the transaction hold any object at any level? Allocation-free
@@ -675,8 +690,11 @@ mod tests {
         let mut tx = mk_tx();
         install(&mut tx, 1, 10, AccessMode::Write);
         tx.open_nested(TxKind(2), tx.program.clone_box(), SimTime(2_000));
+        tx.attempt_msgs = 9;
+        assert_eq!(tx.wasted_ns_at(SimTime(4_500)), 3_500);
         tx.restart(SimTime(5_000), SimTime(60_000_000), 7);
         assert_eq!(tx.attempt, 1);
+        assert_eq!(tx.attempt_msgs, 0);
         assert_eq!(tx.levels.len(), 1);
         assert!(tx.levels[0].copies.is_empty());
         assert_eq!(tx.wv, 7);

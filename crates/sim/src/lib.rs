@@ -60,7 +60,7 @@ pub use engine::{Actor, ActorId, Ctx, GenericWorld, KernelEvent, TimerToken, Wor
 pub use event::{EventKey, Sequenced};
 pub use queue::{BinaryHeapQueue, CalendarQueue, EventQueue};
 pub use rng::{mix64, SimRng};
-pub use shard::{uniform_lookahead, Partition, ShardRunStats};
+pub use shard::{uniform_lookahead, Partition, ShardRunStats, WindowProfile};
 pub use stats::{Histogram, OnlineStats};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, TraceSink};

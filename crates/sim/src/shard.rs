@@ -144,8 +144,8 @@ impl Partition {
 
 /// Host-side statistics of one [`GenericWorld::run_partitioned`] call.
 /// `steps`/`windows`/`shard_events` are deterministic (functions of the
-/// simulation and the partition); `barrier_wait_ns` is wall-clock host
-/// measurement and varies run to run.
+/// simulation and the partition); `barrier_wait_ns` and the per-shard
+/// [`WindowProfile`]s are wall-clock host measurement and vary run to run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ShardRunStats {
     /// Total events processed (dispatched or skipped) across all shards.
@@ -158,6 +158,46 @@ pub struct ShardRunStats {
     /// per-window barriers — the price of synchronization (and of load
     /// imbalance: a starved shard waits while the loaded one runs).
     pub barrier_wait_ns: Vec<u64>,
+    /// Per-shard execute/drain phase breakdown aggregated over all windows.
+    pub profiles: Vec<WindowProfile>,
+}
+
+/// Wall-clock breakdown of one shard's time inside the window loop,
+/// aggregated across every window of a run (totals plus the worst single
+/// window). Together with `ShardRunStats::barrier_wait_ns` this accounts
+/// for where a shard's host time goes: executing local events, waiting at
+/// the two barriers, or draining cross-shard mail.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WindowProfile {
+    /// Total nanoseconds spent in the execute phase (dispatching local
+    /// events inside the window).
+    pub execute_ns: u64,
+    /// The most expensive single execute phase — a proxy for the load spike
+    /// that makes the other shards wait.
+    pub execute_ns_max: u64,
+    /// Total nanoseconds spent posting outboxes and draining inboxes at the
+    /// window boundary (excluding the barrier wait itself).
+    pub drain_ns: u64,
+    /// The most expensive single drain phase.
+    pub drain_ns_max: u64,
+    /// The largest number of events this shard executed in one window.
+    pub window_events_max: u64,
+    /// Cross-shard messages this shard received over the whole run.
+    pub drained_msgs: u64,
+}
+
+impl WindowProfile {
+    fn record_execute(&mut self, ns: u64, events: u64) {
+        self.execute_ns += ns;
+        self.execute_ns_max = self.execute_ns_max.max(ns);
+        self.window_events_max = self.window_events_max.max(events);
+    }
+
+    fn record_drain(&mut self, ns: u64, msgs: u64) {
+        self.drain_ns += ns;
+        self.drain_ns_max = self.drain_ns_max.max(ns);
+        self.drained_msgs += msgs;
+    }
 }
 
 /// A uniform `S×S` lookahead matrix: `d` between every pair of distinct
@@ -311,6 +351,7 @@ struct ShardState<A: Actor, Q> {
 struct ShardOutcome {
     windows: u64,
     barrier_wait_ns: u64,
+    profile: WindowProfile,
 }
 
 /// Run one shard to completion: alternate publish/decide/execute rounds until
@@ -338,6 +379,7 @@ where
     let mut out = ShardOutcome {
         windows: 0,
         barrier_wait_ns: 0,
+        profile: WindowProfile::default(),
     };
 
     loop {
@@ -402,6 +444,8 @@ where
             window_ends: &window_ends,
             lookahead_row,
         };
+        let exec_start = std::time::Instant::now();
+        let steps_before = local_steps;
         while cap > 0 {
             match router.peek_key() {
                 Some(key) if key.time.as_nanos() < t_end => {}
@@ -416,12 +460,17 @@ where
                 }
             }
         }
+        out.profile.record_execute(
+            exec_start.elapsed().as_nanos() as u64,
+            local_steps - steps_before,
+        );
 
         // Exchange mail: post outboxes (swapping vectors, not copying — the
         // posted buffer comes back empty-with-capacity two rounds later),
         // wait for everyone, then drain all inboxes through one pooled
         // scratch buffer with a single sort instead of S interleaved
         // per-message push streams.
+        let post_start = std::time::Instant::now();
         for (dst, outbox) in outboxes.iter_mut().enumerate() {
             if !outbox.is_empty() {
                 let mut slot = shared.mail[dst * n_shards + s]
@@ -431,7 +480,9 @@ where
                 std::mem::swap(&mut *slot, outbox);
             }
         }
+        let mut drain_ns = post_start.elapsed().as_nanos() as u64;
         shared.barrier.wait_timed(&mut out.barrier_wait_ns);
+        let drain_start = std::time::Instant::now();
         scratch.clear();
         for src in 0..n_shards {
             let mut inbox = shared.mail[s * n_shards + src]
@@ -440,9 +491,12 @@ where
             scratch.append(&mut inbox);
         }
         scratch.sort_unstable();
+        let received = scratch.len() as u64;
         for ev in scratch.drain(..) {
             st.queue.push(ev);
         }
+        drain_ns += drain_start.elapsed().as_nanos() as u64;
+        out.profile.record_drain(drain_ns, received);
     }
 
     (st, out)
@@ -670,6 +724,7 @@ where
                 .map(|c| c.load(Ordering::SeqCst))
                 .collect(),
             barrier_wait_ns: Vec::with_capacity(s_count),
+            profiles: Vec::with_capacity(s_count),
         };
         stats.steps = stats.shard_events.iter().sum();
         let mut final_now = now;
@@ -680,6 +735,7 @@ where
             self.core.timers_fired += st.core.timers_fired;
             stats.windows = stats.windows.max(outcome.windows);
             stats.barrier_wait_ns.push(outcome.barrier_wait_ns);
+            stats.profiles.push(std::mem::take(&mut outcome.profile));
             while let Some(ev) = st.queue.pop() {
                 self.queue.push(ev);
             }
@@ -862,6 +918,28 @@ mod tests {
                 "per-shard event counts must sum to the total"
             );
             assert_eq!(stats.barrier_wait_ns.len(), 3);
+            assert_eq!(stats.profiles.len(), 3);
+            for (s, (p, &events)) in stats.profiles.iter().zip(&stats.shard_events).enumerate() {
+                assert!(
+                    p.execute_ns >= p.execute_ns_max && p.drain_ns >= p.drain_ns_max,
+                    "shard {s}: phase totals must dominate their maxima: {p:?}"
+                );
+                assert!(
+                    p.window_events_max <= events,
+                    "shard {s}: one window cannot exceed the shard total"
+                );
+            }
+            // Every cross-shard message some shard received was drained.
+            let drained: u64 = stats.profiles.iter().map(|p| p.drained_msgs).sum();
+            if stats.steps > 0
+                && assignment
+                    .iter()
+                    .collect::<std::collections::HashSet<_>>()
+                    .len()
+                    > 1
+            {
+                assert!(drained > 0, "gossip across shards must exchange mail");
+            }
         }
     }
 

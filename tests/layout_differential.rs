@@ -91,19 +91,26 @@ fn digest(cell: Cell) -> String {
 /// message count, and timestamp was unchanged; only the three vacation
 /// trace hashes moved (same-timestamp deliveries now order by actor id —
 /// before/after pairs recorded in EXPERIMENTS.md).
+///
+/// Migrated a SECOND time for the trace-format additions of the telemetry
+/// layer: `run_cell_traced` now prepends a `RunInfo` header record
+/// (scheduler + node count, for per-run `dstm-trace stats` segmentation)
+/// and `RunSummary`/`TxAbort` records carry the wasted-work ledger fields.
+/// Every metric, message count, and timestamp was again unchanged; every
+/// cell's record count moved by exactly +1 (the header).
 const GOLDEN: &[(&str, &str)] = &[
-    ("bank/RTS/heap", "commits=36 aborts=84 nested_commits=375 nested_own=218 nested_parent=281 messages=2551 elapsed=3415709000 ended_at=3415709000 trace_records=1397 trace_fnv=98d3c54d63b6e537"),
-    ("bank/RTS/calendar", "commits=36 aborts=84 nested_commits=375 nested_own=218 nested_parent=281 messages=2551 elapsed=3415709000 ended_at=3415709000 trace_records=1397 trace_fnv=98d3c54d63b6e537"),
-    ("bank/TFA/heap", "commits=36 aborts=76 nested_commits=357 nested_own=305 nested_parent=259 messages=2650 elapsed=3686089000 ended_at=3686089000 trace_records=1412 trace_fnv=f796916f3f46656d"),
-    ("bank/TFA/calendar", "commits=36 aborts=76 nested_commits=357 nested_own=305 nested_parent=259 messages=2650 elapsed=3686089000 ended_at=3686089000 trace_records=1412 trace_fnv=f796916f3f46656d"),
-    ("bank/TFA+Backoff/heap", "commits=36 aborts=81 nested_commits=354 nested_own=371 nested_parent=258 messages=2645 elapsed=3418078000 ended_at=3418078000 trace_records=1480 trace_fnv=0019732346f92c82"),
-    ("bank/TFA+Backoff/calendar", "commits=36 aborts=81 nested_commits=354 nested_own=371 nested_parent=258 messages=2645 elapsed=3418078000 ended_at=3418078000 trace_records=1480 trace_fnv=0019732346f92c82"),
-    ("vacation/RTS/heap", "commits=36 aborts=39 nested_commits=147 nested_own=138 nested_parent=80 messages=1272 elapsed=2002658000 ended_at=2002658000 trace_records=671 trace_fnv=e46e3af9708d019e"),
-    ("vacation/RTS/calendar", "commits=36 aborts=39 nested_commits=147 nested_own=138 nested_parent=80 messages=1272 elapsed=2002658000 ended_at=2002658000 trace_records=671 trace_fnv=e46e3af9708d019e"),
-    ("vacation/TFA/heap", "commits=36 aborts=47 nested_commits=169 nested_own=77 nested_parent=104 messages=1260 elapsed=2577996000 ended_at=2577996000 trace_records=668 trace_fnv=0b51ab53161aaefc"),
-    ("vacation/TFA/calendar", "commits=36 aborts=47 nested_commits=169 nested_own=77 nested_parent=104 messages=1260 elapsed=2577996000 ended_at=2577996000 trace_records=668 trace_fnv=0b51ab53161aaefc"),
-    ("vacation/TFA+Backoff/heap", "commits=36 aborts=47 nested_commits=169 nested_own=70 nested_parent=104 messages=1243 elapsed=2488553000 ended_at=2488553000 trace_records=660 trace_fnv=35f15a01d38b2227"),
-    ("vacation/TFA+Backoff/calendar", "commits=36 aborts=47 nested_commits=169 nested_own=70 nested_parent=104 messages=1243 elapsed=2488553000 ended_at=2488553000 trace_records=660 trace_fnv=35f15a01d38b2227"),
+    ("bank/RTS/heap", "commits=36 aborts=84 nested_commits=375 nested_own=218 nested_parent=281 messages=2551 elapsed=3415709000 ended_at=3415709000 trace_records=1398 trace_fnv=fef08a6a58984aa6"),
+    ("bank/RTS/calendar", "commits=36 aborts=84 nested_commits=375 nested_own=218 nested_parent=281 messages=2551 elapsed=3415709000 ended_at=3415709000 trace_records=1398 trace_fnv=fef08a6a58984aa6"),
+    ("bank/TFA/heap", "commits=36 aborts=76 nested_commits=357 nested_own=305 nested_parent=259 messages=2650 elapsed=3686089000 ended_at=3686089000 trace_records=1413 trace_fnv=b9152a6b3751108f"),
+    ("bank/TFA/calendar", "commits=36 aborts=76 nested_commits=357 nested_own=305 nested_parent=259 messages=2650 elapsed=3686089000 ended_at=3686089000 trace_records=1413 trace_fnv=b9152a6b3751108f"),
+    ("bank/TFA+Backoff/heap", "commits=36 aborts=81 nested_commits=354 nested_own=371 nested_parent=258 messages=2645 elapsed=3418078000 ended_at=3418078000 trace_records=1481 trace_fnv=e9597a89af570da8"),
+    ("bank/TFA+Backoff/calendar", "commits=36 aborts=81 nested_commits=354 nested_own=371 nested_parent=258 messages=2645 elapsed=3418078000 ended_at=3418078000 trace_records=1481 trace_fnv=e9597a89af570da8"),
+    ("vacation/RTS/heap", "commits=36 aborts=39 nested_commits=147 nested_own=138 nested_parent=80 messages=1272 elapsed=2002658000 ended_at=2002658000 trace_records=672 trace_fnv=ca282a6f1a872b07"),
+    ("vacation/RTS/calendar", "commits=36 aborts=39 nested_commits=147 nested_own=138 nested_parent=80 messages=1272 elapsed=2002658000 ended_at=2002658000 trace_records=672 trace_fnv=ca282a6f1a872b07"),
+    ("vacation/TFA/heap", "commits=36 aborts=47 nested_commits=169 nested_own=77 nested_parent=104 messages=1260 elapsed=2577996000 ended_at=2577996000 trace_records=669 trace_fnv=7b8f6f97263216a6"),
+    ("vacation/TFA/calendar", "commits=36 aborts=47 nested_commits=169 nested_own=77 nested_parent=104 messages=1260 elapsed=2577996000 ended_at=2577996000 trace_records=669 trace_fnv=7b8f6f97263216a6"),
+    ("vacation/TFA+Backoff/heap", "commits=36 aborts=47 nested_commits=169 nested_own=70 nested_parent=104 messages=1243 elapsed=2488553000 ended_at=2488553000 trace_records=661 trace_fnv=ecb33351940005a4"),
+    ("vacation/TFA+Backoff/calendar", "commits=36 aborts=47 nested_commits=169 nested_own=70 nested_parent=104 messages=1243 elapsed=2488553000 ended_at=2488553000 trace_records=661 trace_fnv=ecb33351940005a4"),
 ];
 
 #[test]
