@@ -2,11 +2,25 @@
 //!
 //! ```text
 //! dstm-sweep [nodes] [txns_per_node] [benchmark] [--hist-out out.json]
-//!            [--telemetry] [--epoch-ns N]
+//!            [--telemetry] [--epoch-ns N] [--cache]
 //! dstm-sweep scenario [rts|tfa|tfa-backoff] [writers] [readers]
 //! dstm-sweep kernel [out.json] [--scale S] [--trials N] [--baseline old.json]
-//! dstm-sweep large-smoke [nodes] [--shards S]
+//!                   [--filter substr]
+//! dstm-sweep large-smoke [nodes] [--shards S] [--cache]
 //! ```
+//!
+//! `--cache` (env `DSTM_CACHE=1`) turns on clock-validated remote-read
+//! caching plus same-tick message coalescing — a **protocol variant** that
+//! changes simulated results (fewer fetch round trips), unlike `--shards`.
+//! `kernel` mode always measures dedicated `"cache": "on"` rows next to the
+//! pinned cache-off grid regardless of the flag; those rows never gate the
+//! baseline check (old reports lack them) but feed the intra-report
+//! `DSTM_CACHE_TOLERANCE` overhead guard (default +40% cpu-ns/commit).
+//!
+//! `--filter <substr>` (env `DSTM_FILTER`) restricts `kernel` mode to grid
+//! cells whose `benchmark/scheduler/nN/backend/kind` label contains the
+//! substring (case-insensitive) — for local iteration on one cell family;
+//! a filtered report is partial, so don't commit it or gate baselines on it.
 //!
 //! All simulation modes accept `--shards S` (env `DSTM_SHARDS`) to run each
 //! cell on the conservative time-windowed parallel executor
@@ -138,6 +152,11 @@ struct Flags {
     /// `--epoch-ns N` (env `DSTM_EPOCH_NS`): epoch length for the sampler;
     /// `None` keeps the 50 ms default.
     epoch_ns: Option<u64>,
+    /// `--cache` (env `DSTM_CACHE=1`): enable the remote-read cache +
+    /// message coalescing on the cells this invocation runs.
+    cache: bool,
+    /// `--filter substr` (env `DSTM_FILTER`): kernel-mode cell filter.
+    filter: Option<String>,
 }
 
 /// Pull the `--flag value` pairs (with `DSTM_*` env fallbacks) out of the
@@ -159,6 +178,11 @@ fn split_flags(args: &[String]) -> Flags {
     let mut epoch_ns = std::env::var("DSTM_EPOCH_NS")
         .ok()
         .and_then(|s| s.parse().ok());
+    let mut cache = matches!(
+        std::env::var("DSTM_CACHE").ok().as_deref(),
+        Some("1") | Some("true") | Some("on")
+    );
+    let mut filter = std::env::var("DSTM_FILTER").ok().filter(|s| !s.is_empty());
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -171,6 +195,8 @@ fn split_flags(args: &[String]) -> Flags {
             "--shards" => shards = it.next().and_then(|s| s.parse().ok()),
             "--telemetry" => telemetry = true,
             "--epoch-ns" => epoch_ns = it.next().and_then(|s| s.parse().ok()),
+            "--cache" => cache = true,
+            "--filter" => filter = it.next().cloned(),
             "--partition" => {
                 partition = it.next().map(|s| {
                     PartitionStrategy::from_name(s).unwrap_or_else(|| {
@@ -221,6 +247,8 @@ fn split_flags(args: &[String]) -> Flags {
         partition,
         telemetry,
         epoch_ns,
+        cache,
+        filter,
     }
 }
 
@@ -262,6 +290,37 @@ enum RowKind {
     Traced,
     /// Epoch sampler enabled (`run_cell_telemetry`).
     Telemetry,
+    /// Remote-read cache + message coalescing enabled (`--cache`). A
+    /// protocol variant: fewer events per commit, so its ns/event is not
+    /// comparable to the plain rows' and never gates the baseline.
+    Cache,
+}
+
+impl RowKind {
+    fn label(self) -> &'static str {
+        match self {
+            RowKind::Plain => "plain",
+            RowKind::Traced => "traced",
+            RowKind::Telemetry => "telemetry",
+            RowKind::Cache => "cache",
+        }
+    }
+}
+
+/// `--filter` predicate: does this grid cell's label contain the substring
+/// (case-insensitive)? Labels look like `bank/rts/n20/binary-heap/plain`.
+fn spec_matches(filter: Option<&str>, cell: &Cell, kind: &str) -> bool {
+    let Some(f) = filter else { return true };
+    let label = format!(
+        "{}/{}/n{}/{}/{}",
+        cell.benchmark.label(),
+        cell.scheduler.label(),
+        cell.params.nodes,
+        cell.dstm.queue_backend.label(),
+        kind
+    )
+    .to_ascii_lowercase();
+    label.contains(&f.to_ascii_lowercase())
 }
 
 /// One measured kernel cell, ready for printing and the JSON sidecar.
@@ -276,6 +335,13 @@ struct KernelRow {
     /// telemetry path; they never gate the baseline check (old reports
     /// lack them) but feed the intra-report overhead guard.
     telemetry: bool,
+    /// Whether the remote-read cache (and message coalescing) was on. Cache
+    /// rows are a protocol variant — never baseline-gated; they feed the
+    /// `DSTM_CACHE_TOLERANCE` overhead guard.
+    cache: bool,
+    /// Fraction of cache lookups served without a payload fetch (0 with the
+    /// cache off).
+    cache_hit_rate: f64,
     trials: usize,
     /// Shards of the time-windowed parallel executor (1 = serial loop).
     shards: usize,
@@ -319,6 +385,12 @@ impl KernelRow {
         self.cpu_ns as f64 / self.events.max(1) as f64
     }
 
+    /// Delivered kernel messages per committed transaction — the axis the
+    /// cache + coalescing variant moves (a coalesced batch counts once).
+    fn messages_per_commit(&self) -> f64 {
+        self.events as f64 / self.commits.max(1) as f64
+    }
+
     fn print(&self) {
         let mut line = format!(
             "{:<12} n={:<3} {:<12} {:<9} {:<8} trace={:<3} {:>9.1} ms  {:>7.0} ns/event",
@@ -333,6 +405,14 @@ impl KernelRow {
         );
         if self.telemetry {
             line += "  telem=on";
+        }
+        if self.cache {
+            let _ = write!(
+                line,
+                "  cache=on hit={:.0}% msgs/commit={:.1}",
+                self.cache_hit_rate * 100.0,
+                self.messages_per_commit()
+            );
         }
         if self.shards > 1 || self.concurrency != 4 {
             let _ = write!(
@@ -383,19 +463,21 @@ impl KernelRow {
 /// burst (seconds on shared machines) used to poison all of a cell's
 /// trials at once; spread over full grid passes, a burst lands in at most
 /// one or two trials of any given cell and the per-cell median rejects it.
-fn kernel_grid(scale: &Scale, trials: usize) -> Vec<KernelRow> {
+fn kernel_grid(scale: &Scale, trials: usize, filter: Option<&str>) -> Vec<KernelRow> {
     let mut specs: Vec<(Cell, RowKind)> = Vec::new();
     for b in Benchmark::ALL {
         for &nodes in &scale.node_counts {
             for s in KERNEL_SCHEDULERS {
                 for backend in [QueueBackend::BinaryHeap, QueueBackend::Calendar] {
-                    // Pinned serial even under DSTM_SHARDS: these rows are
-                    // the baseline-gated kernel-cost measurements, and the
-                    // sharded block below covers the parallel executor.
+                    // Pinned serial even under DSTM_SHARDS (and cache-off
+                    // even under DSTM_CACHE): these rows are the
+                    // baseline-gated kernel-cost measurements; the sharded
+                    // and cache blocks cover the variants.
                     let cell = Cell::new(b, s, nodes, 0.9)
                         .with_txns(scale.txns_per_node)
                         .with_queue_backend(backend)
-                        .with_shards(1);
+                        .with_shards(1)
+                        .with_cache(false);
                     specs.push((cell, RowKind::Plain));
                 }
             }
@@ -409,14 +491,30 @@ fn kernel_grid(scale: &Scale, trials: usize) -> Vec<KernelRow> {
             for s in KERNEL_SCHEDULERS {
                 let cell = Cell::new(Benchmark::Bank, s, nodes, 0.9)
                     .with_txns(scale.txns_per_node)
-                    .with_shards(1);
+                    .with_shards(1)
+                    .with_cache(false);
                 specs.push((cell, kind));
             }
         }
     }
+    // Cache-variant rows: every benchmark (the acceptance bar wants the
+    // messages-per-commit drop visible on more than one), binary heap,
+    // every node count × scheduler, against the matching plain rows.
+    for b in Benchmark::ALL {
+        for &nodes in &scale.node_counts {
+            for s in KERNEL_SCHEDULERS {
+                let cell = Cell::new(b, s, nodes, 0.9)
+                    .with_txns(scale.txns_per_node)
+                    .with_shards(1)
+                    .with_cache(true);
+                specs.push((cell, RowKind::Cache));
+            }
+        }
+    }
+    specs.retain(|(cell, kind)| spec_matches(filter, cell, kind.label()));
 
     let run = |c: &Cell, kind: RowKind| match kind {
-        RowKind::Plain => run_cell(c.clone()),
+        RowKind::Plain | RowKind::Cache => run_cell(c.clone()),
         RowKind::Traced => run_cell_traced(c.clone()).0,
         RowKind::Telemetry => run_cell_telemetry(c.clone()).0,
     };
@@ -425,6 +523,7 @@ fn kernel_grid(scale: &Scale, trials: usize) -> Vec<KernelRow> {
     }
     let mut timings: Vec<Vec<(u64, u64)>> = vec![Vec::with_capacity(trials); specs.len()];
     let mut counts = vec![(0u64, 0u64); specs.len()]; // (events, commits)
+    let mut rates = vec![0f64; specs.len()]; // cache hit rate
     let mut allocs = vec![(0u64, 0usize); specs.len()]; // (allocs, peak bytes)
     for t in 0..trials {
         let counted = t + 1 == trials;
@@ -444,6 +543,7 @@ fn kernel_grid(scale: &Scale, trials: usize) -> Vec<KernelRow> {
             );
             timings[i].push((r.cpu_ns, r.wall_ns));
             counts[i] = (r.metrics.messages, r.metrics.merged.commits);
+            rates[i] = r.metrics.merged.cache_hit_rate();
         }
     }
 
@@ -461,6 +561,8 @@ fn kernel_grid(scale: &Scale, trials: usize) -> Vec<KernelRow> {
             topology: cell.topology.label(),
             trace: *kind == RowKind::Traced,
             telemetry: *kind == RowKind::Telemetry,
+            cache: cell.dstm.cache,
+            cache_hit_rate: rates[i],
             trials,
             shards: cell.shards,
             partition: cell.partition.label(),
@@ -492,6 +594,7 @@ fn kernel_grid_large(
     scale: &Scale,
     shards: usize,
     partition: PartitionStrategy,
+    filter: Option<&str>,
 ) -> (Vec<KernelRow>, u64, usize) {
     let benches = [Benchmark::Bank, Benchmark::Vacation, Benchmark::Dht];
     let mut cells = Vec::new();
@@ -511,6 +614,7 @@ fn kernel_grid_large(
             }
         }
     }
+    cells.retain(|c| spec_matches(filter, c, "large"));
     alloc_counter::reset();
     let results = run_cells(cells, None);
     let (sweep_allocs, sweep_peak) = alloc_counter::snapshot();
@@ -531,6 +635,8 @@ fn kernel_grid_large(
             topology: r.cell.topology.label(),
             trace: false,
             telemetry: false,
+            cache: r.cell.dstm.cache,
+            cache_hit_rate: r.metrics.merged.cache_hit_rate(),
             trials: 1,
             shards: r.cell.shards,
             partition: r.cell.partition.label(),
@@ -585,7 +691,7 @@ fn kernel_grid_large(
 /// Sequential and grid-major like `kernel_grid`, for the same
 /// burst-rejection reason; trials are capped at 3 because each 160-node
 /// cell is ~10^3 heavier than the small-grid cells.
-fn kernel_grid_sharded(trials: usize) -> Vec<KernelRow> {
+fn kernel_grid_sharded(trials: usize, filter: Option<&str>) -> Vec<KernelRow> {
     let trials = trials.min(3);
     let mk = |b, conc: usize, shards: usize, partition: PartitionStrategy| {
         let mut cell = Cell::new(b, SchedulerKind::Rts, 160, 0.9)
@@ -595,7 +701,10 @@ fn kernel_grid_sharded(trials: usize) -> Vec<KernelRow> {
                 max_ms: 50,
             })
             .with_shards(shards)
-            .with_partition(partition);
+            .with_partition(partition)
+            // Pinned cache-off like the serial grid: these rows gate the
+            // sharded baseline, which predates the cache variant.
+            .with_cache(false);
         cell.dstm.concurrency_per_node = conc;
         cell
     };
@@ -621,6 +730,7 @@ fn kernel_grid_sharded(trials: usize) -> Vec<KernelRow> {
             PartitionStrategy::RoundRobin,
         ));
     }
+    specs.retain(|c| spec_matches(filter, c, "sharded"));
 
     for cell in &specs {
         let _warmup = run_cell(cell.clone());
@@ -659,6 +769,8 @@ fn kernel_grid_sharded(trials: usize) -> Vec<KernelRow> {
             topology: cell.topology.label(),
             trace: false,
             telemetry: false,
+            cache: cell.dstm.cache,
+            cache_hit_rate: 0.0,
             trials,
             shards: cell.shards,
             partition: cell.partition.label(),
@@ -739,10 +851,11 @@ fn kernel_json(
             json,
             "    {{\"benchmark\": \"{}\", \"nodes\": {}, \"scheduler\": \"{}\", \
              \"backend\": \"{}\", \"topology\": \"{}\", \"trace\": \"{}\", \
-             \"telemetry\": \"{}\", \
+             \"telemetry\": \"{}\", \"cache\": \"{}\", \
              \"trials\": {}, \"shards\": {}, \"partition\": \"{}\", \
              \"concurrency\": {}, \"wall_ns\": {}, \"cpu_ns\": {}, \"events\": {}, \
              \"ns_per_event\": {:.1}, \"commits\": {}, \
+             \"messages_per_commit\": {:.2}, \"cache_hit_rate\": {:.3}, \
              \"allocs_per_event\": {:.2}, \"peak_alloc_bytes\": {}",
             r.benchmark.label(),
             r.nodes,
@@ -751,6 +864,7 @@ fn kernel_json(
             r.topology,
             if r.trace { "on" } else { "off" },
             if r.telemetry { "on" } else { "off" },
+            if r.cache { "on" } else { "off" },
             r.trials,
             r.shards,
             r.partition,
@@ -760,6 +874,8 @@ fn kernel_json(
             r.events,
             r.ns_per_event(),
             r.commits,
+            r.messages_per_commit(),
+            r.cache_hit_rate,
             r.allocs_per_event,
             r.peak_alloc_bytes,
         );
@@ -831,10 +947,13 @@ fn parse_kernel_rows(text: &str) -> Vec<(String, f64)> {
             let nspe = json_num(line, "ns_per_event")?;
             let shards = json_num(line, "shards").unwrap_or(1.0);
             let concurrency = json_num(line, "concurrency").unwrap_or(4.0);
-            // Telemetry rows never gate: reports written before the sampler
-            // existed omit the field (hence the "off" default here).
+            // Telemetry and cache rows never gate: reports written before
+            // those variants existed omit the fields (hence the "off"
+            // defaults here), and the cache variant runs a different
+            // message pattern so its ns/event is not comparable anyway.
             let telemetry = json_str(line, "telemetry").unwrap_or("off");
-            if shards != 1.0 || concurrency != 4.0 || telemetry == "on" {
+            let cache = json_str(line, "cache").unwrap_or("off");
+            if shards != 1.0 || concurrency != 4.0 || telemetry == "on" || cache == "on" {
                 return None;
             }
             Some((format!("{b}/{nodes}/{s}/{backend}/{trace}"), nspe))
@@ -881,7 +1000,7 @@ fn sharded_baseline_guard(rows: &[KernelRow], baseline_text: &str, baseline_path
         parse_sharded_rows(baseline_text).into_iter().collect();
     let mut ratios: Vec<f64> = rows
         .iter()
-        .filter(|r| !r.trace && r.concurrency == 32 && r.events > 0)
+        .filter(|r| !r.trace && !r.cache && r.concurrency == 32 && r.events > 0)
         .filter_map(|r| {
             let key = format!(
                 "{}/{}/{}/shards{}/{}",
@@ -950,7 +1069,7 @@ fn telemetry_overhead_guard(rows: &[KernelRow]) -> bool {
     };
     let plain: std::collections::HashMap<String, f64> = rows
         .iter()
-        .filter(|r| !r.trace && !r.telemetry && r.shards == 1 && r.concurrency == 4)
+        .filter(|r| !r.trace && !r.telemetry && !r.cache && r.shards == 1 && r.concurrency == 4)
         .map(|r| (key(r), r.ns_per_event()))
         .collect();
     let mut ratios: Vec<f64> = rows
@@ -988,6 +1107,95 @@ fn telemetry_overhead_guard(rows: &[KernelRow]) -> bool {
     true
 }
 
+/// Intra-report cache-overhead guard: every cache-on row compares against
+/// the plain (cache-off, BinaryHeap) row of the same (benchmark, nodes,
+/// scheduler) **from the same report**, so host speed cancels out. The
+/// cache removes events (fewer fetch round trips), so ns/event would rise
+/// mechanically even at zero overhead — the cost axis gated here is
+/// **cpu-ns per commit** (host cost per unit of committed work), whose
+/// median ratio must stay within `DSTM_CACHE_TOLERANCE` (default +40%).
+/// The variant must also actually pay: the median messages-per-commit
+/// ratio must not exceed 1.0, with a nonzero median hit rate.
+fn cache_overhead_guard(rows: &[KernelRow]) -> bool {
+    let key = |r: &KernelRow| {
+        format!(
+            "{}/{}/{}",
+            r.benchmark.label(),
+            r.nodes,
+            r.scheduler.label()
+        )
+    };
+    let plain: std::collections::HashMap<String, (f64, f64)> = rows
+        .iter()
+        .filter(|r| {
+            !r.trace
+                && !r.telemetry
+                && !r.cache
+                && r.shards == 1
+                && r.concurrency == 4
+                && r.backend == QueueBackend::BinaryHeap
+        })
+        .map(|r| {
+            let cpu_per_commit = r.cpu_ns as f64 / r.commits.max(1) as f64;
+            (key(r), (cpu_per_commit, r.messages_per_commit()))
+        })
+        .collect();
+    let mut cost_ratios: Vec<f64> = Vec::new();
+    let mut mpc_ratios: Vec<f64> = Vec::new();
+    let mut hit_rates: Vec<f64> = Vec::new();
+    for r in rows.iter().filter(|r| r.cache) {
+        let Some(&(base_cost, base_mpc)) = plain.get(&key(r)) else {
+            continue;
+        };
+        if base_cost > 0.0 {
+            cost_ratios.push(r.cpu_ns as f64 / r.commits.max(1) as f64 / base_cost);
+        }
+        if base_mpc > 0.0 {
+            mpc_ratios.push(r.messages_per_commit() / base_mpc);
+        }
+        hit_rates.push(r.cache_hit_rate);
+    }
+    if cost_ratios.is_empty() {
+        return true;
+    }
+    let median = |v: &mut Vec<f64>| {
+        v.sort_unstable_by(|a, b| a.total_cmp(b));
+        v[v.len() / 2]
+    };
+    let cost = median(&mut cost_ratios);
+    let mpc = median(&mut mpc_ratios);
+    let hits = median(&mut hit_rates);
+    let tolerance: f64 = std::env::var("DSTM_CACHE_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.40);
+    println!(
+        "[cache guard: {} row pairs, median cpu-ns/commit ratio {cost:.3} (tolerance {:.2}), \
+         median msgs/commit ratio {mpc:.3}, median hit rate {:.1}%]",
+        cost_ratios.len(),
+        1.0 + tolerance,
+        hits * 100.0
+    );
+    if cost > 1.0 + tolerance {
+        eprintln!(
+            "CACHE OVERHEAD: median cpu-ns/commit with the cache on is {:.1}% over \
+             the plain path (allowed {:.0}%)",
+            (cost - 1.0) * 100.0,
+            tolerance * 100.0
+        );
+        return false;
+    }
+    if mpc > 1.0 || hits <= 0.0 {
+        eprintln!(
+            "CACHE INEFFECTIVE: median msgs/commit ratio {mpc:.3} (must be ≤ 1.0), \
+             median hit rate {:.3} (must be > 0)",
+            hits
+        );
+        return false;
+    }
+    true
+}
+
 /// Compare fresh trace-off rows against a committed report: the median
 /// new/old ns-per-event ratio across matching rows must stay within the
 /// tolerance (default +20%, env `DSTM_BENCH_TOLERANCE`). Returns `false`
@@ -1006,10 +1214,11 @@ fn baseline_guard(rows: &[KernelRow], baseline_path: &str) -> bool {
         parse_kernel_rows(&text).into_iter().collect();
     let mut ratios: Vec<f64> = rows
         .iter()
-        // Serial, default-concurrency, trace-off, telemetry-off rows only:
-        // the sharded block's numbers depend on host core count, so they
-        // never gate, and the telemetry rows have their own guard.
-        .filter(|r| !r.trace && !r.telemetry && r.shards == 1 && r.concurrency == 4)
+        // Serial, default-concurrency, trace-off, telemetry-off, cache-off
+        // rows only: the sharded block's numbers depend on host core
+        // count, so they never gate, and the telemetry and cache rows have
+        // their own intra-report guards.
+        .filter(|r| !r.trace && !r.telemetry && !r.cache && r.shards == 1 && r.concurrency == 4)
         .filter_map(|r| {
             let key = format!(
                 "{}/{}/{}/{}/off",
@@ -1078,27 +1287,32 @@ fn kernel_report(out_path: &str, flags: &Flags) -> bool {
             .map(|p| p.get())
             .unwrap_or(1)
     );
+    let filter = flags.filter.as_deref();
+    if let Some(f) = filter {
+        println!("[filter {f:?}: report will be partial — do not commit as a baseline]");
+    }
     let (mut rows, sweep_allocs, sweep_peak) = if scale_name == "large" {
-        kernel_grid_large(&scale, flags.shards, flags.partition)
+        kernel_grid_large(&scale, flags.shards, flags.partition, filter)
     } else {
         alloc_counter::reset();
-        let rows = kernel_grid(&scale, trials);
+        let rows = kernel_grid(&scale, trials, filter);
         let (a, p) = alloc_counter::snapshot();
         (rows, a, p)
     };
     println!("\n[sharded block: 160-node hashed cells, wall-clock medians]");
-    rows.extend(kernel_grid_sharded(trials));
+    rows.extend(kernel_grid_sharded(trials, filter));
     let json = kernel_json(&rows, &scale_name, sweep_allocs, sweep_peak);
     match std::fs::write(out_path, &json) {
         Ok(()) => println!("\n[written to {out_path}]"),
         Err(e) => eprintln!("could not write {out_path}: {e}"),
     }
     let telemetry_ok = telemetry_overhead_guard(&rows);
+    let cache_ok = cache_overhead_guard(&rows);
     let baseline_ok = match &flags.baseline {
         Some(b) => baseline_guard(&rows, b),
         None => true,
     };
-    telemetry_ok && baseline_ok
+    telemetry_ok && cache_ok && baseline_ok
 }
 
 /// One large-scale cell, for CI smoke + `dstm-trace audit`. With `--trace`
@@ -1119,7 +1333,8 @@ fn large_smoke(positional: &[String], flags: &Flags) {
             max_ms: 50,
         })
         .with_shards(flags.shards)
-        .with_partition(flags.partition);
+        .with_partition(flags.partition)
+        .with_cache(flags.cache);
     let (r, trace) = if flags.topts.path.is_some() {
         let (r, t) = run_cell_traced(cell);
         (r, Some(t))
@@ -1128,15 +1343,26 @@ fn large_smoke(positional: &[String], flags: &Flags) {
     };
     assert!(r.completed, "large-smoke cell stalled at n={nodes}");
     let mut line = format!(
-        "large-smoke: Bank/RTS n={nodes} hashed topology shards={} part={}  commits={}  \
+        "large-smoke: Bank/RTS n={nodes} hashed topology shards={} part={} cache={}  commits={}  \
          events={}  {:.1} ms wall  {:.0} ns/event",
         flags.shards,
         flags.partition.label(),
+        if flags.cache { "on" } else { "off" },
         r.metrics.merged.commits,
         r.metrics.messages,
         r.wall_ns as f64 / 1e6,
         r.cpu_ns as f64 / r.metrics.messages.max(1) as f64,
     );
+    if flags.cache {
+        let _ = write!(
+            line,
+            "  cache hit rate {:.1}% ({} hits, {} misses, {} inval)",
+            r.metrics.merged.cache_hit_rate() * 100.0,
+            r.metrics.merged.cache_hits,
+            r.metrics.merged.cache_misses,
+            r.metrics.merged.cache_invalidations
+        );
+    }
     if let Some(t) = &trace {
         let _ = write!(line, "  {} trace records", t.records.len());
     }
@@ -1347,9 +1573,10 @@ fn main() {
     let only: Option<Benchmark> = positional.get(2).and_then(|s| Benchmark::from_name(s));
 
     println!(
-        "dstm-sweep: {nodes} nodes, {txns} txns/node, delays 1-50 ms, shards={} part={}\n",
+        "dstm-sweep: {nodes} nodes, {txns} txns/node, delays 1-50 ms, shards={} part={} cache={}\n",
         flags.shards,
-        flags.partition.label()
+        flags.partition.label(),
+        if flags.cache { "on" } else { "off" }
     );
     let mut hist_rows = Vec::new();
     let mut trace_opts = Some(&flags.topts); // first RTS low-contention cell only
@@ -1370,7 +1597,8 @@ fn main() {
                 let mut cell = Cell::new(b, s, nodes, read_ratio)
                     .with_txns(txns)
                     .with_shards(flags.shards)
-                    .with_partition(flags.partition);
+                    .with_partition(flags.partition)
+                    .with_cache(flags.cache);
                 if let Some(ns) = flags.epoch_ns {
                     cell = cell.with_epoch_ns(ns);
                 }

@@ -70,6 +70,16 @@ fn env_shards() -> usize {
         .max(1)
 }
 
+/// `DSTM_CACHE` default for new cells; off when unset or unrecognized.
+/// Unlike `DSTM_SHARDS` this changes simulated results (fewer fetch round
+/// trips), which is why it defaults off and the differential tests pin it.
+fn env_cache() -> bool {
+    matches!(
+        std::env::var("DSTM_CACHE").as_deref(),
+        Ok("1") | Ok("true") | Ok("on")
+    )
+}
+
 /// `DSTM_PARTITION` default for new cells; round-robin when unset or
 /// unrecognized.
 fn env_partition() -> PartitionStrategy {
@@ -97,6 +107,7 @@ impl Cell {
         let (threshold, slack) = benchmark.rts_tuning();
         dstm.cl_threshold = threshold;
         dstm.queue_deadline_percent = slack;
+        dstm.cache = env_cache();
         Cell {
             benchmark,
             scheduler,
@@ -168,6 +179,15 @@ impl Cell {
     /// Sampling epoch for telemetry, in sim-time nanoseconds (default 50 ms).
     pub fn with_epoch_ns(mut self, epoch_ns: u64) -> Self {
         self.dstm.epoch = dstm_sim::SimDuration(epoch_ns);
+        self
+    }
+
+    /// Clock-validated remote-read caching plus same-tick message
+    /// coalescing (see `hyflow_dstm::config::DstmConfig::cache`). Changes
+    /// simulated results — fewer fetch round trips — so it is an explicit
+    /// protocol variant, not a host-side knob like `with_shards`.
+    pub fn with_cache(mut self, cache: bool) -> Self {
+        self.dstm.cache = cache;
         self
     }
 }

@@ -220,6 +220,7 @@ pub fn audit(log: &TraceLog) -> AuditReport {
                 wasted_ns,
                 wasted_msgs,
                 attributed,
+                ..
             } => {
                 report.summary_checked = true;
                 let pairs = [
@@ -478,6 +479,11 @@ struct StatsSegment {
     aborts: u64,
     timeouts: u64,
     enq: u64,
+    /// Remote-read cache totals from the segment's `RunSummary` records.
+    /// All zero (and unrendered) unless the run had `--cache` on.
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_inval: u64,
 }
 
 impl StatsSegment {
@@ -500,6 +506,22 @@ impl StatsSegment {
             "commits {}, aborts {} ({} queue timeouts), enqueues {}",
             self.commits, self.aborts, self.timeouts, self.enq
         );
+        if self.cache_hits != 0 || self.cache_misses != 0 || self.cache_inval != 0 {
+            let lookups = self.cache_hits + self.cache_misses;
+            let rate = if lookups == 0 {
+                0.0
+            } else {
+                self.cache_hits as f64 / lookups as f64
+            };
+            let _ = writeln!(
+                out,
+                "cache hits {}, misses {} ({:.1}% hit rate), invalidations {}",
+                self.cache_hits,
+                self.cache_misses,
+                rate * 100.0,
+                self.cache_inval
+            );
+        }
     }
 }
 
@@ -548,7 +570,17 @@ pub fn trace_stats(log: &TraceLog) -> String {
             ProtoEvent::QueueServed { .. } => "queue_served",
             ProtoEvent::Migrate { .. } => "migrate",
             ProtoEvent::RunInfo { .. } => "run_info",
-            ProtoEvent::RunSummary { .. } => "run_summary",
+            ProtoEvent::RunSummary {
+                cache_hits,
+                cache_misses,
+                cache_invalidations,
+                ..
+            } => {
+                seg.cache_hits += cache_hits;
+                seg.cache_misses += cache_misses;
+                seg.cache_inval += cache_invalidations;
+                "run_summary"
+            }
         };
         *seg.by_kind.entry(kind).or_default() += 1;
     }
@@ -1217,6 +1249,9 @@ mod tests {
                         wasted_ns: 0,
                         wasted_msgs: 0,
                         attributed: 0,
+                        cache_hits: 0,
+                        cache_misses: 0,
+                        cache_invalidations: 0,
                     },
                 ),
             ],
@@ -1411,6 +1446,9 @@ mod tests {
                         wasted_ns: 1_500,
                         wasted_msgs: 6,
                         attributed: 3,
+                        cache_hits: 0,
+                        cache_misses: 0,
+                        cache_invalidations: 0,
                     },
                 ),
             ],
@@ -1478,6 +1516,9 @@ mod tests {
                         wasted_ns: 499, // events say 500
                         wasted_msgs: 2,
                         attributed: 0,
+                        cache_hits: 0,
+                        cache_misses: 0,
+                        cache_invalidations: 0,
                     },
                 ),
             ],

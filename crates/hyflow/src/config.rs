@@ -109,6 +109,12 @@ pub struct DstmConfig {
     /// Simulated-time width of one telemetry epoch (ignored when
     /// `telemetry` is off).
     pub epoch: SimDuration,
+    /// Clock-validated remote-read caching plus same-tick message
+    /// coalescing (`--cache` / `DSTM_CACHE`). Off by default: the cached
+    /// fast paths and per-destination send buffers change message timing,
+    /// so the flag must stay opt-in for the golden digests of the default
+    /// configuration to remain bit-identical.
+    pub cache: bool,
     /// Concurrent transactions each node keeps in flight.
     pub concurrency_per_node: usize,
     /// Top-level transactions each node runs in total (the workload size).
@@ -132,6 +138,7 @@ impl Default for DstmConfig {
             trace_protocol: false,
             telemetry: false,
             epoch: SimDuration::from_millis(50),
+            cache: false,
             concurrency_per_node: 4,
             txns_per_node: 50,
         }
@@ -176,6 +183,11 @@ impl DstmConfig {
 
     pub fn with_epoch(mut self, epoch: SimDuration) -> Self {
         self.epoch = epoch;
+        self
+    }
+
+    pub fn with_cache(mut self, on: bool) -> Self {
+        self.cache = on;
         self
     }
 
@@ -226,6 +238,13 @@ mod tests {
             .with_epoch(SimDuration::from_millis(20));
         assert!(c.telemetry);
         assert_eq!(c.epoch, SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn cache_defaults_off() {
+        let c = DstmConfig::default();
+        assert!(!c.cache, "cache must be opt-in to keep golden digests");
+        assert!(c.with_cache(true).cache);
     }
 
     #[test]

@@ -39,6 +39,11 @@ pub enum FetchResult {
         version: u64,
         local_cl: u32,
         owner: u32,
+        /// The owner's TFA clock at grant time. Stored alongside the payload
+        /// by caching requesters (`DstmConfig::cache`): a later open may
+        /// reuse the copy without any message while the requester's own
+        /// clock has not passed this value.
+        owner_clock: u64,
     },
     /// The object is being validated and the scheduler decided against this
     /// requester. `enqueued == true` is the RTS path: stay live and wait up
@@ -85,6 +90,36 @@ pub enum Msg {
     /// The requester no longer wants a pushed object (it aborted/retried in
     /// the meantime); the owner should serve the next queued requester.
     ObjectDecline { oid: ObjectId, tx: TxId },
+
+    /// Cache revalidation (`DstmConfig::cache`): an `ObjReq` that names the
+    /// version the requester already holds. Forwarded along the ownership
+    /// chain exactly like `ObjReq`; the owner answers with a payload-free
+    /// [`Msg::VersionAck`] when the copy is still current and unlocked, and
+    /// otherwise falls back to the full fetch path (so a stale cache never
+    /// costs an extra round trip).
+    VersionReq {
+        oid: ObjectId,
+        tx: TxId,
+        attempt: u32,
+        mode: AccessMode,
+        ets: Ets,
+        my_cl: u32,
+        nested: bool,
+        reply_to: u32,
+        /// Version of the requester's cached copy.
+        version: u64,
+    },
+    /// Positive answer to [`Msg::VersionReq`]: the cached copy is current.
+    /// Carries everything a `Granted` does except the payload.
+    VersionAck {
+        oid: ObjectId,
+        tx: TxId,
+        attempt: u32,
+        version: u64,
+        local_cl: u32,
+        owner: u32,
+        owner_clock: u64,
+    },
 
     /// Commit step 1: lock `oid` at its owner if `expect_version` is still
     /// current.
@@ -139,6 +174,13 @@ pub enum Msg {
 
     /// Bootstrap: start issuing this node's transactions.
     StartWorkload,
+
+    /// Transport-level coalescing (`DstmConfig::cache`): every message one
+    /// node sends to one neighbor with the same departure tick and latency,
+    /// folded into a single DES event. The receiver unpacks in order, so
+    /// the protocol history is identical to k separate deliveries; only the
+    /// event count (and the kernel's delivered-message tally) shrinks.
+    Batch(Vec<Msg>),
 }
 
 /// Node-local timers.
@@ -171,7 +213,10 @@ impl Msg {
             Msg::PublishAck { .. } => "PublishAck",
             Msg::VersionCheck { .. } => "VersionCheck",
             Msg::VersionResp { .. } => "VersionResp",
+            Msg::VersionReq { .. } => "VersionReq",
+            Msg::VersionAck { .. } => "VersionAck",
             Msg::StartWorkload => "StartWorkload",
+            Msg::Batch(_) => "Batch",
         }
     }
 }
@@ -188,5 +233,6 @@ mod tests {
         };
         assert_eq!(m.tag(), "ObjectDecline");
         assert_eq!(Msg::StartWorkload.tag(), "StartWorkload");
+        assert_eq!(Msg::Batch(Vec::new()).tag(), "Batch");
     }
 }

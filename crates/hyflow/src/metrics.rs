@@ -86,6 +86,19 @@ pub struct NodeMetrics {
     pub fetch_conflicts: u64,
     /// Ownership transfers into this node.
     pub objects_received: u64,
+    /// `ObjReq`/`VersionReq` hops forwarded along tombstone chains at this
+    /// node (a request that needs k forwards counts k). Always on — it is a
+    /// pure counter — and the measure the owner-guess healing test uses.
+    pub forwarded_reqs: u64,
+    /// Remote-read cache (`DstmConfig::cache`) outcomes. Hits are opens
+    /// served from a retained copy (locally owned fast path, clock-current
+    /// reuse, or a successful `VersionReq` revalidation); misses are opens
+    /// that needed a full payload fetch while caching was on; invalidations
+    /// are retained copies dropped on observed staleness or ownership
+    /// migration. All zero when the cache is off.
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_invalidations: u64,
     /// Wasted-work accounting (always on; each abort costs four integer
     /// adds). `wasted_work_ns` is the virtual time the aborted attempt had
     /// been running (attempt start → abort) and `wasted_msgs` the protocol
@@ -191,6 +204,17 @@ impl NodeMetrics {
         self.nested_aborts_own + self.nested_aborts_parent
     }
 
+    /// Fraction of cache-eligible opens served from the cache. 0.0 when the
+    /// cache is off (no lookups at all).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+
     pub fn merge(&mut self, other: &NodeMetrics) {
         self.commits += other.commits;
         self.aborts_forward_validation += other.aborts_forward_validation;
@@ -207,6 +231,10 @@ impl NodeMetrics {
         self.fetches_served += other.fetches_served;
         self.fetch_conflicts += other.fetch_conflicts;
         self.objects_received += other.objects_received;
+        self.forwarded_reqs += other.forwarded_reqs;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_invalidations += other.cache_invalidations;
         self.wasted_work_ns += other.wasted_work_ns;
         self.wasted_msgs += other.wasted_msgs;
         self.aborts_attributed += other.aborts_attributed;
@@ -397,6 +425,26 @@ mod tests {
         assert_eq!(a.wasted_nested_own, 1);
         assert_eq!(a.wasted_nested_parent, 2);
         assert!(a.wasted_work_reconciles());
+    }
+
+    #[test]
+    fn cache_hit_rate_and_merge() {
+        let mut a = NodeMetrics::default();
+        assert_eq!(a.cache_hit_rate(), 0.0, "no lookups, no rate");
+        a.cache_hits = 3;
+        a.cache_misses = 1;
+        let b = NodeMetrics {
+            cache_hits: 1,
+            cache_invalidations: 2,
+            forwarded_reqs: 5,
+            ..NodeMetrics::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.cache_hits, 4);
+        assert_eq!(a.cache_misses, 1);
+        assert_eq!(a.cache_invalidations, 2);
+        assert_eq!(a.forwarded_reqs, 5);
+        assert!((a.cache_hit_rate() - 0.8).abs() < 1e-12);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use crate::config::DstmConfig;
 use crate::message::{FetchResult, Msg, Timer};
 use crate::metrics::{AbortCause, NestedAbortCause, NodeMetrics};
-use crate::object::{OwnedObject, Payload};
+use crate::object::{CachedCopy, OwnedObject, Payload};
 use crate::program::{AccessMode, BoxedProgram, StepInput, StepOutput};
 use crate::telemetry::{Gauges, Telemetry, TelemetryReport};
 use crate::trace::{ProtoEvent, ProtoTrace, TraceRecord, Verdict};
@@ -53,6 +53,10 @@ struct ObjSlot {
     tombstone: Option<u32>,
     /// Last known owner of a remote object (healed by responses).
     cached_owner: Option<u32>,
+    /// Retained read copy of a remote object (`cfg.cache` only; always
+    /// `None` otherwise). Invalidated when validation proves it stale or
+    /// ownership moves through this node.
+    cache: Option<CachedCopy>,
     /// Owner-side local-CL window (created on first request).
     cl_window: Option<ObjectClWindow>,
 }
@@ -64,6 +68,7 @@ impl ObjSlot {
             owned: None,
             tombstone: None,
             cached_owner: None,
+            cache: None,
             cl_window: None,
         }
     }
@@ -125,6 +130,19 @@ enum DriveInput {
     Value(Arc<Payload>),
 }
 
+/// Outcome of consulting the local store and read cache for an `Acquire`
+/// (`cfg.cache` only).
+enum CacheOpen {
+    /// Served synchronously with zero messages; the payload feeds straight
+    /// back into the program.
+    Served(Arc<Payload>),
+    /// A payload-free [`Msg::VersionReq`] went out; the transaction awaits
+    /// either a [`Msg::VersionAck`] or a full [`Msg::ObjResp`].
+    Revalidating,
+    /// Nothing usable — issue the ordinary full fetch.
+    Fetch,
+}
+
 /// One simulated node.
 pub struct Node {
     me: u32,
@@ -171,6 +189,14 @@ pub struct Node {
     summary_buf: Vec<(ObjectId, u64, u32, bool, AccessMode)>,
     wbs_buf: Vec<(ObjectId, Arc<Payload>, u64, u32)>,
     grants_buf: Vec<Requester>,
+    /// Per-destination same-tick send buffers (`cfg.cache` only): one
+    /// `(destination, latency, messages)` group per distinct pair touched
+    /// by the current event handler, drained by [`Node::flush_outbox`] at
+    /// handler exit. A linear scan — one event fans out to a handful of
+    /// neighbors at most.
+    outbox: Vec<(u32, SimDuration, Vec<Msg>)>,
+    /// Recycled single-message buffers from flushed outbox groups.
+    outbox_pool: Vec<Vec<Msg>>,
 }
 
 impl Node {
@@ -219,6 +245,8 @@ impl Node {
             summary_buf: Vec::new(),
             wbs_buf: Vec::new(),
             grants_buf: Vec::new(),
+            outbox: Vec::new(),
+            outbox_pool: Vec::new(),
         }
     }
 
@@ -343,15 +371,72 @@ impl Node {
         }
     }
 
-    fn send(&self, ctx: &mut NodeCtx<'_>, to: u32, msg: Msg) {
+    fn send(&mut self, ctx: &mut NodeCtx<'_>, to: u32, msg: Msg) {
         let d = self.delay_to(to);
-        ctx.send(ActorId(to), msg, d);
+        self.send_delayed(ctx, to, msg, d);
     }
 
     /// Send with additional processing latency on top of the link delay.
-    fn send_after(&self, ctx: &mut NodeCtx<'_>, to: u32, msg: Msg, extra: SimDuration) {
+    fn send_after(&mut self, ctx: &mut NodeCtx<'_>, to: u32, msg: Msg, extra: SimDuration) {
         let d = self.delay_to(to) + extra;
-        ctx.send(ActorId(to), msg, d);
+        self.send_delayed(ctx, to, msg, d);
+    }
+
+    /// Emit or buffer one outgoing message. With `cfg.cache` off this is a
+    /// plain kernel send — the pre-coalescing behavior, untouched. With it
+    /// on, same-handler messages to one destination with one latency
+    /// accumulate in the outbox and leave together at handler exit.
+    fn send_delayed(&mut self, ctx: &mut NodeCtx<'_>, to: u32, msg: Msg, d: SimDuration) {
+        if !self.cfg.cache {
+            ctx.send(ActorId(to), msg, d);
+            return;
+        }
+        match self
+            .outbox
+            .iter_mut()
+            .find(|(t, td, _)| *t == to && *td == d)
+        {
+            Some((_, _, buf)) => buf.push(msg),
+            None => {
+                let mut buf = self.outbox_pool.pop().unwrap_or_default();
+                buf.push(msg);
+                self.outbox.push((to, d, buf));
+            }
+        }
+    }
+
+    /// Drain the per-destination send buffers: a lone message goes out
+    /// plainly, two or more to the same `(destination, latency)` leave as
+    /// one [`Msg::Batch`] — one DES event instead of k. Groups flush in
+    /// insertion order and messages within a group keep send order, so the
+    /// schedule stays deterministic (and identical under sharding: a batch
+    /// routes to a single actor like any message).
+    fn flush_outbox(&mut self, ctx: &mut NodeCtx<'_>) {
+        if self.outbox.is_empty() {
+            return;
+        }
+        let mut out = std::mem::take(&mut self.outbox);
+        for (to, d, mut msgs) in out.drain(..) {
+            if msgs.len() == 1 {
+                let msg = msgs.pop().expect("length checked");
+                ctx.send(ActorId(to), msg, d);
+                self.outbox_pool.push(msgs);
+            } else {
+                ctx.send(ActorId(to), Msg::Batch(msgs), d);
+            }
+        }
+        self.outbox = out;
+    }
+
+    /// Drop `oid`'s retained copy after validation proved it stale (failed
+    /// version check or lock). No-op when nothing is retained, so callers
+    /// need no `cfg.cache` guard.
+    fn invalidate_cache(&mut self, oid: ObjectId) {
+        if let Some(s) = self.objs.get_mut(oid) {
+            if s.cache.take().is_some() {
+                self.metrics.cache_invalidations += 1;
+            }
+        }
     }
 
     fn owner_guess(&self, oid: ObjectId) -> u32 {
@@ -460,6 +545,16 @@ impl Node {
                         input = DriveInput::Value(payload);
                         continue;
                     }
+                    if self.cfg.cache {
+                        match self.try_cached_open(ctx, tx, oid, mode) {
+                            CacheOpen::Served(payload) => {
+                                input = DriveInput::Value(payload);
+                                continue;
+                            }
+                            CacheOpen::Revalidating => return false,
+                            CacheOpen::Fetch => {}
+                        }
+                    }
                     let owner = self.owner_guess(oid);
                     let msg = Msg::ObjReq {
                         oid,
@@ -538,6 +633,85 @@ impl Node {
                 }
             }
         }
+    }
+
+    /// How a cached open attempt resolved (see [`Node::try_cached_open`]).
+    fn try_cached_open(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        tx: &mut TxRuntime,
+        oid: ObjectId,
+        mode: AccessMode,
+    ) -> CacheOpen {
+        let now = ctx.now();
+        // A version above the transaction's write-version clock with objects
+        // already held must go through transactional forwarding (early
+        // validation), which only the messaging path performs.
+        fn fwd_blocks(version: u64, tx: &TxRuntime) -> bool {
+            version > tx.wv && tx.has_objects()
+        }
+        let Some(slot) = self.objs.get(oid) else {
+            self.metrics.cache_misses += 1;
+            return CacheOpen::Fetch;
+        };
+        if let Some(o) = &slot.owned {
+            // Local fast path: the authoritative copy is here and unlocked —
+            // serve it synchronously instead of bouncing an `ObjReq` and
+            // `ObjResp` off ourselves (two DES events per local open). A
+            // locked or forwarding-triggering copy takes the full path, so
+            // conflict adjudication and early validation are unchanged.
+            if o.is_locked() || fwd_blocks(o.version, tx) {
+                return CacheOpen::Fetch;
+            }
+            let payload = Arc::clone(&o.payload);
+            let version = o.version;
+            // Mirror the owner-side bookkeeping of a served fetch.
+            self.sched.list_mut(oid).remove_duplicate(tx.id);
+            self.sched.gc(oid);
+            let local_cl = self.record_and_local_cl(oid, now, tx.id);
+            self.metrics.fetches_served += 1;
+            self.metrics.cache_hits += 1;
+            tx.wv = tx.wv.max(version);
+            tx.install_fetched(oid, Arc::clone(&payload), version, local_cl, self.me, mode);
+            return CacheOpen::Served(payload);
+        }
+        let Some(c) = &slot.cache else {
+            self.metrics.cache_misses += 1;
+            return CacheOpen::Fetch;
+        };
+        if mode == AccessMode::Read && self.clock <= c.owner_clock && !fwd_blocks(c.version, tx) {
+            // Clock fast path: our TFA clock has not passed the owner's
+            // clock at grant time, so no commit we have transitively heard
+            // of can have overwritten the copy — reuse it with zero
+            // messages. Still validated at commit like any working copy.
+            self.metrics.cache_hits += 1;
+            tx.wv = tx.wv.max(c.version);
+            tx.reuse_cached(oid, c, mode);
+            let payload = Arc::clone(&c.payload);
+            return CacheOpen::Served(payload);
+        }
+        // Entry present but not provably current (or wanted for writing):
+        // revalidate with a payload-free request. The owner falls back to
+        // the full fetch path itself when the copy is stale, so this never
+        // costs an extra round trip.
+        let version = c.version;
+        let owner = self.owner_guess(oid);
+        let msg = Msg::VersionReq {
+            oid,
+            tx: tx.id,
+            attempt: tx.attempt,
+            mode,
+            ets: tx.ets(now),
+            my_cl: tx.cl.my_cl(),
+            nested: tx.in_nested(),
+            reply_to: self.me,
+            version,
+        };
+        self.send(ctx, owner, msg);
+        tx.attempt_msgs += 1;
+        tx.fetch_sent_at = now;
+        tx.phase = TxPhase::AwaitObject { oid, mode };
+        CacheOpen::Revalidating
     }
 
     // -- commit protocol (requester side) -----------------------------------
@@ -691,6 +865,11 @@ impl Node {
                     lock: None,
                 });
                 slot.cached_owner = None;
+                // The authoritative copy supersedes any cached one.
+                let invalidated = slot.cache.take().is_some();
+                if invalidated {
+                    self.metrics.cache_invalidations += 1;
+                }
                 self.metrics.objects_received += 1;
                 if self.ptrace.on() {
                     self.ptrace.push(
@@ -950,6 +1129,7 @@ impl Node {
                 );
                 oid.home(self.topo.n())
             });
+            self.metrics.forwarded_reqs += 1;
             let msg = Msg::ObjReq {
                 oid,
                 tx: txid,
@@ -1096,9 +1276,157 @@ impl Node {
                 version: o.version,
                 local_cl,
                 owner: self.me,
+                owner_clock: self.clock,
             },
         };
         self.send(ctx, reply_to, msg);
+    }
+
+    /// Owner side of cache revalidation: a [`Msg::VersionReq`] names the
+    /// version the requester holds. Still current and unlocked → answer
+    /// with a payload-free [`Msg::VersionAck`]; anything else delegates to
+    /// the full fetch path, which replies with the payload or a scheduler
+    /// verdict — the requester never pays a second round trip for a stale
+    /// cache. Forwarded along tombstone chains exactly like `ObjReq`.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_version_req(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        oid: ObjectId,
+        txid: TxId,
+        attempt: u32,
+        mode: AccessMode,
+        ets: rts_core::Ets,
+        my_cl: u32,
+        nested: bool,
+        reply_to: u32,
+        version: u64,
+    ) {
+        let (owned_here, tombstone) = match self.objs.get(oid) {
+            Some(s) => (s.owned.is_some(), s.tombstone),
+            None => (false, None),
+        };
+        if !owned_here {
+            let next = tombstone.unwrap_or_else(|| oid.home(self.topo.n()));
+            self.metrics.forwarded_reqs += 1;
+            let msg = Msg::VersionReq {
+                oid,
+                tx: txid,
+                attempt,
+                mode,
+                ets,
+                my_cl,
+                nested,
+                reply_to,
+                version,
+            };
+            self.send(ctx, next, msg);
+            return;
+        }
+        let current = {
+            let o = self
+                .objs
+                .get(oid)
+                .and_then(|s| s.owned.as_ref())
+                .expect("checked");
+            o.version == version && !o.is_locked()
+        };
+        if !current {
+            // Counted on the owner so a failed revalidation registers as a
+            // miss exactly once (node metrics merge across the run).
+            self.metrics.cache_misses += 1;
+            self.handle_obj_req(ctx, oid, txid, attempt, mode, ets, my_cl, nested, reply_to);
+            return;
+        }
+        let now = ctx.now();
+        let local_cl = self.record_and_local_cl(oid, now, txid);
+        self.sched.list_mut(oid).remove_duplicate(txid);
+        self.sched.gc(oid);
+        self.metrics.fetches_served += 1;
+        let msg = Msg::VersionAck {
+            oid,
+            tx: txid,
+            attempt,
+            version,
+            local_cl,
+            owner: self.me,
+            owner_clock: self.clock,
+        };
+        self.send(ctx, reply_to, msg);
+    }
+
+    /// Requester side of cache revalidation. A [`Msg::VersionAck`] confirms
+    /// the cached copy is still the owner's current version: refresh its
+    /// freshness metadata and deliver the cached payload through the regular
+    /// grant path, exactly as if a full `ObjResp` had carried it. If the
+    /// entry vanished meanwhile (a publish or failed validation raced the
+    /// ack), fall back to a cold fetch — correctness never leans on the
+    /// cache being populated.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_version_ack(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        oid: ObjectId,
+        txid: TxId,
+        attempt: u32,
+        version: u64,
+        local_cl: u32,
+        owner: u32,
+        owner_clock: u64,
+    ) {
+        let refreshed = match self.objs.get_mut(oid).and_then(|s| s.cache.as_mut()) {
+            Some(c) if c.version == version => {
+                c.owner_clock = owner_clock;
+                c.local_cl = local_cl;
+                c.owner = owner;
+                Some(Arc::clone(&c.payload))
+            }
+            _ => None,
+        };
+        if let Some(payload) = refreshed {
+            self.metrics.cache_hits += 1;
+            self.handle_obj_resp(
+                ctx,
+                oid,
+                txid,
+                attempt,
+                FetchResult::Granted {
+                    payload,
+                    version,
+                    local_cl,
+                    owner,
+                    owner_clock,
+                },
+            );
+            return;
+        }
+        self.invalidate_cache(oid);
+        let Some(mut tx) = self.tx_take(txid) else {
+            return;
+        };
+        let mode = match tx.phase {
+            TxPhase::AwaitObject { oid: o, mode } if o == oid && tx.attempt == attempt => {
+                Some(mode)
+            }
+            _ => None,
+        };
+        if let Some(mode) = mode {
+            let owner = self.owner_guess(oid);
+            let msg = Msg::ObjReq {
+                oid,
+                tx: tx.id,
+                attempt: tx.attempt,
+                mode,
+                ets: tx.ets(ctx.now()),
+                my_cl: tx.cl.my_cl(),
+                nested: tx.in_nested(),
+                reply_to: self.me,
+            };
+            self.send(ctx, owner, msg);
+            tx.attempt_msgs += 1;
+            tx.fetch_sent_at = ctx.now();
+        }
+        self.tx_put(tx);
     }
 
     /// Serve queued requesters of a freshly released object: all consecutive
@@ -1152,6 +1480,7 @@ impl Node {
                     version,
                     local_cl,
                     owner: self.me,
+                    owner_clock: self.clock,
                 },
             };
             self.send(ctx, r.node, msg);
@@ -1218,6 +1547,12 @@ impl Node {
         slot.tombstone = Some(new_owner);
         slot.cached_owner = Some(new_owner);
         slot.cl_window = None;
+        // Ownership moved through this node: the committed write makes any
+        // cached copy stale, and this node can no longer vouch for it.
+        let invalidated = slot.cache.take().is_some();
+        if invalidated {
+            self.metrics.cache_invalidations += 1;
+        }
         let queue = self.sched.list_mut(oid).drain_all();
         self.sched.gc(oid);
         let msg = Msg::PublishAck {
@@ -1271,8 +1606,23 @@ impl Node {
                 version,
                 local_cl,
                 owner,
+                owner_clock,
             } => {
-                self.objs.ensure(oid).cached_owner = Some(owner);
+                let slot = self.objs.ensure(oid);
+                slot.cached_owner = Some(owner);
+                if self.cfg.cache && owner != self.me && slot.owned.is_none() {
+                    // Retain the copy for clock-validated reuse. Valid even on
+                    // the forwarding path below: forwarding re-validates the
+                    // transaction, not the payload, which is current as of
+                    // `owner_clock` either way.
+                    slot.cache = Some(CachedCopy {
+                        payload: Arc::clone(&payload),
+                        version,
+                        owner_clock,
+                        local_cl,
+                        owner,
+                    });
+                }
                 self.clock = self.clock.max(version);
                 self.metrics
                     .fetch_rtt_hist
@@ -1314,9 +1664,14 @@ impl Node {
             FetchResult::Conflict {
                 backoff,
                 enqueued: true,
-                owner: _,
+                owner,
                 aggressor: _,
             } => {
+                if self.cfg.cache {
+                    // The verdict names the real owner: heal the guess table
+                    // so the retry skips the tombstone-forwarding chain.
+                    self.objs.ensure(oid).cached_owner = Some(owner);
+                }
                 // RTS parked us in the owner's queue: stay live, bounded by
                 // the (slack-adjusted) backoff deadline.
                 let deadline = self.cfg.queue_deadline(backoff).max(LOCAL_HOP);
@@ -1334,9 +1689,12 @@ impl Node {
             FetchResult::Conflict {
                 backoff,
                 enqueued: false,
-                owner: _,
+                owner,
                 aggressor,
             } => {
+                if self.cfg.cache {
+                    self.objs.ensure(oid).cached_owner = Some(owner);
+                }
                 if tx.in_nested() && self.cfg.conflict_scope == crate::config::ConflictScope::Child
                 {
                     // Child-scoped contention management: the conflict aborts
@@ -1428,6 +1786,9 @@ impl Node {
             TxPhase::AwaitValidation { pending, stale, .. } => {
                 pending.remove(&oid);
                 if !ok {
+                    // The owner reported a newer version: any cached copy of
+                    // this object is stale by the same evidence.
+                    self.invalidate_cache(oid);
                     stale.push(oid);
                 }
                 pending.is_empty()
@@ -1516,8 +1877,14 @@ impl Node {
             pending.remove(&oid);
             if granted {
                 acc.push(oid);
-            } else if failed.is_none() {
-                *failed = Some(oid);
+            } else {
+                // Denied either because the object moved on past our version
+                // or because another writer holds it; in both cases the local
+                // copy has no freshness claim left.
+                self.invalidate_cache(oid);
+                if failed.is_none() {
+                    *failed = Some(oid);
+                }
             }
             pending.is_empty()
         };
@@ -1612,15 +1979,12 @@ impl Node {
     }
 }
 
-impl Actor for Node {
-    type Msg = Msg;
-    type Timer = Timer;
-
-    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, from: ActorId, msg: Msg) {
-        // Passive epoch sampling: one compare when telemetry is off.
-        if self.telemetry.due(ctx.now()) {
-            self.telemetry_flush(ctx.now());
-        }
+impl Node {
+    /// Message dispatch proper, separated from [`Actor::on_message`] so the
+    /// coalesced-send buffer is flushed exactly once per handler activation
+    /// even though several arms return early, and so [`Msg::Batch`] can
+    /// re-enter dispatch for each folded message.
+    fn dispatch_msg(&mut self, ctx: &mut NodeCtx<'_>, from: ActorId, msg: Msg) {
         match msg {
             Msg::StartWorkload => self.pump(ctx),
             Msg::ObjReq {
@@ -1688,13 +2052,49 @@ impl Actor for Node {
                 attempt,
                 ok,
             } => self.handle_version_resp(ctx, oid, tx, attempt, ok),
+            Msg::VersionReq {
+                oid,
+                tx,
+                attempt,
+                mode,
+                ets,
+                my_cl,
+                nested,
+                reply_to,
+                version,
+            } => self.handle_version_req(
+                ctx, oid, tx, attempt, mode, ets, my_cl, nested, reply_to, version,
+            ),
+            Msg::VersionAck {
+                oid,
+                tx,
+                attempt,
+                version,
+                local_cl,
+                owner,
+                owner_clock,
+            } => self.handle_version_ack(
+                ctx,
+                oid,
+                tx,
+                attempt,
+                version,
+                local_cl,
+                owner,
+                owner_clock,
+            ),
+            Msg::Batch(msgs) => {
+                // One DES event standing in for `msgs.len()` logical sends;
+                // keep the ledger honest about what coalescing folded away.
+                ctx.count_batched(msgs.len().saturating_sub(1) as u64);
+                for m in msgs {
+                    self.dispatch_msg(ctx, from, m);
+                }
+            }
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: Timer) {
-        if self.telemetry.due(ctx.now()) {
-            self.telemetry_flush(ctx.now());
-        }
+    fn dispatch_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: Timer) {
         match timer {
             Timer::ComputeDone { tx: txid, attempt } => {
                 let Some(mut tx) = self.tx_take(txid) else {
@@ -1762,5 +2162,27 @@ impl Actor for Node {
                 self.pump(ctx);
             }
         }
+    }
+}
+
+impl Actor for Node {
+    type Msg = Msg;
+    type Timer = Timer;
+
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, from: ActorId, msg: Msg) {
+        // Passive epoch sampling: one compare when telemetry is off.
+        if self.telemetry.due(ctx.now()) {
+            self.telemetry_flush(ctx.now());
+        }
+        self.dispatch_msg(ctx, from, msg);
+        self.flush_outbox(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: Timer) {
+        if self.telemetry.due(ctx.now()) {
+            self.telemetry_flush(ctx.now());
+        }
+        self.dispatch_timer(ctx, timer);
+        self.flush_outbox(ctx);
     }
 }

@@ -62,6 +62,26 @@ impl Payload {
     }
 }
 
+/// A read copy retained after a grant (`DstmConfig::cache`). Reuse is a
+/// freshness heuristic, never a correctness mechanism: a cached copy that
+/// turns out stale is caught by the same commit-time validation (lock
+/// `expect_version` for writes, `VersionCheck` for clean reads) that guards
+/// every ordinary fetch.
+#[derive(Clone, Debug)]
+pub struct CachedCopy {
+    pub payload: Arc<Payload>,
+    /// Version of the copy at grant time.
+    pub version: u64,
+    /// The owner's TFA clock when the copy was granted: while the caching
+    /// node's own clock has not passed this value, no commit the node has
+    /// observed can have overwritten the copy.
+    pub owner_clock: u64,
+    /// Owner-side local CL at grant time (folded into `myCL` on reuse).
+    pub local_cl: u32,
+    /// Who granted the copy.
+    pub owner: u32,
+}
+
 /// An object as held by its owner node.
 ///
 /// The payload is behind an [`Arc`]: serving a read copy, migrating

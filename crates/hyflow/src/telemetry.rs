@@ -37,6 +37,11 @@ pub struct EpochSample {
     pub enqueued: u64,
     pub wasted_ns: u64,
     pub wasted_msgs: u64,
+    /// Cache lookups served from a retained copy this epoch
+    /// (`DstmConfig::cache`; always zero with the cache off).
+    pub cache_hits: u64,
+    /// Cache lookups that fell back to a full fetch this epoch.
+    pub cache_misses: u64,
     /// Gauges at the flush that closed this epoch.
     pub queue_depth: u64,
     pub in_flight: u64,
@@ -62,6 +67,8 @@ struct Snapshot {
     enqueued: u64,
     wasted_ns: u64,
     wasted_msgs: u64,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 impl Snapshot {
@@ -73,6 +80,8 @@ impl Snapshot {
             enqueued: m.enqueued,
             wasted_ns: m.wasted_work_ns,
             wasted_msgs: m.wasted_msgs,
+            cache_hits: m.cache_hits,
+            cache_misses: m.cache_misses,
         }
     }
 }
@@ -167,6 +176,8 @@ impl Telemetry {
                 enqueued: snap.enqueued - self.last.enqueued,
                 wasted_ns: snap.wasted_ns - self.last.wasted_ns,
                 wasted_msgs: snap.wasted_msgs - self.last.wasted_msgs,
+                cache_hits: snap.cache_hits - self.last.cache_hits,
+                cache_misses: snap.cache_misses - self.last.cache_misses,
                 queue_depth: gauges.queue_depth,
                 in_flight: gauges.in_flight,
                 cl_open: gauges.cl_open,
@@ -241,6 +252,8 @@ impl Telemetry {
                 && e.enqueued == 0
                 && e.wasted_ns == 0
                 && e.wasted_msgs == 0
+                && e.cache_hits == 0
+                && e.cache_misses == 0
                 && e.in_flight == 0
         }) {
             epochs.pop();
@@ -282,6 +295,8 @@ pub fn merge_epoch_series(streams: &[TelemetryReport]) -> Vec<EpochSample> {
             m.enqueued += e.enqueued;
             m.wasted_ns += e.wasted_ns;
             m.wasted_msgs += e.wasted_msgs;
+            m.cache_hits += e.cache_hits;
+            m.cache_misses += e.cache_misses;
             m.queue_depth += e.queue_depth;
             m.in_flight += e.in_flight;
             m.cl_open += e.cl_open;
@@ -340,6 +355,8 @@ mod tests {
         assert!(t.due(SimTime(100)));
         t.flush(SimTime(100), &m, gauges(1, 2, 3));
         m.commits = 5;
+        m.cache_hits = 4;
+        m.cache_misses = 1;
         m.record_abort(crate::metrics::AbortCause::SchedulerAbort);
         // Time jumps three epochs: epoch 1 gets the deltas, 2-3 are empty.
         t.flush(SimTime(420), &m, gauges(0, 1, 0));
@@ -350,6 +367,8 @@ mod tests {
         assert_eq!(report.epochs[0].queue_depth, 1);
         assert_eq!(report.epochs[1].commits, 3);
         assert_eq!(report.epochs[1].aborts, 1);
+        assert_eq!(report.epochs[1].cache_hits, 4);
+        assert_eq!(report.epochs[1].cache_misses, 1);
         assert_eq!(report.epochs[1].in_flight, 1);
         // Epochs 2-3 were skipped over by the jump: zero deltas, but they
         // carry the flush-time gauges (in_flight 1), so they survive; the

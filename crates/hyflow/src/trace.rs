@@ -169,6 +169,12 @@ pub enum ProtoEvent {
         wasted_ns: u64,
         wasted_msgs: u64,
         attributed: u64,
+        /// Remote-read cache totals (`DstmConfig::cache`). Written only
+        /// when any is nonzero so cache-off traces stay byte-identical to
+        /// the pre-cache format; absent fields parse as zero.
+        cache_hits: u64,
+        cache_misses: u64,
+        cache_invalidations: u64,
     },
 }
 
@@ -401,6 +407,9 @@ impl TraceRecord {
                 wasted_ns,
                 wasted_msgs,
                 attributed,
+                cache_hits,
+                cache_misses,
+                cache_invalidations,
             } => {
                 let _ = write!(
                     out,
@@ -409,6 +418,13 @@ impl TraceRecord {
                      \"nested_commits\":{nested_commits},\"wasted_ns\":{wasted_ns},\
                      \"wasted_msgs\":{wasted_msgs},\"attributed\":{attributed}"
                 );
+                if *cache_hits != 0 || *cache_misses != 0 || *cache_invalidations != 0 {
+                    let _ = write!(
+                        out,
+                        ",\"cache_hits\":{cache_hits},\"cache_misses\":{cache_misses},\
+                         \"cache_inval\":{cache_invalidations}"
+                    );
+                }
             }
         }
         out.push_str("}\n");
@@ -535,6 +551,9 @@ impl TraceRecord {
                 wasted_ns: obj.opt_num("wasted_ns").unwrap_or(0),
                 wasted_msgs: obj.opt_num("wasted_msgs").unwrap_or(0),
                 attributed: obj.opt_num("attributed").unwrap_or(0),
+                cache_hits: obj.opt_num("cache_hits").unwrap_or(0),
+                cache_misses: obj.opt_num("cache_misses").unwrap_or(0),
+                cache_invalidations: obj.opt_num("cache_inval").unwrap_or(0),
             },
             other => return Err(format!("unknown event kind {other:?}")),
         };
@@ -631,6 +650,9 @@ impl TraceLog {
                 wasted_ns: merged.wasted_work_ns,
                 wasted_msgs: merged.wasted_msgs,
                 attributed: merged.aborts_attributed,
+                cache_hits: merged.cache_hits,
+                cache_misses: merged.cache_misses,
+                cache_invalidations: merged.cache_invalidations,
             },
         });
     }
@@ -1011,6 +1033,22 @@ mod tests {
                 wasted_ns: 1_000_000,
                 wasted_msgs: 40,
                 attributed: 3,
+                cache_hits: 0,
+                cache_misses: 0,
+                cache_invalidations: 0,
+            },
+            ProtoEvent::RunSummary {
+                commits: 10,
+                aborts: 4,
+                nested_own: 2,
+                nested_parent: 5,
+                nested_commits: 12,
+                wasted_ns: 1_000_000,
+                wasted_msgs: 40,
+                attributed: 3,
+                cache_hits: 15,
+                cache_misses: 4,
+                cache_invalidations: 2,
             },
         ];
         for (i, ev) in variants.into_iter().enumerate() {
@@ -1112,9 +1150,31 @@ mod tests {
                 wasted_ns: 0,
                 wasted_msgs: 0,
                 attributed: 0,
+                cache_hits: 0,
+                cache_misses: 0,
+                cache_invalidations: 0,
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn cache_off_summary_line_has_no_cache_fields() {
+        // Bit-identity guard: with all cache counters zero the summary line
+        // must be byte-identical to the pre-cache format.
+        let mut log = TraceLog::default();
+        log.push_summary(SimTime(10), &NodeMetrics::default());
+        let text = log.to_jsonl();
+        assert!(!text.contains("cache"), "line was {text}");
+        let mut cached = TraceLog::default();
+        cached.push_summary(
+            SimTime(10),
+            &NodeMetrics {
+                cache_hits: 3,
+                ..NodeMetrics::default()
+            },
+        );
+        assert!(cached.to_jsonl().contains("\"cache_hits\":3"));
     }
 
     #[test]

@@ -323,6 +323,26 @@ impl TxRuntime {
         self.cl.object_received(oid, local_cl);
     }
 
+    /// Install a cached read copy (`DstmConfig::cache`) into the current
+    /// level. Identical to [`TxRuntime::install_fetched`] — a reused copy is
+    /// a working copy like any other and goes through the same commit-time
+    /// validation — but takes the retained [`CachedCopy`] directly.
+    pub fn reuse_cached(
+        &mut self,
+        oid: ObjectId,
+        cached: &crate::object::CachedCopy,
+        mode: AccessMode,
+    ) {
+        self.install_fetched(
+            oid,
+            Arc::clone(&cached.payload),
+            cached.version,
+            cached.local_cl,
+            cached.owner,
+            mode,
+        );
+    }
+
     /// Apply a `WriteLocal`. The object must be held with write intent
     /// (benchmarks acquire before writing); it is shadowed into the current
     /// level if an ancestor holds it.

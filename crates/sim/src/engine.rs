@@ -193,9 +193,15 @@ pub(crate) struct KernelCore {
     pub(crate) view: SlotView,
     pub(crate) states: Vec<ActorState>,
     pub(crate) trace: TraceSink,
-    /// Delivered message count (protocol messages, not timers).
+    /// Delivered message count (protocol messages, not timers). A coalesced
+    /// batch counts once — it is one delivery event.
     pub(crate) messages_delivered: u64,
     pub(crate) timers_fired: u64,
+    /// Logical messages folded away by transport-level coalescing: an actor
+    /// unpacking a k-message batch reports `k - 1` here, so
+    /// `messages_delivered + batched_messages` is the protocol message count
+    /// a batching-free run would have delivered.
+    pub(crate) batched_messages: u64,
 }
 
 impl KernelCore {
@@ -210,6 +216,7 @@ impl KernelCore {
             trace: TraceSink::Disabled,
             messages_delivered: 0,
             timers_fired: 0,
+            batched_messages: 0,
         }
     }
 
@@ -224,6 +231,7 @@ impl KernelCore {
             trace: TraceSink::Disabled,
             messages_delivered: 0,
             timers_fired: 0,
+            batched_messages: 0,
         }
     }
 
@@ -432,6 +440,14 @@ impl<'a, M, T> Ctx<'a, M, T> {
         &mut self.core.states[slot].rng
     }
 
+    /// Report `extra` logical messages unpacked from a coalesced batch
+    /// (the batch's own delivery is already counted). The engine cannot see
+    /// inside `M`, so the actor doing the unpacking calls this.
+    #[inline]
+    pub fn count_batched(&mut self, extra: u64) {
+        self.core.batched_messages += extra;
+    }
+
     /// Emit a free-form trace annotation (no-op when tracing is disabled;
     /// the closure only runs when a sink is attached).
     pub fn note(&mut self, text: impl FnOnce() -> String) {
@@ -525,6 +541,12 @@ impl<A: Actor, Q: EventQueue<KernelEvent<A::Msg, A::Timer>>> GenericWorld<A, Q> 
 
     pub fn timers_fired(&self) -> u64 {
         self.core.timers_fired
+    }
+
+    /// Logical messages folded into coalesced batches (see
+    /// [`Ctx::count_batched`]); zero unless actors batch.
+    pub fn batched_messages(&self) -> u64 {
+        self.core.batched_messages
     }
 
     /// Pending events (undelivered messages + armed-or-cancelled timers).

@@ -733,6 +733,7 @@ where
             final_now = final_now.max(st.core.now);
             self.core.messages_delivered += st.core.messages_delivered;
             self.core.timers_fired += st.core.timers_fired;
+            self.core.batched_messages += st.core.batched_messages;
             stats.windows = stats.windows.max(outcome.windows);
             stats.barrier_wait_ns.push(outcome.barrier_wait_ns);
             stats.profiles.push(std::mem::take(&mut outcome.profile));

@@ -1,0 +1,195 @@
+//! Differential tests for clock-validated remote-read caching and message
+//! coalescing (`Cell::with_cache` / `--cache` / `DSTM_CACHE`).
+//!
+//! Unlike `--shards`, the cache is a **protocol variant**: it changes the
+//! simulated message pattern (fewer fetch round trips), so cache-on results
+//! legitimately differ from cache-off ones. The contract split is:
+//!
+//! * **Cache off (the default)** must be bit-identical to the pre-cache
+//!   protocol — zero cache counters, no cache fields in traces, and the
+//!   golden digests in `layout_differential.rs` unchanged.
+//! * **Cache on** must still be a correct TFA execution: every trace passes
+//!   the offline serializability audit and the `analyze` ledger
+//!   reconciliation, under every scheduler and shard count — and sharded
+//!   cache-on runs stay bit-identical to serial cache-on runs.
+//! * On contended workloads the cache must actually pay: fewer kernel
+//!   messages per commit, a nonzero hit rate, and (via conflict-verdict
+//!   owner healing) no more tombstone forwards than the cache-off run.
+
+use closed_nesting_dstm::harness::runner::{run_cell, run_cell_traced, Cell};
+use closed_nesting_dstm::harness::{analyze, audit};
+use closed_nesting_dstm::prelude::*;
+use rts_core::SchedulerKind;
+
+const SCHEDULERS: [SchedulerKind; 3] = [
+    SchedulerKind::Rts,
+    SchedulerKind::Tfa,
+    SchedulerKind::TfaBackoff,
+];
+
+/// A read-heavy contended cell: few objects, many readers — the shape the
+/// cache is built for.
+fn contended_cell(benchmark: Benchmark, scheduler: SchedulerKind, seed: u64) -> Cell {
+    let mut cell = Cell::new(benchmark, scheduler, 8, 0.8)
+        .with_txns(6)
+        .with_seed(seed);
+    cell.params.objects_per_node = 2;
+    cell
+}
+
+#[test]
+fn cache_off_runs_carry_no_cache_state() {
+    for scheduler in SCHEDULERS {
+        let cell = contended_cell(Benchmark::Bank, scheduler, 5).with_cache(false);
+        let (r, trace) = run_cell_traced(cell);
+        assert!(r.completed);
+        let m = &r.metrics.merged;
+        assert_eq!(
+            (m.cache_hits, m.cache_misses, m.cache_invalidations),
+            (0, 0, 0),
+            "cache-off run under {} recorded cache activity",
+            scheduler.label()
+        );
+        // The conditional RunSummary fields must stay absent so pre-cache
+        // golden traces (and their FNV digests) remain byte-identical.
+        assert!(
+            !trace.to_jsonl().contains("cache"),
+            "cache-off trace under {} mentions the cache",
+            scheduler.label()
+        );
+    }
+}
+
+#[test]
+fn cache_on_passes_audit_and_ledger_reconciliation() {
+    for benchmark in [Benchmark::Bank, Benchmark::Vacation] {
+        for scheduler in SCHEDULERS {
+            for shards in [1usize, 2, 4] {
+                let cell = contended_cell(benchmark, scheduler, 9)
+                    .with_cache(true)
+                    .with_shards(shards);
+                let (r, trace) = run_cell_traced(cell);
+                assert!(
+                    r.completed,
+                    "{}/{} with cache at {shards} shards stalled",
+                    benchmark.label(),
+                    scheduler.label()
+                );
+                let report = audit(&trace);
+                assert!(
+                    report.ok(),
+                    "{}/{} with cache at {shards} shards failed audit: {:?}",
+                    benchmark.label(),
+                    scheduler.label(),
+                    report.violations
+                );
+                assert!(report.summary_checked);
+                let ledger = analyze(&trace, 0);
+                assert!(
+                    ledger.ok(),
+                    "{}/{} with cache at {shards} shards failed ledger \
+                     reconciliation: {:?}",
+                    benchmark.label(),
+                    scheduler.label(),
+                    ledger.mismatches
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cache_on_sharded_runs_match_serial_bit_for_bit() {
+    // Coalesced batches target one destination, so the sharded executor
+    // routes them like any single message; the variant must stay
+    // shard-deterministic.
+    for scheduler in SCHEDULERS {
+        let digest = |shards: usize| {
+            let (r, trace) = run_cell_traced(
+                contended_cell(Benchmark::Vacation, scheduler, 13)
+                    .with_cache(true)
+                    .with_shards(shards),
+            );
+            assert!(r.completed);
+            let m = &r.metrics;
+            format!(
+                "commits={} aborts={} messages={} ended_at={} trace={}",
+                m.merged.commits,
+                m.merged.total_aborts(),
+                m.messages,
+                m.ended_at.as_nanos(),
+                trace.to_jsonl()
+            )
+        };
+        let serial = digest(1);
+        for shards in [2usize, 4] {
+            assert_eq!(
+                serial,
+                digest(shards),
+                "cache-on run under {} diverged at {shards} shards",
+                scheduler.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn cache_reduces_messages_per_commit_on_contended_reads() {
+    for benchmark in [Benchmark::Bank, Benchmark::Vacation] {
+        let off = run_cell(contended_cell(benchmark, SchedulerKind::Rts, 21).with_cache(false));
+        let on = run_cell(contended_cell(benchmark, SchedulerKind::Rts, 21).with_cache(true));
+        assert!(off.completed && on.completed);
+        // Same workload, same transaction population: commits must agree.
+        assert_eq!(off.metrics.merged.commits, on.metrics.merged.commits);
+        assert!(
+            on.metrics.merged.cache_hits > 0,
+            "{}: cache never hit (misses {})",
+            benchmark.label(),
+            on.metrics.merged.cache_misses
+        );
+        let mpc = |r: &closed_nesting_dstm::harness::CellResult| {
+            r.metrics.messages as f64 / r.metrics.merged.commits.max(1) as f64
+        };
+        assert!(
+            mpc(&on) < mpc(&off),
+            "{}: cache did not reduce messages/commit ({:.2} on vs {:.2} off)",
+            benchmark.label(),
+            mpc(&on),
+            mpc(&off)
+        );
+    }
+}
+
+#[test]
+fn conflict_verdict_healing_does_not_lengthen_forwarding_chains() {
+    // Satellite check on owner-guess staleness: with the cache on, conflict
+    // verdicts heal the requester's owner guess, so tombstone forwards per
+    // fetch must not rise — and on migration-heavy cells they drop.
+    let mut shortened = false;
+    for seed in [21u64, 33, 47] {
+        let off = run_cell(
+            contended_cell(Benchmark::Vacation, SchedulerKind::Rts, seed).with_cache(false),
+        );
+        let on = run_cell(
+            contended_cell(Benchmark::Vacation, SchedulerKind::Rts, seed).with_cache(true),
+        );
+        assert!(off.completed && on.completed);
+        let rate = |r: &closed_nesting_dstm::harness::CellResult| {
+            r.metrics.merged.forwarded_reqs as f64 / r.metrics.merged.fetches_served.max(1) as f64
+        };
+        assert!(
+            rate(&on) <= rate(&off),
+            "seed {seed}: forwards per served fetch rose with healing on \
+             ({:.3} vs {:.3})",
+            rate(&on),
+            rate(&off)
+        );
+        if rate(&on) < rate(&off) {
+            shortened = true;
+        }
+    }
+    assert!(
+        shortened,
+        "owner-guess healing never shortened a forwarding chain on any seed"
+    );
+}

@@ -131,6 +131,22 @@ fn epoch_sums_match_end_of_run_totals_through_the_harness() {
     assert_eq!(sum(|e| e.enqueued), m.enqueued);
     assert_eq!(sum(|e| e.wasted_ns), m.wasted_work_ns);
     assert_eq!(sum(|e| e.wasted_msgs), m.wasted_msgs);
+    assert_eq!(sum(|e| e.cache_hits), 0, "cache off ⇒ no hits sampled");
+    assert_eq!(sum(|e| e.cache_misses), 0);
+
+    // Same reconciliation with the cache on: the sampler must track the
+    // new counters epoch by epoch too.
+    let (r, reports) = run_cell_telemetry(contended_cell(SchedulerKind::Rts, 91).with_cache(true));
+    assert!(r.completed);
+    let series = merge_epoch_series(&reports);
+    let m = r.metrics.merged.clone();
+    let sum = |f: fn(&closed_nesting_dstm::hyflow::EpochSample) -> u64| -> u64 {
+        series.iter().map(f).sum()
+    };
+    assert_eq!(sum(|e| e.commits), m.commits);
+    assert_eq!(sum(|e| e.cache_hits), m.cache_hits);
+    assert_eq!(sum(|e| e.cache_misses), m.cache_misses);
+    assert!(m.cache_hits > 0, "contended cache-on run must hit");
 }
 
 #[test]
