@@ -90,6 +90,29 @@ impl AuditReport {
 pub fn audit(log: &TraceLog) -> AuditReport {
     let mut report = AuditReport::default();
 
+    // An empty or header-only trace (no protocol records, just RunInfo /
+    // RunSummary metadata) means nothing was actually checked: a truncated
+    // capture, a run built without `trace_protocol`, or a wrong file.
+    // Vacuously passing such an audit is worse than failing it.
+    let protocol_records = log
+        .records
+        .iter()
+        .filter(|r| {
+            !matches!(
+                r.ev,
+                ProtoEvent::RunInfo { .. } | ProtoEvent::RunSummary { .. }
+            )
+        })
+        .count();
+    if protocol_records == 0 {
+        report.violations.push(
+            "trace contains no protocol records (empty or header-only file): \
+             nothing to audit — was the run traced with trace_protocol?"
+                .to_string(),
+        );
+        return report;
+    }
+
     // Pass 1: per-object install history (version -> install time), in
     // record order (the log is time-ordered).
     let mut installs: HashMap<ObjectId, Vec<(u64, u64)>> = HashMap::new();

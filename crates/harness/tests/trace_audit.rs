@@ -66,6 +66,33 @@ fn benchmark_cell_traces_pass_audit_under_all_schedulers() {
 }
 
 #[test]
+fn empty_trace_fails_audit() {
+    // Regression: a truncated capture or untraced run must not vacuously
+    // pass (`dstm-trace audit` exits non-zero on a violating report).
+    let report = audit(&TraceLog::default());
+    assert!(!report.ok(), "empty trace passed the audit");
+    assert!(
+        report.violations[0].contains("no protocol records"),
+        "unexpected violation: {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn header_only_trace_fails_audit() {
+    use dstm_sim::SimTime;
+    use hyflow_dstm::{NodeMetrics, SchedLabel};
+    let mut trace = TraceLog::default();
+    trace.push_run_info(SchedLabel::from_label("RTS").unwrap(), 4);
+    trace.push_summary(SimTime(1_000), &NodeMetrics::default());
+    // Round-trip through JSONL like the CLI does.
+    let parsed = TraceLog::parse_jsonl(&trace.to_jsonl()).expect("header-only trace must parse");
+    let report = audit(&parsed);
+    assert!(!report.ok(), "header-only trace passed the audit");
+    assert!(report.violations[0].contains("no protocol records"));
+}
+
+#[test]
 fn tracing_does_not_perturb_the_simulation() {
     // Determinism guard: recording events must not change any simulated
     // outcome — identical commits, messages, and virtual elapsed time.

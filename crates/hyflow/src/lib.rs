@@ -59,9 +59,9 @@ pub use config::{ConflictScope, DstmConfig, NestingMode, QueueBackend};
 pub use message::{FetchResult, Msg, Timer};
 pub use metrics::{AbortCause, HistSummary, NestedAbortCause, NodeMetrics, RunMetrics};
 pub use node::Node;
-pub use object::{OwnedObject, Payload};
+pub use object::{CachedCopy, OwnedObject, Payload};
 pub use program::{AccessMode, BoxedProgram, StepInput, StepOutput, TxProgram, WithTrailer};
-pub use small::{ObjMap, ObjSet};
+pub use small::{Fnv64, ObjMap, ObjSet};
 pub use system::{NodeEvent, PartitionStrategy, System, SystemBuilder, WorkloadSource};
 pub use telemetry::{
     merge_epoch_series, merge_object_waste, EpochSample, ObjWaste, TelemetryReport,

@@ -20,6 +20,7 @@
 //!    supply at time zero.
 
 use crate::object::Payload;
+use crate::small::Fnv64;
 use dstm_sim::SimDuration;
 use rts_core::{Ets, ObjectId, TxId};
 use std::sync::Arc;
@@ -217,6 +218,216 @@ impl Msg {
             Msg::VersionAck { .. } => "VersionAck",
             Msg::StartWorkload => "StartWorkload",
             Msg::Batch(_) => "Batch",
+        }
+    }
+
+    /// Fold this message into a **time-abstract** structural fingerprint.
+    ///
+    /// Used by the model checker to deduplicate protocol states: two
+    /// in-flight messages that differ only in wall-clock-valued fields
+    /// ([`Ets`] deadlines, backoff durations) are the same protocol event
+    /// under a different schedule, so those fields are deliberately
+    /// excluded. Logical TFA clocks (`my_cl`, `local_cl`, `owner_clock`)
+    /// and versions *are* protocol state and are included.
+    pub fn hash_into(&self, h: &mut Fnv64) {
+        fn tx_into(h: &mut Fnv64, tx: &TxId, attempt: u32) {
+            h.write_u64(u64::from(tx.node));
+            h.write_u64(tx.seq);
+            h.write_u64(u64::from(attempt));
+        }
+        h.write_bytes(self.tag().as_bytes());
+        match self {
+            Msg::ObjReq {
+                oid,
+                tx,
+                attempt,
+                mode,
+                ets: _,
+                my_cl,
+                nested,
+                reply_to,
+            } => {
+                h.write_u64(oid.0);
+                tx_into(h, tx, *attempt);
+                h.write_u8(matches!(mode, AccessMode::Write) as u8);
+                h.write_u64(u64::from(*my_cl));
+                h.write_u8(u8::from(*nested));
+                h.write_u64(u64::from(*reply_to));
+            }
+            Msg::ObjResp {
+                oid,
+                tx,
+                attempt,
+                result,
+            } => {
+                h.write_u64(oid.0);
+                tx_into(h, tx, *attempt);
+                match result {
+                    FetchResult::Granted {
+                        payload,
+                        version,
+                        local_cl,
+                        owner,
+                        owner_clock,
+                    } => {
+                        h.write_u8(1);
+                        payload.hash_into(h);
+                        h.write_u64(*version);
+                        h.write_u64(u64::from(*local_cl));
+                        h.write_u64(u64::from(*owner));
+                        h.write_u64(*owner_clock);
+                    }
+                    FetchResult::Conflict {
+                        backoff: _,
+                        enqueued,
+                        owner,
+                        aggressor,
+                    } => {
+                        h.write_u8(2);
+                        h.write_u8(u8::from(*enqueued));
+                        h.write_u64(u64::from(*owner));
+                        match aggressor {
+                            Some(a) => tx_into(h, a, 0),
+                            None => h.write_u8(0),
+                        }
+                    }
+                }
+            }
+            Msg::ObjectDecline { oid, tx } => {
+                h.write_u64(oid.0);
+                tx_into(h, tx, 0);
+            }
+            Msg::VersionReq {
+                oid,
+                tx,
+                attempt,
+                mode,
+                ets: _,
+                my_cl,
+                nested,
+                reply_to,
+                version,
+            } => {
+                h.write_u64(oid.0);
+                tx_into(h, tx, *attempt);
+                h.write_u8(matches!(mode, AccessMode::Write) as u8);
+                h.write_u64(u64::from(*my_cl));
+                h.write_u8(u8::from(*nested));
+                h.write_u64(u64::from(*reply_to));
+                h.write_u64(*version);
+            }
+            Msg::VersionAck {
+                oid,
+                tx,
+                attempt,
+                version,
+                local_cl,
+                owner,
+                owner_clock,
+            } => {
+                h.write_u64(oid.0);
+                tx_into(h, tx, *attempt);
+                h.write_u64(*version);
+                h.write_u64(u64::from(*local_cl));
+                h.write_u64(u64::from(*owner));
+                h.write_u64(*owner_clock);
+            }
+            Msg::LockReq {
+                oid,
+                tx,
+                attempt,
+                expect_version,
+                reply_to,
+            } => {
+                h.write_u64(oid.0);
+                tx_into(h, tx, *attempt);
+                h.write_u64(*expect_version);
+                h.write_u64(u64::from(*reply_to));
+            }
+            Msg::LockResp {
+                oid,
+                tx,
+                attempt,
+                granted,
+            } => {
+                h.write_u64(oid.0);
+                tx_into(h, tx, *attempt);
+                h.write_u8(u8::from(*granted));
+            }
+            Msg::Unlock { oid, tx } => {
+                h.write_u64(oid.0);
+                tx_into(h, tx, 0);
+            }
+            Msg::Publish {
+                oid,
+                tx,
+                payload,
+                new_version,
+                new_owner,
+            } => {
+                h.write_u64(oid.0);
+                tx_into(h, tx, 0);
+                payload.hash_into(h);
+                h.write_u64(*new_version);
+                h.write_u64(u64::from(*new_owner));
+            }
+            Msg::PublishAck { oid, tx, queue } => {
+                h.write_u64(oid.0);
+                tx_into(h, tx, 0);
+                h.write_u64(queue.len() as u64);
+                for r in queue {
+                    h.write_u64(u64::from(r.node));
+                    tx_into(h, &r.tx, r.attempt);
+                    h.write_u8(u8::from(r.read_only));
+                }
+            }
+            Msg::VersionCheck {
+                oid,
+                tx,
+                attempt,
+                expect_version,
+                reply_to,
+            } => {
+                h.write_u64(oid.0);
+                tx_into(h, tx, *attempt);
+                h.write_u64(*expect_version);
+                h.write_u64(u64::from(*reply_to));
+            }
+            Msg::VersionResp {
+                oid,
+                tx,
+                attempt,
+                ok,
+            } => {
+                h.write_u64(oid.0);
+                tx_into(h, tx, *attempt);
+                h.write_u8(u8::from(*ok));
+            }
+            Msg::StartWorkload => {}
+            Msg::Batch(msgs) => {
+                h.write_u64(msgs.len() as u64);
+                for m in msgs {
+                    m.hash_into(h);
+                }
+            }
+        }
+    }
+}
+
+impl Timer {
+    /// Time-abstract fingerprint companion to [`Msg::hash_into`].
+    pub fn hash_into(&self, h: &mut Fnv64) {
+        let (tag, tx, attempt, oid) = match self {
+            Timer::ComputeDone { tx, attempt } => (1u8, tx, *attempt, None),
+            Timer::QueueDeadline { tx, attempt, oid } => (2, tx, *attempt, Some(*oid)),
+            Timer::RetryBackoff { tx, attempt } => (3, tx, *attempt, None),
+        };
+        h.write_u8(tag);
+        h.write_u64(u64::from(tx.node));
+        h.write_u64(tx.seq);
+        h.write_u64(u64::from(attempt));
+        if let Some(oid) = oid {
+            h.write_u64(oid.0);
         }
     }
 }

@@ -361,6 +361,267 @@ impl Node {
         out
     }
 
+    // -- verification surface ---------------------------------------------
+    //
+    // Read-only probes used by the `dstm-verify` harness: a time-abstract
+    // structural fingerprint for model-checker state deduplication, plus
+    // local invariant predicates the checker asserts after every step.
+
+    /// This node's TFA clock (monotonicity oracle).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Retained read copies (`cfg.cache` only), for freshness oracles.
+    pub fn cached_copies(&self) -> impl Iterator<Item = (ObjectId, &CachedCopy)> {
+        self.objs
+            .iter()
+            .filter_map(|s| s.cache.as_ref().map(|c| (s.oid, c)))
+    }
+
+    /// Time-abstract structural fingerprint of this node's protocol state.
+    ///
+    /// Everything that determines the node's future *protocol* behavior is
+    /// folded in: the TFA clock, object table (payloads, versions, locks,
+    /// tombstones, owner guesses, cached copies), live transaction runtimes
+    /// (phase, nesting levels, working copies, write-version clock), and
+    /// the owner-side requester queues. Wall-clock-valued state (ETS
+    /// deadlines, CL windows, stats-table estimates, metrics) is excluded:
+    /// it varies across equivalent schedules and only shapes *when* things
+    /// happen, not *what* the protocol may do next. The checker uses these
+    /// fingerprints purely to prune its search, so the abstraction can
+    /// merge states but never fabricates a violation.
+    pub fn protocol_fingerprint(&self) -> u64 {
+        let mut h = crate::small::Fnv64::new();
+        h.write_u64(u64::from(self.me));
+        h.write_u64(self.clock);
+        h.write_u64(self.completed as u64);
+        h.write_u64(self.active as u64);
+        h.write_u64(self.pending.len() as u64);
+
+        // Object slots, sorted by oid for insertion-order independence.
+        let mut slots: Vec<&ObjSlot> = self.objs.iter().collect();
+        slots.sort_by_key(|s| s.oid);
+        h.write_u64(slots.len() as u64);
+        for s in slots {
+            h.write_u64(s.oid.0);
+            match &s.owned {
+                Some(o) => {
+                    h.write_u8(1);
+                    o.payload.hash_into(&mut h);
+                    h.write_u64(o.version);
+                    match o.lock {
+                        Some(tx) => {
+                            h.write_u8(1);
+                            h.write_u64(u64::from(tx.node));
+                            h.write_u64(tx.seq);
+                        }
+                        None => h.write_u8(0),
+                    }
+                }
+                None => h.write_u8(0),
+            }
+            h.write_u64(s.tombstone.map_or(u64::MAX, u64::from));
+            h.write_u64(s.cached_owner.map_or(u64::MAX, u64::from));
+            match &s.cache {
+                Some(c) => {
+                    h.write_u8(1);
+                    c.payload.hash_into(&mut h);
+                    h.write_u64(c.version);
+                    h.write_u64(c.owner_clock);
+                    h.write_u64(u64::from(c.local_cl));
+                    h.write_u64(u64::from(c.owner));
+                }
+                None => h.write_u8(0),
+            }
+            // Requester queue for this object (owner side).
+            if let Some(list) = self.sched.list(s.oid) {
+                h.write_u64(list.len() as u64);
+                for r in list.iter() {
+                    h.write_u64(u64::from(r.node));
+                    h.write_u64(u64::from(r.tx.node));
+                    h.write_u64(r.tx.seq);
+                    h.write_u64(u64::from(r.attempt));
+                    h.write_u8(u8::from(r.read_only));
+                }
+            } else {
+                h.write_u64(0);
+            }
+        }
+
+        // Live transactions, sorted by id.
+        let mut txs: Vec<&TxRuntime> = self.txs.iter().flatten().collect();
+        txs.sort_by_key(|t| t.id);
+        h.write_u64(txs.len() as u64);
+        for tx in txs {
+            h.write_u64(u64::from(tx.id.node));
+            h.write_u64(tx.id.seq);
+            h.write_u64(u64::from(tx.kind.0));
+            h.write_u64(u64::from(tx.attempt));
+            h.write_u64(tx.wv);
+            h.write_u64(tx.nested_committed);
+            Self::phase_into(&tx.phase, &mut h);
+            h.write_u64(tx.levels.len() as u64);
+            for level in &tx.levels {
+                h.write_u64(u64::from(level.kind.0));
+                h.write_u64(level.committed_children);
+                let mut copies: Vec<(&ObjectId, &crate::tx::WorkingCopy)> =
+                    level.copies.iter().collect();
+                copies.sort_by_key(|(oid, _)| **oid);
+                h.write_u64(copies.len() as u64);
+                for (oid, c) in copies {
+                    h.write_u64(oid.0);
+                    c.payload.hash_into(&mut h);
+                    h.write_u64(c.version);
+                    h.write_u8(matches!(c.mode, AccessMode::Write) as u8);
+                    h.write_u64(u64::from(c.owner));
+                    h.write_u8(u8::from(c.dirty));
+                    h.write_u8(u8::from(c.shadow));
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// Fold a transaction phase into a fingerprint: discriminant plus the
+    /// object identities it is parked on (not timers or durations).
+    fn phase_into(phase: &TxPhase, h: &mut crate::small::Fnv64) {
+        match phase {
+            TxPhase::Running => h.write_u8(1),
+            TxPhase::Computing => h.write_u8(2),
+            TxPhase::AwaitObject { oid, mode } => {
+                h.write_u8(3);
+                h.write_u64(oid.0);
+                h.write_u8(matches!(mode, AccessMode::Write) as u8);
+            }
+            TxPhase::AwaitQueuedObject { oid, mode, .. } => {
+                h.write_u8(4);
+                h.write_u64(oid.0);
+                h.write_u8(matches!(mode, AccessMode::Write) as u8);
+            }
+            TxPhase::AwaitValidation { pending, stale, .. } => {
+                h.write_u8(5);
+                let mut oids: Vec<ObjectId> = pending.iter().copied().collect();
+                oids.sort();
+                for oid in oids {
+                    h.write_u64(oid.0);
+                }
+                h.write_u64(u64::MAX); // separator
+                let mut stale: Vec<ObjectId> = stale.clone();
+                stale.sort();
+                for oid in stale {
+                    h.write_u64(oid.0);
+                }
+            }
+            TxPhase::AwaitLocks {
+                pending,
+                granted,
+                failed,
+            } => {
+                h.write_u8(6);
+                let mut oids: Vec<ObjectId> = pending.iter().copied().collect();
+                oids.sort();
+                for oid in oids {
+                    h.write_u64(oid.0);
+                }
+                h.write_u64(u64::MAX);
+                let mut granted: Vec<ObjectId> = granted.clone();
+                granted.sort();
+                for oid in granted {
+                    h.write_u64(oid.0);
+                }
+                h.write_u64(failed.map_or(u64::MAX, |o| o.0));
+            }
+            TxPhase::AwaitPublish { pending } => {
+                h.write_u8(7);
+                let mut oids: Vec<ObjectId> = pending.iter().copied().collect();
+                oids.sort();
+                for oid in oids {
+                    h.write_u64(oid.0);
+                }
+            }
+            TxPhase::BackedOff => h.write_u8(8),
+            TxPhase::ChildBackedOff => h.write_u8(9),
+            TxPhase::Done => h.write_u8(10),
+        }
+    }
+
+    /// Check node-local structural invariants, appending a description of
+    /// each violation to `out`. Called by the model checker after every
+    /// delivered event and by the fuzzer at end of episode.
+    pub fn local_invariants(&self, out: &mut Vec<String>) {
+        let live = self.txs.iter().flatten().count();
+        if live != self.active {
+            out.push(format!(
+                "node {}: active count {} != live runtimes {}",
+                self.me, self.active, live
+            ));
+        }
+        for tx in self.txs.iter().flatten() {
+            if tx.levels.is_empty() {
+                out.push(format!(
+                    "node {}: live tx {:?} has no nesting levels",
+                    self.me, tx.id
+                ));
+                continue;
+            }
+            // A shadow copy mirrors an ancestor's fetch: some level below
+            // the one holding the shadow must hold a non-shadow copy of the
+            // same object (the real fetch the shadow is backed by).
+            for (depth, level) in tx.levels.iter().enumerate() {
+                for (oid, c) in level.copies.iter() {
+                    if !c.shadow {
+                        continue;
+                    }
+                    let backed = tx.levels[..depth]
+                        .iter()
+                        .any(|a| a.copies.get(oid).is_some_and(|ac| !ac.shadow));
+                    if !backed {
+                        out.push(format!(
+                            "node {}: tx {:?} level {} shadow copy of {:?} \
+                             has no ancestor backing",
+                            self.me, tx.id, depth, oid
+                        ));
+                    }
+                }
+            }
+            // Phase-specific coherence: a transaction parked on an object
+            // must name an object it does not already hold exclusively.
+            if let TxPhase::Done = tx.phase {
+                out.push(format!(
+                    "node {}: tx {:?} is live but in phase Done",
+                    self.me, tx.id
+                ));
+            }
+        }
+        // An object's lock holder must be a transaction that could still
+        // commit: locks are released on publish/unlock, so a lock held by a
+        // finished transaction is a leak.
+        for s in self.objs.iter() {
+            if let Some(o) = &s.owned {
+                if let Some(holder) = o.lock {
+                    let finished_here = holder.node == self.me && self.tx_slot_free(holder.seq);
+                    if finished_here {
+                        out.push(format!(
+                            "node {}: object {:?} locked by finished tx {:?}",
+                            self.me, s.oid, holder
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether the runtime slot for local sequence `seq` is empty (the
+    /// transaction finished or never existed).
+    fn tx_slot_free(&self, seq: u64) -> bool {
+        if seq == 0 {
+            return true;
+        }
+        let idx = (seq - 1) as usize;
+        idx >= self.txs.len() || self.txs[idx].is_none()
+    }
+
     // -- plumbing ----------------------------------------------------------
 
     fn delay_to(&self, to: u32) -> SimDuration {

@@ -50,6 +50,55 @@ impl Payload {
         }
     }
 
+    /// Fold the payload's full contents into a structural fingerprint
+    /// (see [`crate::small::Fnv64`]); used by the verification harness.
+    pub fn hash_into(&self, h: &mut crate::small::Fnv64) {
+        fn opt_oid(h: &mut crate::small::Fnv64, o: &Option<ObjectId>) {
+            match o {
+                Some(oid) => {
+                    h.write_u8(1);
+                    h.write_u64(oid.0);
+                }
+                None => h.write_u8(0),
+            }
+        }
+        match self {
+            Payload::Scalar(v) => {
+                h.write_u8(1);
+                h.write_u64(*v as u64);
+            }
+            Payload::Ptr(p) => {
+                h.write_u8(2);
+                opt_oid(h, p);
+            }
+            Payload::ListNode { value, next } => {
+                h.write_u8(3);
+                h.write_u64(*value as u64);
+                opt_oid(h, next);
+            }
+            Payload::TreeNode {
+                value,
+                left,
+                right,
+                red,
+            } => {
+                h.write_u8(4);
+                h.write_u64(*value as u64);
+                opt_oid(h, left);
+                opt_oid(h, right);
+                h.write_u8(u8::from(*red));
+            }
+            Payload::Bucket(kvs) => {
+                h.write_u8(5);
+                h.write_u64(kvs.len() as u64);
+                for (k, v) in kvs {
+                    h.write_u64(*k);
+                    h.write_u64(*v as u64);
+                }
+            }
+        }
+    }
+
     /// Rough serialized size in bytes, for network-volume accounting.
     pub fn approx_size(&self) -> usize {
         match self {

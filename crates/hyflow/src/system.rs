@@ -409,17 +409,31 @@ impl<Q: EventQueue<NodeEvent>> System<Q> {
     /// Snapshot of the current committed state of every object in the
     /// system (owner-held authoritative copies), for invariant checks.
     pub fn object_state(&self) -> HashMap<ObjectId, (Payload, u64)> {
+        match self.try_object_state() {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`System::object_state`] for the verification
+    /// harness: a double-owned object is reported as a violation string
+    /// instead of a panic, so the fuzzer/checker can record it as a finding
+    /// (and shrink the schedule that produced it).
+    pub fn try_object_state(&self) -> Result<HashMap<ObjectId, (Payload, u64)>, String> {
         let mut out = HashMap::new();
         for node in self.world.actors() {
             for (oid, o) in node.owned_objects() {
                 let prev = out.insert(*oid, ((*o.payload).clone(), o.version));
-                assert!(
-                    prev.is_none(),
-                    "single-writable-copy violated: {oid:?} owned twice"
-                );
+                if prev.is_some() {
+                    return Err(format!(
+                        "single-writable-copy violated: {oid:?} owned twice \
+                         (second owner: node {})",
+                        node.id()
+                    ));
+                }
             }
         }
-        out
+        Ok(out)
     }
 
     /// Virtual time now.

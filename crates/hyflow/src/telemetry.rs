@@ -42,6 +42,9 @@ pub struct EpochSample {
     pub cache_hits: u64,
     /// Cache lookups that fell back to a full fetch this epoch.
     pub cache_misses: u64,
+    /// Retained copies invalidated this epoch (staleness proofs or
+    /// ownership moving through the caching node).
+    pub cache_invalidations: u64,
     /// Gauges at the flush that closed this epoch.
     pub queue_depth: u64,
     pub in_flight: u64,
@@ -69,6 +72,7 @@ struct Snapshot {
     wasted_msgs: u64,
     cache_hits: u64,
     cache_misses: u64,
+    cache_invalidations: u64,
 }
 
 impl Snapshot {
@@ -82,6 +86,7 @@ impl Snapshot {
             wasted_msgs: m.wasted_msgs,
             cache_hits: m.cache_hits,
             cache_misses: m.cache_misses,
+            cache_invalidations: m.cache_invalidations,
         }
     }
 }
@@ -178,6 +183,7 @@ impl Telemetry {
                 wasted_msgs: snap.wasted_msgs - self.last.wasted_msgs,
                 cache_hits: snap.cache_hits - self.last.cache_hits,
                 cache_misses: snap.cache_misses - self.last.cache_misses,
+                cache_invalidations: snap.cache_invalidations - self.last.cache_invalidations,
                 queue_depth: gauges.queue_depth,
                 in_flight: gauges.in_flight,
                 cl_open: gauges.cl_open,
@@ -254,6 +260,7 @@ impl Telemetry {
                 && e.wasted_msgs == 0
                 && e.cache_hits == 0
                 && e.cache_misses == 0
+                && e.cache_invalidations == 0
                 && e.in_flight == 0
         }) {
             epochs.pop();
@@ -297,6 +304,7 @@ pub fn merge_epoch_series(streams: &[TelemetryReport]) -> Vec<EpochSample> {
             m.wasted_msgs += e.wasted_msgs;
             m.cache_hits += e.cache_hits;
             m.cache_misses += e.cache_misses;
+            m.cache_invalidations += e.cache_invalidations;
             m.queue_depth += e.queue_depth;
             m.in_flight += e.in_flight;
             m.cl_open += e.cl_open;
@@ -357,6 +365,7 @@ mod tests {
         m.commits = 5;
         m.cache_hits = 4;
         m.cache_misses = 1;
+        m.cache_invalidations = 2;
         m.record_abort(crate::metrics::AbortCause::SchedulerAbort);
         // Time jumps three epochs: epoch 1 gets the deltas, 2-3 are empty.
         t.flush(SimTime(420), &m, gauges(0, 1, 0));
@@ -369,6 +378,7 @@ mod tests {
         assert_eq!(report.epochs[1].aborts, 1);
         assert_eq!(report.epochs[1].cache_hits, 4);
         assert_eq!(report.epochs[1].cache_misses, 1);
+        assert_eq!(report.epochs[1].cache_invalidations, 2);
         assert_eq!(report.epochs[1].in_flight, 1);
         // Epochs 2-3 were skipped over by the jump: zero deltas, but they
         // carry the flush-time gauges (in_flight 1), so they survive; the

@@ -83,6 +83,12 @@ impl TimerToken {
         TimerToken(((generation as u64) << 32) | slot as u64)
     }
 
+    /// A throwaway token for queue-backend unit tests that never dispatch.
+    #[cfg(test)]
+    pub(crate) fn test_token() -> Self {
+        TimerToken(0)
+    }
+
     #[inline]
     fn unpack(self) -> (u32, u32) {
         (self.0 as u32, (self.0 >> 32) as u32)
@@ -552,6 +558,20 @@ impl<A: Actor, Q: EventQueue<KernelEvent<A::Msg, A::Timer>>> GenericWorld<A, Q> 
     /// Pending events (undelivered messages + armed-or-cancelled timers).
     pub fn pending_events(&self) -> usize {
         self.queue.len()
+    }
+
+    /// The pending-event-set backend. Verification harnesses read it to
+    /// enumerate undelivered events; ordinary drivers never need it.
+    pub fn queue(&self) -> &Q {
+        &self.queue
+    }
+
+    /// Mutable access to the queue backend — the interleaving-steering hook
+    /// used by the model checker (see [`crate::perturb::ChoiceQueue`]).
+    /// Mutating the queue between steps must preserve the backend's own
+    /// ordering contract; the engine adds no further checks here.
+    pub fn queue_mut(&mut self) -> &mut Q {
+        &mut self.queue
     }
 
     /// Inject a message from outside the world (workload arrival); `from` is

@@ -49,6 +49,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod perturb;
 pub mod queue;
 pub mod rng;
 pub mod shard;
@@ -58,6 +59,7 @@ pub mod trace;
 
 pub use engine::{Actor, ActorId, Ctx, GenericWorld, KernelEvent, TimerToken, World};
 pub use event::{EventKey, Sequenced};
+pub use perturb::{ChoiceQueue, Perturb, PerturbQueue, Schedule};
 pub use queue::{BinaryHeapQueue, CalendarQueue, EventQueue};
 pub use rng::{mix64, SimRng};
 pub use shard::{uniform_lookahead, Partition, ShardRunStats, WindowProfile};

@@ -1,0 +1,302 @@
+//! `dstm-verify` — deterministic-simulation fuzzer and small-model
+//! protocol checker.
+//!
+//! ```text
+//! dstm-verify check  [--scheduler tfa|backoff|rts|all] [--nodes N]
+//!                    [--objects K] [--no-cache] [--parent-scope]
+//!                    [--max-states N] [--max-depth N]
+//! dstm-verify fuzz   [--episodes N] [--seed S] [--benchmark NAME]
+//!                    [--scheduler NAME] [--nodes N] [--txns N]
+//!                    [--no-cache] [--no-telemetry] [--out FILE]
+//! dstm-verify replay FILE
+//! ```
+//!
+//! Exit status: 0 clean, 1 violation found (fuzz also writes the shrunk
+//! reproducer to `--out`, default `verify-reproducer.txt`), 2 usage error.
+
+use std::process::ExitCode;
+
+use dstm_verify::{
+    check_model_with, fuzz, parse_reproducer, reproducer_text, run_episode, scheduler_from_name,
+    scheduler_name, CheckReport, EpisodeSpec, FuzzConfig, ModelCfg,
+};
+use rts_core::SchedulerKind;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage("missing subcommand");
+    };
+    match cmd.as_str() {
+        "check" => cmd_check(&args[1..]),
+        "fuzz" => cmd_fuzz(&args[1..]),
+        "replay" => cmd_replay(&args[1..]),
+        "--help" | "-h" | "help" => {
+            eprint!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => usage(&format!("unknown subcommand `{other}`")),
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  dstm-verify check  [--scheduler tfa|backoff|rts|all] [--nodes N] [--objects K]
+                     [--no-cache] [--parent-scope] [--max-states N] [--max-depth N]
+  dstm-verify fuzz   [--episodes N] [--seed S] [--benchmark NAME] [--scheduler NAME]
+                     [--nodes N] [--txns N] [--no-cache] [--no-telemetry] [--out FILE]
+  dstm-verify replay FILE
+";
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("dstm-verify: {msg}");
+    eprint!("{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Pull the value of `--flag VALUE` out of `args`, parsed by `parse`.
+fn opt<T>(
+    args: &[String],
+    flag: &str,
+    parse: impl Fn(&str) -> Option<T>,
+) -> Result<Option<T>, String> {
+    for (i, a) in args.iter().enumerate() {
+        if a == flag {
+            let v = args
+                .get(i + 1)
+                .ok_or_else(|| format!("{flag} needs a value"))?;
+            return parse(v)
+                .map(Some)
+                .ok_or_else(|| format!("bad value for {flag}: `{v}`"));
+        }
+    }
+    Ok(None)
+}
+
+fn has(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let parsed = (|| -> Result<(Vec<SchedulerKind>, ModelCfg), String> {
+        let mut cfg = ModelCfg::default();
+        let schedulers = match opt(args, "--scheduler", |v| {
+            if v == "all" {
+                Some(None)
+            } else {
+                scheduler_from_name(v).map(Some)
+            }
+        })? {
+            Some(Some(one)) => vec![one],
+            // Default and `all`: the paper's three schedulers.
+            _ => vec![
+                SchedulerKind::Tfa,
+                SchedulerKind::TfaBackoff,
+                SchedulerKind::Rts,
+            ],
+        };
+        if let Some(n) = opt(args, "--nodes", |v| v.parse().ok())? {
+            cfg.nodes = n;
+        }
+        if let Some(k) = opt(args, "--objects", |v| v.parse().ok())? {
+            cfg.objects = k;
+        }
+        if let Some(m) = opt(args, "--max-states", |v| v.parse().ok())? {
+            cfg.max_states = m;
+        }
+        if let Some(d) = opt(args, "--max-depth", |v| v.parse().ok())? {
+            cfg.max_depth = d;
+        }
+        cfg.cache = !has(args, "--no-cache");
+        cfg.parent_scope = has(args, "--parent-scope");
+        if cfg.parent_scope && !has(args, "--max-states") {
+            // Parent scope is unbounded by construction; default to a cap
+            // that finishes in CI time rather than the exhaustive-sweep cap.
+            cfg.max_states = 20_000;
+        }
+        if cfg.parent_scope && !has(args, "--max-depth") {
+            cfg.max_depth = 150;
+        }
+        Ok((schedulers, cfg))
+    })();
+    let (schedulers, base) = match parsed {
+        Ok(p) => p,
+        Err(e) => return usage(&e),
+    };
+
+    let mut failed = false;
+    for s in schedulers {
+        let cfg = ModelCfg {
+            scheduler: s,
+            ..base
+        };
+        println!(
+            "checking {} on {} nodes x {} objects (cache {}, {} scope) ...",
+            scheduler_name(s),
+            cfg.nodes,
+            cfg.objects,
+            if cfg.cache { "on" } else { "off" },
+            if cfg.parent_scope { "parent" } else { "child" }
+        );
+        let report = check_model_with(&cfg, |states, frontier| {
+            eprintln!("  ... {states} states expanded, frontier {frontier}");
+        });
+        print_check_report(s, &report);
+        failed |= !report.ok();
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn print_check_report(s: SchedulerKind, r: &CheckReport) {
+    println!(
+        "{}: {} states, {} transitions, {} terminals, {} deduped, depth {} — {}",
+        scheduler_name(s),
+        r.explored,
+        r.transitions,
+        r.terminals,
+        r.deduped,
+        r.max_depth_seen,
+        if r.complete {
+            "state space exhausted"
+        } else {
+            "BOUNDED (hit a cap; coverage incomplete)"
+        }
+    );
+    println!(
+        "{}: conflict coverage: max {} aborts / {} enqueues in any explored state",
+        scheduler_name(s),
+        r.max_aborts_seen,
+        r.max_enqueued_seen
+    );
+    if r.ok() {
+        println!("{}: no invariant violations", scheduler_name(s));
+    } else {
+        for v in &r.violations {
+            println!("{}: VIOLATION: {v}", scheduler_name(s));
+        }
+    }
+}
+
+fn cmd_fuzz(args: &[String]) -> ExitCode {
+    let parsed = (|| -> Result<(EpisodeSpec, FuzzConfig, String), String> {
+        let mut spec = EpisodeSpec::default();
+        let mut cfg = FuzzConfig::default();
+        if let Some(b) = opt(args, "--benchmark", dstm_benchmarks::Benchmark::from_name)? {
+            spec.benchmark = b;
+        }
+        if let Some(s) = opt(args, "--scheduler", scheduler_from_name)? {
+            spec.scheduler = s;
+        }
+        if let Some(n) = opt(args, "--nodes", |v| v.parse().ok())? {
+            spec.nodes = n;
+        }
+        if let Some(t) = opt(args, "--txns", |v| v.parse().ok())? {
+            spec.txns = t;
+        }
+        spec.cache = !has(args, "--no-cache");
+        spec.telemetry = !has(args, "--no-telemetry");
+        if let Some(e) = opt(args, "--episodes", |v| v.parse().ok())? {
+            cfg.episodes = e;
+        }
+        if let Some(s) = opt(args, "--seed", |v| v.parse().ok())? {
+            cfg.base_seed = s;
+        }
+        let out = opt(args, "--out", |v| Some(v.to_string()))?
+            .unwrap_or_else(|| "verify-reproducer.txt".to_string());
+        Ok((spec, cfg, out))
+    })();
+    let (spec, cfg, out) = match parsed {
+        Ok(p) => p,
+        Err(e) => return usage(&e),
+    };
+
+    println!(
+        "fuzzing {} episodes: {} / {} / {} nodes x {} txns (seed {:#x})",
+        cfg.episodes,
+        spec.benchmark.label(),
+        scheduler_name(spec.scheduler),
+        spec.nodes,
+        spec.txns,
+        cfg.base_seed
+    );
+    let report = fuzz(&spec, &cfg, |i, outcome| {
+        if (i + 1) % 50 == 0 {
+            eprintln!(
+                "  ... episode {} ok (digest {:#018x})",
+                i + 1,
+                outcome.digest
+            );
+        }
+    });
+    match report.failure {
+        None => {
+            println!("{} episodes, no violations", report.episodes_run);
+            ExitCode::SUCCESS
+        }
+        Some(f) => {
+            println!(
+                "episode {} FAILED; shrunk {} -> {} perturbations in {} reruns",
+                report.episodes_run,
+                f.original.perturbations.len(),
+                f.shrunk.perturbations.len(),
+                f.shrink_reruns
+            );
+            for v in &f.violations {
+                println!("VIOLATION: {v}");
+            }
+            let blob = reproducer_text(&spec, &f.shrunk);
+            match std::fs::write(&out, &blob) {
+                Ok(()) => println!("reproducer written to {out} (dstm-verify replay {out})"),
+                Err(e) => eprintln!("could not write reproducer {out}: {e}"),
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_replay(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage("replay needs a reproducer file");
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("dstm-verify: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (spec, schedule) = match parse_reproducer(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("dstm-verify: bad reproducer {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "replaying {} / {} / {} nodes x {} txns, seed {:#x}, {} perturbations",
+        spec.benchmark.label(),
+        scheduler_name(spec.scheduler),
+        spec.nodes,
+        spec.txns,
+        schedule.seed,
+        schedule.perturbations.len()
+    );
+    let outcome = run_episode(&spec, &schedule);
+    println!(
+        "digest {:#018x}, {} commits, {} pushes / {} pops",
+        outcome.digest, outcome.commits, outcome.pushes, outcome.pops
+    );
+    if outcome.ok() {
+        println!("no violations");
+        ExitCode::SUCCESS
+    } else {
+        for v in &outcome.violations {
+            println!("VIOLATION: {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

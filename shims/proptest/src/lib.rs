@@ -15,11 +15,16 @@
 //!
 //! Differences from real proptest: cases are drawn from a deterministic
 //! per-test RNG (seeded from the test's name) rather than an entropy source,
-//! and there is **no shrinking** — a failing case prints its number and the
-//! message, and the deterministic seeding reproduces it on the next run.
-//! `PROPTEST_CASES` overrides the case count globally. When the real crate is
-//! available the shim can be deleted and the workspace dependency re-pointed
-//! without touching test source.
+//! and shrinking is greedy rather than value-tree based: when a case fails,
+//! each argument's strategy proposes simpler candidates ([`Strategy::shrink`]
+//! — integers step toward the range start, `Vec`s drop halves, then single
+//! elements, then shrink elements in place) and the first candidate that
+//! still fails is adopted, restarting the scan, until no candidate fails or
+//! `max_shrink_iters` (default 1024 when left at 0) re-runs are spent. The
+//! panic message reports the minimized arguments. `PROPTEST_CASES` overrides
+//! the case count globally. When the real crate is available the shim can be
+//! deleted and the workspace dependency re-pointed without touching test
+//! source.
 
 use std::collections::HashSet;
 use std::fmt;
@@ -69,11 +74,22 @@ pub mod test_runner {
 
 use test_runner::TestRng;
 
-/// A value generator. The shim's strategies sample directly (no value trees,
-/// no shrinking).
+/// A value generator. The shim's strategies sample directly (no value
+/// trees); shrinking proposes simpler *candidate* values for a known-failing
+/// one, and the test loop keeps a candidate only if it still fails.
 pub trait Strategy {
     type Value;
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Candidate simplifications of `value`, simplest first. Every candidate
+    /// must be strictly simpler than `value` under some well-founded order
+    /// (the shrink loop bounds re-runs with `max_shrink_iters`, so even a
+    /// sloppy implementation cannot hang, but termination should not rely on
+    /// that). The default is no shrinking.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 }
 
 /// Strategy producing one fixed value (cloned per case).
@@ -87,6 +103,28 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+/// Shrink candidates for an integer known to fail: jump straight to the
+/// range's low end, then the midpoint, then one step down — simplest first,
+/// all strictly between `lo` and `value`.
+macro_rules! int_shrink_candidates {
+    ($lo:expr, $value:expr) => {{
+        let (lo, v) = ($lo, $value);
+        let mut out = Vec::new();
+        if v > lo {
+            out.push(lo);
+            let mid = lo + (v - lo) / 2;
+            if mid != lo && mid != v {
+                out.push(mid);
+            }
+            let down = v - 1;
+            if down != lo && down != mid {
+                out.push(down);
+            }
+        }
+        out
+    }};
+}
+
 macro_rules! int_range_strategy {
     ($($t:ty),+) => {$(
         impl Strategy for Range<$t> {
@@ -95,6 +133,9 @@ macro_rules! int_range_strategy {
                 assert!(self.start < self.end, "empty range strategy");
                 let span = (self.end - self.start) as u64;
                 self.start + rng.below(span) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_candidates!(self.start, *value)
             }
         }
         impl Strategy for RangeInclusive<$t> {
@@ -107,6 +148,9 @@ macro_rules! int_range_strategy {
                     return rng.next_u64() as $t;
                 }
                 lo + rng.below(span + 1) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_candidates!(*self.start(), *value)
             }
         }
     )+};
@@ -122,6 +166,13 @@ macro_rules! signed_range_strategy {
                 assert!(self.start < self.end, "empty range strategy");
                 let span = (self.end as i128 - self.start as i128) as u64;
                 (self.start as i128 + rng.below(span) as i128) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let (lo, v) = (self.start as i128, *value as i128);
+                int_shrink_candidates!(lo, v)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
             }
         }
     )+};
@@ -158,11 +209,43 @@ pub mod collection {
         size: Range<usize>,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let len = self.size.clone().sample(rng);
             (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let min = self.size.start;
+            let n = value.len();
+            let mut out = Vec::new();
+            // Structural shrinks first — a shorter failing vec simplifies
+            // far more than any element tweak. Halving gives logarithmic
+            // descent; single-element removal finishes the job.
+            if n > min {
+                let half = (n / 2).max(min);
+                if half < n {
+                    out.push(value[..half].to_vec());
+                    out.push(value[n - half..].to_vec());
+                }
+                for i in 0..n {
+                    let mut w = value.clone();
+                    w.remove(i);
+                    out.push(w);
+                }
+            }
+            // Then element-wise shrinks at the (possibly minimal) length.
+            for i in 0..n {
+                for cand in self.elem.shrink(&value[i]) {
+                    let mut w = value.clone();
+                    w[i] = cand;
+                    out.push(w);
+                }
+            }
+            out
         }
     }
 
@@ -178,7 +261,7 @@ pub mod collection {
 
     impl<S: Strategy> Strategy for HashSetStrategy<S>
     where
-        S::Value: Eq + Hash,
+        S::Value: Eq + Hash + Clone,
     {
         type Value = HashSet<S::Value>;
         fn sample(&self, rng: &mut TestRng) -> HashSet<S::Value> {
@@ -194,12 +277,70 @@ pub mod collection {
             }
             out
         }
+        fn shrink(&self, value: &HashSet<S::Value>) -> Vec<HashSet<S::Value>> {
+            // Remove one element at a time (sets have no positions to halve
+            // deterministically); element-wise shrinking would need remove +
+            // reinsert bookkeeping for little simplification value.
+            if value.len() <= self.size.start {
+                return Vec::new();
+            }
+            value
+                .iter()
+                .map(|drop| {
+                    value
+                        .iter()
+                        .filter(|x| *x != drop)
+                        .cloned()
+                        .collect::<HashSet<S::Value>>()
+                })
+                .collect()
+        }
     }
 
     /// `proptest::collection::hash_set(elem, size_range)`.
     pub fn hash_set<S: Strategy>(elem: S, size: Range<usize>) -> HashSetStrategy<S> {
         HashSetStrategy { elem, size }
     }
+}
+
+/// Tuple-of-strategies strategy: the `proptest!` macro bundles every bound
+/// argument into one tuple so the shrink loop can simplify the whole failing
+/// case at once (each position's candidates are tried with the other
+/// positions held fixed).
+macro_rules! tuple_strategy {
+    ($( ( $( $s:ident : $idx:tt ),+ ) )+) => {$(
+        impl<$( $s: Strategy ),+> Strategy for ($( $s, )+)
+        where
+            $( $s::Value: Clone ),+
+        {
+            type Value = ($( $s::Value, )+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($( self.$idx.sample(rng), )+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut w = value.clone();
+                        w.$idx = cand;
+                        out.push(w);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (S0: 0)
+    (S0: 0, S1: 1)
+    (S0: 0, S1: 1, S2: 2)
+    (S0: 0, S1: 1, S2: 2, S3: 3)
+    (S0: 0, S1: 1, S2: 2, S3: 3, S4: 4)
+    (S0: 0, S1: 1, S2: 2, S3: 3, S4: 4, S5: 5)
+    (S0: 0, S1: 1, S2: 2, S3: 3, S4: 4, S5: 5, S6: 6)
+    (S0: 0, S1: 1, S2: 2, S3: 3, S4: 4, S5: 5, S6: 6, S7: 7)
 }
 
 /// The subset of proptest's config the repository uses. Extra fields can be
@@ -230,6 +371,32 @@ impl ProptestConfig {
             .and_then(|v| v.parse().ok())
             .unwrap_or(self.cases)
     }
+
+    /// Effective shrink budget: `0` (the default) means "use the shim
+    /// default" rather than "don't shrink", matching real proptest where an
+    /// unset knob still shrinks.
+    pub fn effective_max_shrink_iters(&self) -> u32 {
+        if self.max_shrink_iters == 0 {
+            1024
+        } else {
+            self.max_shrink_iters
+        }
+    }
+}
+
+/// Run one case body against a (cloned) argument tuple. Only exists so the
+/// `proptest!` expansion can hand the body to the compiler as a closure whose
+/// parameter type is pinned to `S::Value` — a bare `|vals: &_|` closure would
+/// need its parameter type before the body type-checks.
+#[doc(hidden)]
+pub fn check_case<S, F>(strat: &S, vals: &S::Value, body: F) -> Result<(), TestCaseError>
+where
+    S: Strategy,
+    S::Value: Clone,
+    F: FnOnce(S::Value) -> Result<(), TestCaseError>,
+{
+    let _ = strat;
+    body(vals.clone())
 }
 
 /// Failure raised by `prop_assert!`-family macros inside a case body.
@@ -340,17 +507,50 @@ macro_rules! __proptest_impl {
             fn $name() {
                 let config: $crate::ProptestConfig = $config;
                 let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                // One tuple strategy over all bound arguments, so shrinking
+                // simplifies the whole failing case.
+                let __strat = ( $( $strat, )+ );
                 for case in 0..config.effective_cases() {
-                    $( let $arg = $crate::Strategy::sample(&($strat), &mut rng); )+
-                    let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    let mut __vals = $crate::Strategy::sample(&__strat, &mut rng);
+                    let outcome = $crate::check_case(&__strat, &__vals, |( $( $arg, )+ )| {
                         $body
                         Ok(())
-                    })();
-                    if let Err(e) = outcome {
+                    });
+                    if let Err(first_err) = outcome {
+                        // Greedy shrink: adopt the first candidate that
+                        // still fails, rescan from the top, stop when no
+                        // candidate fails or the re-run budget is spent.
+                        let mut last_err = first_err;
+                        let mut budget = config.effective_max_shrink_iters();
+                        'shrinking: loop {
+                            let mut improved = false;
+                            for cand in $crate::Strategy::shrink(&__strat, &__vals) {
+                                if budget == 0 {
+                                    break 'shrinking;
+                                }
+                                budget -= 1;
+                                let retry = $crate::check_case(&__strat, &cand, |( $( $arg, )+ )| {
+                                    $body
+                                    Ok(())
+                                });
+                                if let Err(e) = retry {
+                                    __vals = cand;
+                                    last_err = e;
+                                    improved = true;
+                                    break;
+                                }
+                            }
+                            if !improved {
+                                break;
+                            }
+                        }
+                        let ( $( $arg, )+ ) = __vals;
                         panic!(
-                            "proptest case {case}/{} of `{}` failed: {e}",
+                            "proptest case {case}/{} of `{}` failed: {last_err}\n\
+                             minimal failing input (after shrinking): {:?}",
                             config.effective_cases(),
-                            stringify!($name)
+                            stringify!($name),
+                            ( $( $arg, )+ )
                         );
                     }
                 }
@@ -413,5 +613,124 @@ mod tests {
             prop_assert!(x < 100, "x out of range: {x}");
             prop_assert_eq!(y.min(3), y);
         }
+    }
+
+    #[test]
+    fn integer_shrink_steps_toward_range_start() {
+        let s = 10u64..100;
+        let c = s.shrink(&57);
+        assert_eq!(c, vec![10, 33, 56]);
+        assert!(s.shrink(&10).is_empty(), "range start must not shrink");
+        assert_eq!((5u32..=9).shrink(&6), vec![5]);
+        assert_eq!((-10i64..10).shrink(&3), vec![-10, -4, 2]);
+    }
+
+    #[test]
+    fn vec_shrink_halves_removes_and_respects_min_size() {
+        let s = collection::vec(1u64..10, 2..8);
+        let v = vec![4, 5, 6, 7];
+        let c = s.shrink(&v);
+        // Halving first (both halves), then 4 single removals, then
+        // element-wise candidates.
+        assert_eq!(c[0], vec![4, 5]);
+        assert_eq!(c[1], vec![6, 7]);
+        assert_eq!(c[2], vec![5, 6, 7]);
+        assert!(c.iter().all(|w| w.len() >= 2), "candidate under min size");
+        assert!(c.contains(&vec![1, 5, 6, 7]), "no element-wise shrink");
+        // At the minimum length only element shrinks remain.
+        assert!(s.shrink(&vec![1, 1]).is_empty());
+        assert!(s
+            .shrink(&vec![3, 1])
+            .iter()
+            .all(|w| w.len() == 2 && w[1] == 1));
+    }
+
+    #[test]
+    fn hash_set_shrink_removes_one_element() {
+        let s = collection::hash_set(0u64..100, 1..10);
+        let v: HashSet<u64> = [1, 2, 3].into_iter().collect();
+        let c = s.shrink(&v);
+        assert_eq!(c.len(), 3);
+        assert!(c.iter().all(|w| w.len() == 2 && w.is_subset(&v)));
+        let singleton: HashSet<u64> = [7].into_iter().collect();
+        assert!(s.shrink(&singleton).is_empty(), "min size 1 violated");
+    }
+
+    #[test]
+    fn tuple_shrink_varies_one_position_at_a_time() {
+        let s = (2u64..10, 3usize..9);
+        let c = s.shrink(&(5, 4));
+        assert!(c.contains(&(2, 4)) && c.contains(&(5, 3)));
+        assert!(
+            c.iter().all(|&(a, b)| (a, b) != (2, 3)),
+            "shrink must not move both positions in one candidate"
+        );
+    }
+
+    // Deliberately failing property (not a #[test]: driven via catch_unwind
+    // below): any vec with ≥ 3 elements fails, so greedy shrinking must
+    // bottom out at exactly three range-minimum elements.
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+        fn fails_on_len3(v in collection::vec(1u64..10, 0..16)) {
+            prop_assert!(v.len() < 3, "too long: {v:?}");
+        }
+    }
+
+    #[test]
+    fn shrink_loop_reaches_the_minimal_counterexample() {
+        let err = std::panic::catch_unwind(fails_on_len3).expect_err("property must fail");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic carries a String");
+        assert!(
+            msg.contains("([1, 1, 1],)"),
+            "not shrunk to the minimal case: {msg}"
+        );
+    }
+
+    // Always-failing property with a tight shrink budget: counts how many
+    // times the body runs to prove `max_shrink_iters` is honored.
+    proptest! {
+        #![proptest_config(ProptestConfig {
+            cases: 1,
+            max_shrink_iters: 2,
+            ..ProptestConfig::default()
+        })]
+
+        fn always_fails_counted(x in 0u64..1_000_000) {
+            BODY_RUNS.with(|c| c.set(c.get() + 1));
+            prop_assert!(x == u64::MAX, "never true");
+        }
+    }
+
+    thread_local! {
+        static BODY_RUNS: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+    }
+
+    #[test]
+    fn max_shrink_iters_bounds_shrink_reruns() {
+        BODY_RUNS.with(|c| c.set(0));
+        let _ = std::panic::catch_unwind(always_fails_counted);
+        let runs = BODY_RUNS.with(|c| c.get());
+        // 1 initial run + at most 2 shrink re-runs.
+        assert!(
+            (1..=3).contains(&runs),
+            "body ran {runs} times under a budget of 2"
+        );
+    }
+
+    #[test]
+    fn zero_budget_means_default_not_off() {
+        let cfg = ProptestConfig::default();
+        assert_eq!(cfg.max_shrink_iters, 0);
+        assert_eq!(cfg.effective_max_shrink_iters(), 1024);
+        let cfg = ProptestConfig {
+            max_shrink_iters: 7,
+            ..ProptestConfig::default()
+        };
+        assert_eq!(cfg.effective_max_shrink_iters(), 7);
     }
 }

@@ -16,8 +16,9 @@
 //!   messages per commit, a nonzero hit rate, and (via conflict-verdict
 //!   owner healing) no more tombstone forwards than the cache-off run.
 
-use closed_nesting_dstm::harness::runner::{run_cell, run_cell_traced, Cell};
+use closed_nesting_dstm::harness::runner::{run_cell, run_cell_telemetry, run_cell_traced, Cell};
 use closed_nesting_dstm::harness::{analyze, audit};
+use closed_nesting_dstm::hyflow::{merge_epoch_series, EpochSample, PartitionStrategy};
 use closed_nesting_dstm::prelude::*;
 use rts_core::SchedulerKind;
 
@@ -128,6 +129,54 @@ fn cache_on_sharded_runs_match_serial_bit_for_bit() {
                 digest(shards),
                 "cache-on run under {} diverged at {shards} shards",
                 scheduler.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn cache_counters_reconcile_with_epoch_sums_across_shards_and_partitioners() {
+    // The passive epoch sampler and the end-of-run counters are maintained
+    // on different paths (per-epoch deltas vs monotone totals), so their
+    // agreement cross-checks the cache instrumentation — and it must hold
+    // identically however the nodes are packed onto shard threads.
+    for shards in [1usize, 2, 4] {
+        for partition in [PartitionStrategy::RoundRobin, PartitionStrategy::Locality] {
+            let cell = contended_cell(Benchmark::Bank, SchedulerKind::Rts, 9)
+                .with_cache(true)
+                .with_shards(shards)
+                .with_partition(partition);
+            let (r, reports) = run_cell_telemetry(cell);
+            assert!(
+                r.completed,
+                "cache+telemetry at {shards} shards / {partition:?} stalled"
+            );
+            assert!(
+                reports.iter().all(|rep| rep.dropped_epochs == 0),
+                "{shards} shards / {partition:?}: sampler dropped epochs"
+            );
+            let series = merge_epoch_series(&reports);
+            let m = &r.metrics.merged;
+            let sum = |f: fn(&EpochSample) -> u64| -> u64 { series.iter().map(f).sum() };
+            for (name, epochs, counter) in [
+                ("cache_hits", sum(|e| e.cache_hits), m.cache_hits),
+                ("cache_misses", sum(|e| e.cache_misses), m.cache_misses),
+                (
+                    "cache_invalidations",
+                    sum(|e| e.cache_invalidations),
+                    m.cache_invalidations,
+                ),
+                ("commits", sum(|e| e.commits), m.commits),
+            ] {
+                assert_eq!(
+                    epochs, counter,
+                    "{shards} shards / {partition:?}: epoch-sum {name} diverged \
+                     from the end-of-run counter"
+                );
+            }
+            assert!(
+                m.cache_hits > 0,
+                "{shards} shards / {partition:?}: contended cache-on run never hit"
             );
         }
     }

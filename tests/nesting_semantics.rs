@@ -141,6 +141,80 @@ fn deep_nesting_three_levels() {
 }
 
 #[test]
+fn deep_nesting_under_cache_stays_atomic_and_fresh() {
+    // Both nodes run the 3-deep program concurrently over a shared
+    // footprint with the remote-read cache ON. Conflicts partially abort
+    // child/grandchild levels; a replayed level must re-validate its reads
+    // rather than reuse copies the aborted attempt cached, so the final
+    // state is exact and no node retains a copy newer than the owner's.
+    let a = oid_at(0);
+    let b = oid_at(1);
+    let mk = |x: ObjectId, y: ObjectId| -> BoxedProgram {
+        Box::new(ScriptProgram::new(
+            TxKind(1),
+            vec![
+                ScriptOp::Write(x),
+                ScriptOp::AddScalar(x, 1),
+                ScriptOp::OpenNested(TxKind(2)),
+                ScriptOp::Write(y),
+                ScriptOp::AddScalar(y, 10),
+                ScriptOp::Compute(SimDuration::from_millis(2)),
+                ScriptOp::OpenNested(TxKind(3)),
+                ScriptOp::Read(x),
+                ScriptOp::Write(y),
+                ScriptOp::AddScalar(y, 100),
+                ScriptOp::Compute(SimDuration::from_millis(2)),
+                ScriptOp::CloseNested,
+                ScriptOp::CloseNested,
+            ],
+        ))
+    };
+    let topo = Topology::complete(2, 10);
+    let cfg = DstmConfig {
+        scheduler: SchedulerKind::Rts,
+        concurrency_per_node: 2,
+        cache: true,
+        ..DstmConfig::default()
+    };
+    let mut sys = SystemBuilder::new(topo, cfg).seed(3).build(WorkloadSource {
+        objects: vec![(a, Payload::Scalar(0)), (b, Payload::Scalar(0))],
+        programs: vec![vec![mk(a, b), mk(b, a)], vec![mk(a, b), mk(b, a)]],
+    });
+    let m = sys.run(50_000_000);
+    assert!(sys.all_done());
+    assert_eq!(m.merged.commits, 4);
+    assert!(
+        m.merged.nested_commits >= 8,
+        "each commit carries its child and grandchild (got {})",
+        m.merged.nested_commits
+    );
+    assert!(
+        m.merged.total_nested_aborts() > 0,
+        "the contended cell never partially aborted — nothing was replayed"
+    );
+    // Each of the 4 transactions adds 1 to one object and 110 to the other.
+    let state = sys.object_state();
+    assert_eq!(state[&a].0.as_scalar(), 2 + 220);
+    assert_eq!(state[&b].0.as_scalar(), 2 + 220);
+    assert!(
+        m.merged.cache_hits > 0,
+        "the contended 3-deep cell never exercised the cache"
+    );
+    // No node may be left holding a cached copy newer than the owner's
+    // authoritative version (an aborted level leaking its reads would).
+    for node in sys.world().actors() {
+        for (oid, copy) in node.cached_copies() {
+            assert!(
+                copy.version <= state[&oid].1,
+                "cached copy of {oid:?} at v{} is ahead of owner v{}",
+                copy.version,
+                state[&oid].1
+            );
+        }
+    }
+}
+
+#[test]
 fn read_only_parents_do_not_bump_versions() {
     let a = oid_at(0);
     let reader = || -> BoxedProgram {
